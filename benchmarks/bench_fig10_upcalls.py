@@ -1,0 +1,38 @@
+"""Figure 10: transmit throughput as a function of the number of fast-path
+support routines served by upcalls instead of hypervisor implementations.
+
+Paper: 0 upcalls -> 3902 Mb/s; a single upcall per driver invocation
+collapses throughput to 1638 Mb/s; with everything but netif_rx upcalled
+it bottoms out at 359 Mb/s.
+"""
+
+import pytest
+
+from repro.workloads import figure10_upcall_sweep
+
+from .common import compare_row, header, report
+
+PAPER_ANCHORS = {0: 3902, 1: 1638, 9: 359}
+PACKETS = 192
+
+
+def run_sweep():
+    return figure10_upcall_sweep(max_upcalls=9, packets=PACKETS)
+
+
+@pytest.mark.benchmark(group="figure10")
+def test_figure10_upcalls(benchmark):
+    sweep = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    lines = list(header("Figure 10: transmit throughput vs upcalls"))
+    for point in sweep:
+        paper = PAPER_ANCHORS.get(point.n_upcalls)
+        lines.append(compare_row(
+            f"{point.n_upcalls} upcall routine(s)", paper,
+            point.throughput_mbps, "Mb/s"))
+    report("figure10_upcalls", lines)
+
+    tputs = [p.throughput_mbps for p in sweep]
+    assert abs(tputs[0] - 3902) < 0.15 * 3902
+    assert abs(tputs[1] - 1638) < 0.15 * 1638
+    assert tputs[-1] < 0.15 * tputs[0]
+    assert all(a >= b - 1 for a, b in zip(tputs, tputs[1:]))

@@ -1,0 +1,45 @@
+"""Figure 5: netperf transmit throughput over five gigabit NICs.
+
+Paper: domU 1619, domU-twin 3902, dom0 4683, Linux 4690 Mb/s (Linux at
+76.9 % CPU); headline claim: TwinDrivers improves the guest by 2.41x in
+CPU-scaled units and reaches 64 % of native Linux.
+"""
+
+import pytest
+
+from repro.workloads import run_netperf
+
+from .common import compare_row, header, report
+
+PAPER = {"domU": 1619, "domU-twin": 3902, "dom0": 4683, "linux": 4690}
+PACKETS = 384
+
+
+def run_figure5():
+    return {name: run_netperf(name, "tx", packets=PACKETS)
+            for name in PAPER}
+
+
+@pytest.mark.benchmark(group="figure5")
+def test_figure5_transmit(benchmark):
+    results = benchmark.pedantic(run_figure5, rounds=1, iterations=1)
+    lines = list(header("Figure 5: transmit throughput (Mb/s)"))
+    for name in ("domU", "domU-twin", "dom0", "linux"):
+        lines.append(compare_row(name, PAPER[name],
+                                 results[name].throughput_mbps, "Mb/s"))
+    factor = (results["domU-twin"].cpu_scaled_mbps
+              / results["domU"].cpu_scaled_mbps)
+    frac = (results["domU-twin"].cpu_scaled_mbps
+            / results["linux"].cpu_scaled_mbps)
+    lines.append("")
+    lines.append(compare_row("twin vs domU (CPU-scaled, x)", 2.41 * 100,
+                             factor * 100, "%"))
+    lines.append(compare_row("twin / native Linux (CPU-scaled)", 64,
+                             frac * 100, "%"))
+    lines.append(compare_row("Linux CPU utilisation", 76.9,
+                             results["linux"].cpu_utilization * 100, "%"))
+    report("figure5_transmit", lines)
+
+    for name, target in PAPER.items():
+        assert abs(results[name].throughput_mbps - target) < 0.15 * target
+    assert 2.0 < factor < 2.8

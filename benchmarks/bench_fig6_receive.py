@@ -1,0 +1,41 @@
+"""Figure 6: netperf receive throughput over five gigabit NICs.
+
+Paper: domU 928, domU-twin 2022, dom0 2839, Linux 3010 Mb/s (all CPU
+bound); headline claim: 2.17x improvement, 67 % of native Linux.
+"""
+
+import pytest
+
+from repro.workloads import run_netperf
+
+from .common import compare_row, header, report
+
+PAPER = {"domU": 928, "domU-twin": 2022, "dom0": 2839, "linux": 3010}
+PACKETS = 384
+
+
+def run_figure6():
+    return {name: run_netperf(name, "rx", packets=PACKETS)
+            for name in PAPER}
+
+
+@pytest.mark.benchmark(group="figure6")
+def test_figure6_receive(benchmark):
+    results = benchmark.pedantic(run_figure6, rounds=1, iterations=1)
+    lines = list(header("Figure 6: receive throughput (Mb/s)"))
+    for name in ("domU", "domU-twin", "dom0", "linux"):
+        lines.append(compare_row(name, PAPER[name],
+                                 results[name].throughput_mbps, "Mb/s"))
+    factor = (results["domU-twin"].cpu_scaled_mbps
+              / results["domU"].cpu_scaled_mbps)
+    frac = (results["domU-twin"].cpu_scaled_mbps
+            / results["linux"].cpu_scaled_mbps)
+    lines.append("")
+    lines.append(compare_row("twin vs domU (CPU-scaled, x)", 2.17 * 100,
+                             factor * 100, "%"))
+    lines.append(compare_row("twin / native Linux", 67, frac * 100, "%"))
+    report("figure6_receive", lines)
+
+    for name, target in PAPER.items():
+        assert abs(results[name].throughput_mbps - target) < 0.15 * target
+    assert 1.8 < factor < 2.6

@@ -1,0 +1,52 @@
+"""Figure 7: CPU cycles per packet for the transmit workload, broken into
+the dom0 / domU / Xen / e1000 categories (single-NIC profile run).
+
+Paper anchors: domU 21159 and domU-twin 9972 cycles/packet totals; the
+rewritten driver costs 2218 vs 960 native; dom0 invocation costs the
+unoptimized guest 8394 cycles/packet.
+"""
+
+import pytest
+
+from repro.metrics import CATEGORIES
+from repro.workloads import profile_config
+
+from .common import compare_row, header, report
+
+PAPER_TOTALS = {"linux": 7130, "dom0": 8310, "domU-twin": 9972,
+                "domU": 21159}
+PACKETS = 384
+
+
+def run_profiles():
+    return {name: profile_config(name, "tx", packets=PACKETS)
+            for name in PAPER_TOTALS}
+
+
+@pytest.mark.benchmark(group="figure7")
+def test_figure7_tx_profile(benchmark):
+    profiles = benchmark.pedantic(run_profiles, rounds=1, iterations=1)
+    lines = list(header("Figure 7: transmit cycles/packet"))
+    for name in ("linux", "dom0", "domU-twin", "domU"):
+        lines.append(compare_row(name + " (total)", PAPER_TOTALS[name],
+                                 profiles[name].total_per_packet, "cyc"))
+    lines.append("")
+    lines.append("  per-category breakdown (measured):")
+    for name in ("linux", "dom0", "domU-twin", "domU"):
+        pp = profiles[name].per_packet
+        cells = "  ".join(f"{c}={pp[c]:7.0f}" for c in CATEGORIES)
+        lines.append(f"    {name:10s} {cells}")
+    native = profiles["linux"].per_packet["e1000"]
+    rewritten = profiles["domU-twin"].per_packet["e1000"]
+    lines.append("")
+    lines.append(compare_row("driver: native (paper 960)", 960, native,
+                             "cyc"))
+    lines.append(compare_row("driver: rewritten (paper 2218)", 2218,
+                             rewritten, "cyc"))
+    lines.append(f"  rewritten/native slowdown: {rewritten / native:.2f}x "
+                 "(paper: 'roughly 2 to 3')")
+    report("figure7_tx_profile", lines)
+
+    for name, target in PAPER_TOTALS.items():
+        assert abs(profiles[name].total_per_packet - target) < 0.15 * target
+    assert 2.0 <= rewritten / native <= 3.5

@@ -1,0 +1,44 @@
+"""Figure 8: CPU cycles per packet for the receive workload.
+
+Paper anchors: domU 35905, domU-twin 20089, dom0 14308, Linux 11166
+cycles/packet; the twin's hypervisor share is ~6514 cycles of which
+~3525 is copying the packet into the guest.
+"""
+
+import pytest
+
+from repro.metrics import CATEGORIES
+from repro.workloads import profile_config
+
+from .common import compare_row, header, report
+
+PAPER_TOTALS = {"linux": 11166, "dom0": 14308, "domU-twin": 20089,
+                "domU": 35905}
+PACKETS = 384
+
+
+def run_profiles():
+    return {name: profile_config(name, "rx", packets=PACKETS)
+            for name in PAPER_TOTALS}
+
+
+@pytest.mark.benchmark(group="figure8")
+def test_figure8_rx_profile(benchmark):
+    profiles = benchmark.pedantic(run_profiles, rounds=1, iterations=1)
+    lines = list(header("Figure 8: receive cycles/packet"))
+    for name in ("linux", "dom0", "domU-twin", "domU"):
+        lines.append(compare_row(name + " (total)", PAPER_TOTALS[name],
+                                 profiles[name].total_per_packet, "cyc"))
+    lines.append("")
+    lines.append("  per-category breakdown (measured):")
+    for name in ("linux", "dom0", "domU-twin", "domU"):
+        pp = profiles[name].per_packet
+        cells = "  ".join(f"{c}={pp[c]:7.0f}" for c in CATEGORIES)
+        lines.append(f"    {name:10s} {cells}")
+    lines.append("")
+    lines.append(compare_row("domU dom0-share (paper 14384)", 14384,
+                             profiles["domU"].per_packet["dom0"], "cyc"))
+    report("figure8_rx_profile", lines)
+
+    for name, target in PAPER_TOTALS.items():
+        assert abs(profiles[name].total_per_packet - target) < 0.15 * target

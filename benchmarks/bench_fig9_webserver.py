@@ -1,0 +1,46 @@
+"""Figure 9: web-server throughput vs offered request rate (knot serving a
+SPECweb99-like file set, httperf open loop).
+
+Paper peaks: Linux 855, dom0 712, domU-twin 572, domU 269 Mb/s; the
+TwinDrivers guest beats the unoptimized guest by more than 2x and reaches
+~67 % of native Linux.
+"""
+
+import pytest
+
+from repro.workloads import figure9_curves
+
+from .common import compare_row, header, report
+
+PAPER_PEAKS = {"linux": 855, "dom0": 712, "domU-twin": 572, "domU": 269}
+RATES = tuple(range(1000, 20001, 1000))
+
+
+def run_figure9():
+    return {c.config: c for c in figure9_curves(rates=RATES)}
+
+
+@pytest.mark.benchmark(group="figure9")
+def test_figure9_webserver(benchmark):
+    curves = benchmark.pedantic(run_figure9, rounds=1, iterations=1)
+    lines = list(header("Figure 9: web server peak throughput (Mb/s)"))
+    for name in ("linux", "dom0", "domU-twin", "domU"):
+        lines.append(compare_row(name, PAPER_PEAKS[name],
+                                 curves[name].peak_mbps, "Mb/s"))
+    lines.append("")
+    lines.append("  throughput vs offered connection rate (Mb/s):")
+    lines.append("    rate      linux     dom0     twin     domU")
+    for i, rate in enumerate(RATES):
+        row = "    {:6d}".format(rate)
+        for name in ("linux", "dom0", "domU-twin", "domU"):
+            row += f"  {curves[name].points[i].throughput_mbps:7.0f}"
+        lines.append(row)
+    twin_vs_domU = curves["domU-twin"].peak_mbps / curves["domU"].peak_mbps
+    lines.append("")
+    lines.append(f"  twin vs domU peak: {twin_vs_domU:.2f}x "
+                 "(paper: 'more than a factor of 2')")
+    report("figure9_webserver", lines)
+
+    for name, target in PAPER_PEAKS.items():
+        assert abs(curves[name].peak_mbps - target) < 0.20 * target
+    assert twin_vs_domU > 2.0

@@ -1,0 +1,28 @@
+"""Table 1: the support routines called during error-free transmit and
+receive — discovered dynamically by tracing the hypervisor driver.
+
+Paper: exactly 10 routines on the fast path, against 97 used by the
+Intel e1000 overall (our smaller toy driver imports ~33).
+"""
+
+import pytest
+
+from repro.osmodel.support import FAST_PATH_ROUTINES
+from repro.workloads import run_table1
+
+from .common import report
+
+
+def run():
+    return run_table1(packets=192)
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_fastpath(benchmark):
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = [result.format(), ""]
+    lines.append(f"paper fast-path set: {sorted(FAST_PATH_ROUTINES)}")
+    report("table1_fastpath", lines)
+
+    assert result.fast_path == set(FAST_PATH_ROUTINES)
+    assert len(result.all_routines) >= 30

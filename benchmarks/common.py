@@ -1,0 +1,41 @@
+"""Shared reporting helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper and prints a
+paper-vs-measured comparison (also appended to ``benchmarks/results/``).
+Run with ``pytest benchmarks/ --benchmark-only``; add ``-s`` to see the
+tables inline.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, Sequence
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def report(name: str, lines: Iterable[str]):
+    """Print a result block and persist it under benchmarks/results/."""
+    text = "\n".join(lines)
+    banner = f"\n=== {name} " + "=" * max(0, 66 - len(name)) + "\n"
+    print(banner + text)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as fh:
+        fh.write(text + "\n")
+
+
+def compare_row(label: str, paper, measured, unit: str = "") -> str:
+    if paper in (None, ""):
+        return f"  {label:34s} {'—':>10}   {measured:>10.0f} {unit}"
+    ratio = measured / paper if paper else float("nan")
+    return (f"  {label:34s} {paper:>10.0f}   {measured:>10.0f} {unit}"
+            f"   ({ratio:+.1%} of paper)".replace("+", ""))
+
+
+def header(title: str, paper_col: str = "paper", meas_col: str = "measured"
+           ) -> Sequence[str]:
+    return [
+        title,
+        f"  {'':34s} {paper_col:>10}   {meas_col:>10}",
+        "  " + "-" * 64,
+    ]

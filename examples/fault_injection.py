@@ -1,0 +1,152 @@
+#!/usr/bin/env python3
+"""Safety demonstration (paper §4.5): a buggy driver cannot take down the
+hypervisor.
+
+Injects a classic wild-write bug into the e1000 transmit path, runs it
+as the TwinDrivers hypervisor instance, and shows that:
+
+* SVM detects the access the moment the driver touches memory outside
+  dom0's address space;
+* the driver is aborted, not the hypervisor — other domains, the event
+  machinery, and the VM instance in dom0 keep running;
+* an infinite-loop bug is likewise contained (the §4.5.2 watchdog model).
+
+Run:  python examples/fault_injection.py
+"""
+
+from repro.core import DriverAborted, ParavirtNetDevice, TwinDriverManager
+from repro.drivers.e1000 import DRIVER_CONSTANTS, E1000_ASM
+from repro.isa import assemble
+from repro.machine import Machine
+from repro.osmodel import Kernel
+from repro.xen import Hypervisor
+
+GUEST_MAC = b"\x00\x16\x3e\xaa\x00\x01"
+
+
+def build_buggy_twin(sabotage):
+    machine = Machine()
+    xen = Hypervisor(machine)
+    dom0 = xen.create_domain("dom0", is_dom0=True)
+    dom0_kernel = Kernel(machine, dom0, costs=xen.costs, paravirtual=True)
+    guest = xen.create_domain("guest")
+    guest_kernel = Kernel(machine, guest, costs=xen.costs, paravirtual=True)
+    program = assemble(sabotage(E1000_ASM), constants=DRIVER_CONSTANTS,
+                       name="e1000-buggy")
+    twin = TwinDriverManager(xen, dom0_kernel, program=program)
+    twin.attach_nic(machine.add_nic())
+    device = ParavirtNetDevice(twin, guest_kernel, mac=GUEST_MAC)
+    xen.switch_to(guest)
+    return machine, xen, twin, device
+
+
+def wild_write(asm):
+    """The driver scribbles on hypervisor data during transmit."""
+    return asm.replace(
+        "    incl e1000_xmit_calls",
+        "    movl $0xF0300040, %eax     # hypervisor data!\n"
+        "    movl $0x41414141, (%eax)\n"
+        "    incl e1000_xmit_calls", 1)
+
+
+def infinite_loop(asm):
+    """The driver spins forever holding the CPU (§4.5.2)."""
+    return asm.replace(
+        "    incl e1000_xmit_calls",
+        ".Lspin:\n"
+        "    jmp .Lspin\n"
+        "    incl e1000_xmit_calls", 1)
+
+
+def main():
+    print("=== bug 1: wild write into hypervisor memory ===")
+    machine, xen, twin, device = build_buggy_twin(wild_write)
+    try:
+        device.transmit(800)
+    except DriverAborted as exc:
+        print(f"  driver aborted: {exc.cause}")
+    print(f"  SVM protection faults: {twin.svm.protection_faults}")
+    print(f"  hypervisor alive? switching domains and calling the VM "
+          "instance in dom0 ...")
+    link = twin.vm_call("e1000_ethtool_get_link", [twin.netdev_order[0]])
+    print(f"  ethtool via VM instance still works (link={link})")
+    try:
+        device.transmit(800)
+    except DriverAborted:
+        print("  further hypervisor-driver invocations are refused: OK")
+
+    print("\n=== bug 2: infinite loop in the driver ===")
+    machine, xen, twin, device = build_buggy_twin(infinite_loop)
+    machine.cpu.max_steps_per_call = 100_000      # the watchdog budget
+    try:
+        device.transmit(800)
+    except DriverAborted as exc:
+        print(f"  driver aborted by the execution budget: {exc.cause}")
+    print(f"  hypervisor survived; domain switches still work "
+          f"(current={xen.current.name})")
+
+    print("\n=== bug 3: stack smash via a computed index (§4.5.1) ===")
+
+    def stack_smash(asm):
+        return asm.replace(
+            "    incl e1000_xmit_calls",
+            "    movl $-100000, %ecx\n"
+            "    movl $0x41414141, -16(%esp,%ecx,4)\n"
+            "    incl e1000_xmit_calls", 1)
+
+    machine = Machine()
+    xen = Hypervisor(machine)
+    dom0 = xen.create_domain("dom0", is_dom0=True)
+    dom0_kernel = Kernel(machine, dom0, costs=xen.costs, paravirtual=True)
+    guest = xen.create_domain("guest")
+    guest_kernel = Kernel(machine, guest, costs=xen.costs, paravirtual=True)
+    program = assemble(stack_smash(E1000_ASM), constants=DRIVER_CONSTANTS,
+                       name="e1000-stack-smash")
+    twin = TwinDriverManager(xen, dom0_kernel, program=program,
+                             protect_stack=True)
+    twin.attach_nic(machine.add_nic())
+    device = ParavirtNetDevice(twin, guest_kernel, mac=GUEST_MAC)
+    xen.switch_to(guest)
+    try:
+        device.transmit(800)
+    except DriverAborted as exc:
+        print(f"  bounds check caught it: {exc.cause}")
+    print(f"  ({twin.rewrite_stats.stack_verified} constant-offset stack "
+          f"accesses were verified statically; "
+          f"{twin.rewrite_stats.stack_checked} variable-offset accesses "
+          "carry runtime checks)")
+
+    print("\n=== bug 4: rogue DMA address (blocked by the IOMMU, §4.5) ===")
+    from repro.configs import build
+    system = build("domU-twin", n_nics=1, iommu=True)
+    nic = system.nics[0]
+    system.transmit_packets(8)
+    print(f"  normal traffic with IOMMU on: {system.packets_on_wire} "
+          f"frames, {system.machine.iommu.checks} DMA checks, "
+          f"{nic.stats.dma_faults} faults")
+    # forge a descriptor pointing at an unmapped frame and kick the device
+    from repro.machine.nic import DESC_EOP, REG_TDBAL, REG_TDT, REG_TDH
+    secret = system.machine.phys.allocate_frame() << 12
+    system.machine.phys.write_bytes(secret, b"hypervisor secrets")
+    ring = nic.regs[REG_TDBAL]
+    head = nic.regs[REG_TDH]
+    desc = ring + head * 16
+    system.machine.phys.write_u32(desc + 0, secret)
+    system.machine.phys.write_u32(desc + 8, 18)
+    system.machine.phys.write_u32(desc + 12, DESC_EOP)
+    system.machine.wire.keep_payloads = True
+    nic.mmio_write(REG_TDT, 4, (head + 1) % 64)
+    leaked = any(b"secrets" in p for p in system.machine.wire.transmitted)
+    print(f"  rogue descriptor: dma_faults={nic.stats.dma_faults}, "
+          f"secret leaked to the wire: {leaked}")
+
+    print("\n=== control: the unmodified driver ===")
+    machine, xen, twin, device = build_buggy_twin(lambda asm: asm)
+    for _ in range(25):
+        assert device.transmit(800)
+    print(f"  25 frames transmitted, driver healthy "
+          f"(aborted={twin.aborted})")
+
+
+if __name__ == "__main__":
+    main()

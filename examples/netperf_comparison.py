@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""The paper's netperf experiment: all four configurations side by side.
+
+Reproduces figures 5 and 6 (and prints the per-packet profiles behind
+them — figures 7 and 8) with the paper's numbers for comparison.
+
+Run:  python examples/netperf_comparison.py [--packets N]
+"""
+
+import argparse
+
+from repro.metrics import format_profile_table
+from repro.workloads import (
+    figure7_profiles,
+    figure8_profiles,
+    run_netperf,
+    summarize,
+)
+
+PAPER = {
+    ("domU", "tx"): 1619, ("domU-twin", "tx"): 3902,
+    ("dom0", "tx"): 4683, ("linux", "tx"): 4690,
+    ("domU", "rx"): 928, ("domU-twin", "rx"): 2022,
+    ("dom0", "rx"): 2839, ("linux", "rx"): 3010,
+}
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--packets", type=int, default=256,
+                        help="steady-state packets to measure per run")
+    args = parser.parse_args()
+
+    for direction, figure in (("tx", "Figure 5 (transmit)"),
+                              ("rx", "Figure 6 (receive)")):
+        print(f"\n{figure}: aggregate throughput over 5 GigE NICs")
+        print(f"  {'config':12s} {'measured':>9}  {'paper':>7}  "
+              f"{'cpu':>6}  {'cpu-scaled':>10}")
+        results = []
+        for name in ("domU", "domU-twin", "dom0", "linux"):
+            r = run_netperf(name, direction, packets=args.packets)
+            results.append(r)
+            print(f"  {name:12s} {r.throughput_mbps:7.0f}Mb  "
+                  f"{PAPER[(name, direction)]:5d}Mb  "
+                  f"{r.cpu_utilization * 100:5.1f}%  "
+                  f"{r.cpu_scaled_mbps:8.0f}Mb")
+        headline = summarize(results)
+        print(f"  -> twin vs domU (CPU-scaled): "
+              f"{headline['twin_vs_domU_cpu_scaled']:.2f}x "
+              f"(paper: {'2.41x' if direction == 'tx' else '2.17x'})")
+        print(f"  -> twin as fraction of native Linux: "
+              f"{headline['twin_fraction_of_linux_cpu_scaled']:.0%} "
+              f"(paper: {'64%' if direction == 'tx' else '67%'})")
+
+    print("\nPer-packet profiles behind those numbers:")
+    print(format_profile_table(figure7_profiles(packets=args.packets),
+                               "Figure 7: transmit cycles/packet"))
+    print(format_profile_table(figure8_profiles(packets=args.packets),
+                               "Figure 8: receive cycles/packet"))
+    print("paper totals, tx: linux ~7130, dom0 ~8310, twin 9972, "
+          "domU 21159")
+    print("paper totals, rx: linux 11166, dom0 14308, twin 20089, "
+          "domU 35905")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Quickstart: bring up the full TwinDrivers stack and push packets.
+
+Builds the paper's ``domU-twin`` configuration — a Xen-like hypervisor, a
+dom0 running the VM driver instance, a guest with a paravirtual NIC, and
+the rewritten e1000 running *in the hypervisor* — then transmits and
+receives traffic and prints what happened where.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.configs import build
+from repro.metrics import CATEGORIES
+
+
+def main():
+    print("building the domU-twin configuration (1 NIC) ...")
+    system = build("domU-twin", n_nics=1)
+    twin = system.twin
+    stats = twin.rewrite_stats
+    print(f"  driver rewritten: {stats.input_instructions} -> "
+          f"{stats.output_instructions} instructions "
+          f"({stats.memory_rewritten} memory refs, "
+          f"{stats.string_rewritten} string ops, "
+          f"{stats.indirect_rewritten} indirect calls instrumented)")
+    print(f"  VM instance at   {twin.vm_module.code_base:#010x} (dom0)")
+    print(f"  hyp instance at  {twin.hyp_driver.loaded.base:#010x} "
+          f"(code offset {twin.hyp_driver.code_offset:+#x})")
+
+    # ---- transmit: guest -> hypervisor driver -> NIC -> wire -------------
+    print("\ntransmitting 100 frames from the guest ...")
+    snap = system.snapshot()
+    sent = system.transmit_packets(100)
+    delta = system.delta_since(snap)
+    print(f"  {sent} frames accepted, {system.packets_on_wire} on the wire")
+    print("  cycles/packet by category: "
+          + ", ".join(f"{c}={delta[c] / sent:.0f}" for c in CATEGORIES))
+
+    # ---- receive: wire -> hypervisor driver -> demux -> guest ------------
+    print("\ninjecting 100 frames from the wire ...")
+    snap = system.snapshot()
+    got = system.receive_packets(100)
+    delta = system.delta_since(snap)
+    print(f"  {got} frames accepted, {system.packets_delivered} delivered "
+          "to the guest")
+    print("  cycles/packet by category: "
+          + ", ".join(f"{c}={delta[c] / got:.0f}" for c in CATEGORIES))
+
+    # ---- the mechanisms at work ------------------------------------------
+    svm = twin.svm
+    print("\nSVM state:")
+    print(f"  stlb misses={svm.misses} collisions={svm.collisions} "
+          f"dom0 pages mapped into the hypervisor={len(svm.mappings)}")
+    print(f"  buffer pool: {twin.hyp_support.pool.available}/"
+          f"{twin.hyp_support.pool.capacity} free")
+    rt = twin.hyp_runtime
+    print(f"  stlb_call cache: {rt.call_xlate_hits} hits / "
+          f"{rt.call_xlate_misses} misses")
+    print(f"  upcalls made: {twin.upcalls.upcalls} "
+          "(zero: the whole fast path lives in the hypervisor)")
+
+    # ---- management still runs in the VM instance (dom0) ------------------
+    ndev = twin.netdev_order[0]
+    twin.vm_call("e1000_get_stats", [ndev])
+    link = twin.vm_call("e1000_ethtool_get_link", [ndev])
+    print("\nmanagement via the VM instance in dom0:")
+    print(f"  ethtool get_link -> {link}")
+    twin.dom0_kernel.advance_jiffies(10)
+    fired = twin.run_vm_maintenance()
+    print(f"  watchdog timers fired: {fired}")
+
+
+if __name__ == "__main__":
+    main()

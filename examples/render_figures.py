@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Render the paper's figures 5-8 and 10 as ASCII charts from live runs.
+
+Run:  python examples/render_figures.py [--packets N]
+"""
+
+import argparse
+
+from repro.metrics import CATEGORIES
+from repro.workloads import (
+    figure10_upcall_sweep,
+    profile_config,
+    run_netperf,
+)
+
+WIDTH = 46
+
+
+def bar(value, peak, width=WIDTH, char="#"):
+    n = int(round(value / peak * width)) if peak else 0
+    return char * n
+
+
+def render_throughput(title, direction, paper, packets):
+    print(f"\n{title}")
+    results = {name: run_netperf(name, direction, packets=packets)
+               for name in paper}
+    peak = max(max(r.throughput_mbps for r in results.values()),
+               max(paper.values()))
+    for name in ("domU", "domU-twin", "dom0", "linux"):
+        r = results[name]
+        print(f"  {name:10s} |{bar(r.throughput_mbps, peak):<{WIDTH}}| "
+              f"{r.throughput_mbps:5.0f} (paper {paper[name]})")
+
+
+def render_profile(title, direction, packets):
+    print(f"\n{title} (stacked: {' '.join(CATEGORIES)})")
+    profiles = {name: profile_config(name, direction, packets=packets)
+                for name in ("linux", "dom0", "domU-twin", "domU")}
+    peak = max(p.total_per_packet for p in profiles.values())
+    glyphs = dict(zip(CATEGORIES, "0UXe"))
+    for name in ("linux", "dom0", "domU-twin", "domU"):
+        pp = profiles[name].per_packet
+        row = ""
+        for category in CATEGORIES:
+            row += glyphs[category] * int(round(pp[category] / peak * WIDTH))
+        print(f"  {name:10s} |{row:<{WIDTH}}| "
+              f"{profiles[name].total_per_packet:6.0f} cyc/pkt")
+
+
+def render_upcalls(packets):
+    print("\nFigure 10: transmit throughput vs upcalls per invocation")
+    sweep = figure10_upcall_sweep(max_upcalls=9, packets=packets)
+    peak = sweep[0].throughput_mbps
+    for point in sweep:
+        print(f"  {point.n_upcalls} upcalls |"
+              f"{bar(point.throughput_mbps, peak):<{WIDTH}}| "
+              f"{point.throughput_mbps:5.0f} Mb/s")
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--packets", type=int, default=192)
+    args = parser.parse_args()
+    render_throughput(
+        "Figure 5: transmit throughput (Mb/s)", "tx",
+        {"domU": 1619, "domU-twin": 3902, "dom0": 4683, "linux": 4690},
+        args.packets)
+    render_throughput(
+        "Figure 6: receive throughput (Mb/s)", "rx",
+        {"domU": 928, "domU-twin": 2022, "dom0": 2839, "linux": 3010},
+        args.packets)
+    render_profile("Figure 7: transmit cycles/packet", "tx", args.packets)
+    render_profile("Figure 8: receive cycles/packet", "rx", args.packets)
+    render_upcalls(args.packets)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""A guided tour of the binary rewriter: what SVM instrumentation looks
+like on real driver code.
+
+Shows a slice of the e1000 transmit routine before and after rewriting,
+the figure-4 fast path, a string-instruction chunk loop, the indirect-call
+translation, and the rewrite statistics for the whole driver.
+
+Run:  python examples/rewriting_tour.py
+"""
+
+from repro.core import rewrite_driver
+from repro.drivers import build_e1000_program
+from repro.isa import assemble
+
+
+def show(title, program, start, count):
+    print(f"\n--- {title} " + "-" * max(0, 60 - len(title)))
+    by_index = {}
+    for label, idx in program.labels.items():
+        by_index.setdefault(idx, []).append(label)
+    for i in range(start, min(start + count, len(program.instructions))):
+        for label in by_index.get(i, ()):
+            print(f"{label}:")
+        print(f"    {program.instructions[i].format()}")
+
+
+def main():
+    # a minimal kernel showing each rewrite category
+    demo = assemble("""
+.globl demo
+.comm stats, 8
+demo:
+    pushl %esi
+    movl 12(%ebx), %eax          # heap load      -> SVM fast path
+    movl %eax, 16(%ebx)          # heap store     -> SVM fast path
+    movl 8(%esp), %ecx           # stack-relative -> untouched
+    leal 20(%ebx), %edx          # address math   -> untouched
+    incl stats                   # global data    -> SVM fast path
+    rep movsl                    # string op      -> page-chunk loop
+    call *%eax                   # indirect call  -> stlb_call translate
+    popl %esi
+    ret
+""", name="demo")
+    rewritten, stats = rewrite_driver(demo)
+    show("original demo kernel", demo, 0, len(demo.instructions))
+    show("rewritten (SVM-instrumented)", rewritten, 0,
+         len(rewritten.instructions))
+    print(f"\n{stats.input_instructions} -> {stats.output_instructions} "
+          f"instructions; {stats.memory_rewritten} memory refs, "
+          f"{stats.string_rewritten} string ops, "
+          f"{stats.indirect_rewritten} indirect transfers rewritten; "
+          f"{stats.spills} spills, {stats.flag_saves} flag saves")
+
+    # the real driver
+    program = build_e1000_program()
+    rewritten, stats = rewrite_driver(program)
+    print("\n=== the whole e1000 driver " + "=" * 35)
+    print(f"input instructions : {stats.input_instructions}")
+    print(f"output instructions: {stats.output_instructions} "
+          f"({stats.expansion_factor:.2f}x)")
+    print(f"memory fraction    : {stats.memory_fraction:.1%} "
+          "(paper measured ~25% for network drivers)")
+    print(f"spills             : {stats.spills}")
+    print(f"flag saves         : {stats.flag_saves}")
+
+    start = program.labels["e1000_xmit_frame"]
+    show("e1000_xmit_frame, original (first 14 instructions)",
+         program, start, 14)
+    start = rewritten.labels["e1000_xmit_frame"]
+    show("e1000_xmit_frame, rewritten (first 26 instructions)",
+         rewritten, start, 26)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Generality: twin a second, structurally different driver.
+
+The e1000 is a scatter/gather descriptor-ring design; the RTL8139 is a
+copying, fixed-slot design with a contiguous receive ring. The same
+rewriter, loader, SVM and upcall machinery twins both — and dynamic
+tracing discovers a *different* fast-path support set for each.
+
+Run:  python examples/second_driver.py
+"""
+
+from repro.core import ParavirtNetDevice, TwinDriverManager
+from repro.drivers import E1000_SPEC, RTL8139_SPEC
+from repro.machine import Machine
+from repro.osmodel import Kernel
+from repro.xen import Hypervisor
+
+
+def bring_up(spec, model):
+    machine = Machine()
+    xen = Hypervisor(machine)
+    dom0 = xen.create_domain("dom0", is_dom0=True)
+    dom0_kernel = Kernel(machine, dom0, costs=xen.costs, paravirtual=True)
+    twin = TwinDriverManager(xen, dom0_kernel, driver=spec)
+    nic = machine.add_nic(model=model)
+    nic.interrupt_batch = 8
+    twin.attach_nic(nic)
+    guest = Kernel(machine, xen.create_domain("guest"), costs=xen.costs,
+                   paravirtual=True)
+    device = ParavirtNetDevice(twin, guest, mac=b"\x00\x16\x3e\xdd\x00\x01")
+    xen.switch_to(device.kernel.domain)
+    return machine, xen, twin, device, nic
+
+
+def exercise(spec, model):
+    machine, xen, twin, device, nic = bring_up(spec, model)
+    stats = twin.rewrite_stats
+    print(f"\n=== {spec.name} "
+          f"(scatter/gather: {spec.scatter_gather}) ===")
+    print(f"  rewrite: {stats.input_instructions} -> "
+          f"{stats.output_instructions} instructions, "
+          f"{stats.memory_rewritten} memory refs, "
+          f"{stats.string_rewritten} string ops, "
+          f"{stats.indirect_rewritten} indirect calls")
+    machine.wire.keep_payloads = True
+    payload = bytes(range(250)) * 5
+    device.keep_rx_payloads = True
+    for _ in range(32):
+        assert device.transmit(len(payload), payload=payload)
+    frame = device.mac + b"\x00" * 6 + b"\x08\x00" + payload
+    for _ in range(32):
+        assert machine.wire.inject(nic, frame)
+    nic.flush_interrupts()
+    assert machine.wire.transmitted[0][14:] == payload
+    assert device.rx_payloads[0] == payload
+    print(f"  32 tx + 32 rx, payloads intact; upcalls: "
+          f"{twin.upcalls.upcalls}; stlb misses: {twin.svm.misses}")
+    fast_path = sorted(twin.hyp_support.calls)
+    print(f"  fast-path support set ({len(fast_path)} routines): "
+          f"{', '.join(fast_path)}")
+
+
+def main():
+    exercise(E1000_SPEC, "e1000")
+    exercise(RTL8139_SPEC, "rtl8139")
+    print("\nSame pipeline, two very different drivers — the fast-path "
+          "support set is discovered per driver by tracing, exactly the "
+          "paper's Table-1 methodology.")
+
+
+if __name__ == "__main__":
+    main()

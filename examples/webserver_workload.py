@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""The web-server workload (figure 9): knot + SPECweb99 + httperf.
+
+Sweeps offered connection rates against all four configurations, prints
+the throughput curves as an ASCII chart, and validates the analytic
+capacity model against whole request exchanges pushed through the real
+simulated stack.
+
+Run:  python examples/webserver_workload.py
+"""
+
+from repro.workloads import FileSet, figure9_curves, simulate_requests
+
+PAPER_PEAKS = {"linux": 855, "dom0": 712, "domU-twin": 572, "domU": 269}
+RATES = tuple(range(1000, 20001, 1000))
+WIDTH = 52
+
+
+def ascii_chart(curves):
+    peak = max(c.peak_mbps for c in curves)
+    marks = {"linux": "L", "dom0": "0", "domU-twin": "T", "domU": "U"}
+    print(f"\n  throughput (Mb/s) vs offered rate "
+          f"(L=linux 0=dom0 T=twin U=domU)")
+    for i, rate in enumerate(RATES):
+        row = [" "] * (WIDTH + 1)
+        for curve in curves:
+            pos = int(curve.points[i].throughput_mbps / peak * WIDTH)
+            row[pos] = marks[curve.config]
+        print(f"  {rate:6d} |" + "".join(row))
+    print("         +" + "-" * WIDTH)
+    print(f"         0{'':{WIDTH - 10}}{peak:.0f} Mb/s")
+
+
+def main():
+    fileset = FileSet()
+    print("SPECweb99-like static file set:")
+    print(f"  {len(fileset.files)} files in one directory, "
+          f"mean response {fileset.mean_size / 1024:.1f} KiB, "
+          f"total {fileset.total_bytes / 1e6:.1f} MB (fits in memory)")
+
+    print("\nmeasuring per-packet costs and sweeping request rates ...")
+    curves = figure9_curves(rates=RATES)
+
+    print(f"\n  {'config':12s} {'capacity':>10} {'peak':>9}  {'paper':>7}")
+    for curve in curves:
+        print(f"  {curve.config:12s} "
+              f"{curve.capacity.requests_per_second:8.0f}r/s "
+              f"{curve.peak_mbps:7.0f}Mb  "
+              f"{PAPER_PEAKS[curve.config]:5d}Mb")
+    by_name = {c.config: c for c in curves}
+    print(f"  -> twin vs domU peak: "
+          f"{by_name['domU-twin'].peak_mbps / by_name['domU'].peak_mbps:.2f}x"
+          " (paper: 'more than a factor of 2')")
+
+    ascii_chart(curves)
+
+    print("\nvalidating the model: 20 whole request exchanges through the "
+          "real stack (domU-twin):")
+    sim = simulate_requests("domU-twin", n_requests=20)
+    model = by_name["domU-twin"].capacity
+    print(f"  simulated : {sim['cycles_per_request']:9.0f} cycles/request")
+    print(f"  model     : {model.cycles_per_request:9.0f} cycles/request "
+          "(model adds app-server work the packet-sim omits)")
+
+
+if __name__ == "__main__":
+    main()

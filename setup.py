@@ -1,0 +1,6 @@
+"""Compatibility shim: lets ``pip install -e .`` work on environments
+without the ``wheel`` package (legacy develop-install path)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,35 @@
+"""TwinDrivers (ASPLOS 2009) reproduction.
+
+Semi-automatic derivation of fast and safe hypervisor network drivers
+from guest OS drivers, rebuilt as a full-system simulation: a virtual
+ISA whose driver binaries are genuinely rewritten (SVM instrumentation),
+a simulated machine (paged memory, MMIO, an e1000-style NIC), a Xen-like
+hypervisor, a mini-Linux kernel model, and the TwinDrivers core on top.
+
+Quick start::
+
+    from repro.configs import build
+    system = build("domU-twin", n_nics=1)
+    system.transmit_packets(100)
+    print(system.snapshot())
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured numbers.
+"""
+
+from . import configs, core, drivers, isa, machine, metrics, osmodel, workloads, xen
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "configs",
+    "core",
+    "drivers",
+    "isa",
+    "machine",
+    "metrics",
+    "osmodel",
+    "workloads",
+    "xen",
+    "__version__",
+]

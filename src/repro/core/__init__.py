@@ -1,0 +1,77 @@
+"""TwinDrivers: the paper's contribution.
+
+* :mod:`~repro.core.rewriter` -- assembler-level SVM instrumentation
+* :mod:`~repro.core.svm` -- the stlb, slow path, protection
+* :mod:`~repro.core.upcall` -- synchronous cross-address-space calls
+* :mod:`~repro.core.hypsupport` -- the 10 fast-path hypervisor routines
+* :mod:`~repro.core.loader` -- hypervisor module loader
+* :mod:`~repro.core.paravirt` -- guest paravirtual driver
+* :mod:`~repro.core.twin` -- orchestration
+"""
+
+from .hypsupport import HYPERVISOR_FAST_PATH, HypervisorSupport, SkbPool
+from .loader import (
+    DriverAborted,
+    HypAllocator,
+    HypervisorDriver,
+    HypervisorLoader,
+    SvmRuntime,
+    allocate_runtime_symbols,
+)
+from .paravirt import HEADER_COPY_BYTES, ParavirtNetDevice
+from .rewriter import (
+    CALL_XLATE_SYMBOL,
+    RET_SLOT_SYMBOL,
+    RUNTIME_DATA_SYMBOLS,
+    RUNTIME_IMPORTS,
+    SLOW_PATH_SYMBOL,
+    STLB_SYMBOL,
+    TRANSLATE_SYMBOL,
+    RewriteStats,
+    Rewriter,
+    UnsupportedInstruction,
+    rewrite_driver,
+)
+from .svm import (
+    STLB_ENTRIES,
+    StackProtectionFault,
+    SvmManager,
+    SvmProtectionFault,
+    SvmView,
+    stlb_index,
+)
+from .twin import TwinDriverManager
+from .upcall import UpcallManager
+
+__all__ = [
+    "CALL_XLATE_SYMBOL",
+    "DriverAborted",
+    "HEADER_COPY_BYTES",
+    "HYPERVISOR_FAST_PATH",
+    "HypAllocator",
+    "HypervisorDriver",
+    "HypervisorLoader",
+    "HypervisorSupport",
+    "ParavirtNetDevice",
+    "RET_SLOT_SYMBOL",
+    "RUNTIME_DATA_SYMBOLS",
+    "RUNTIME_IMPORTS",
+    "RewriteStats",
+    "Rewriter",
+    "STLB_ENTRIES",
+    "STLB_SYMBOL",
+    "StackProtectionFault",
+    "SLOW_PATH_SYMBOL",
+    "SkbPool",
+    "SvmManager",
+    "SvmProtectionFault",
+    "SvmRuntime",
+    "SvmView",
+    "TRANSLATE_SYMBOL",
+    "TwinDriverManager",
+    "UnsupportedInstruction",
+    "UpcallManager",
+    "allocate_runtime_symbols",
+    "rewrite_driver",
+    "stlb_index",
+]

@@ -1,0 +1,215 @@
+"""Hypervisor implementations of the fast-path support routines (§4.3).
+
+The paper implements exactly the ten Table-1 routines inside Xen (851
+lines of C) so the error-free transmit/receive path never upcalls. These
+are those ten routines: they access driver data in dom0 **explicitly
+through the stlb** (via :class:`~repro.core.svm.SvmView`), and
+``netdev_alloc_skb``/``dev_kfree_skb_any`` draw from a preallocated pool
+of dom0 sk_buffs protected from the dom0 allocator by the refcount trick.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional
+
+from ..machine.cpu import Cpu
+from ..machine.paging import HYPERVISOR_BASE, PageFault
+from ..osmodel import layout as L
+from ..osmodel.kernel import Kernel
+from ..osmodel.skbuff import SkBuff, init_skb
+from ..xen.hypervisor import Hypervisor
+from .svm import SvmManager, SvmProtectionFault, SvmView
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .twin import TwinDriverManager
+
+#: Routines the hypervisor implements natively (paper Table 1).
+HYPERVISOR_FAST_PATH = (
+    "netdev_alloc_skb",
+    "dev_kfree_skb_any",
+    "netif_rx",
+    "dma_map_single",
+    "dma_map_page",
+    "dma_unmap_single",
+    "dma_unmap_page",
+    "spin_trylock",
+    "spin_unlock_irqrestore",
+    "eth_type_trans",
+)
+
+
+class SkbPool:
+    """Preallocated dom0 sk_buffs reserved for the hypervisor driver.
+
+    Pool buffers carry ``SKB_POOL = 1`` and an extra reference so dom0
+    kernel code that releases them hands them back here instead of to the
+    dom0 slab (the paper's "simple reference counter trick")."""
+
+    def __init__(self, dom0_kernel: Kernel, size: int = 256):
+        self.dom0_kernel = dom0_kernel
+        self.free: List[int] = []
+        self.capacity = 0
+        self.underflows = 0
+        dom0_kernel.pool_release = self.release
+        self.grow(size)
+
+    def grow(self, n: int):
+        for _ in range(n):
+            skb = self.dom0_kernel.alloc_skb(L.SKB_BUFFER_SIZE - L.NET_SKB_PAD)
+            skb.pool = 1
+            self.free.append(skb.addr)
+        self.capacity += n
+
+    def acquire(self) -> Optional[int]:
+        if not self.free:
+            self.underflows += 1
+            return None
+        return self.free.pop()
+
+    def release(self, skb_addr: int):
+        self.free.append(skb_addr)
+
+    @property
+    def available(self) -> int:
+        return len(self.free)
+
+
+class HypervisorSupport:
+    """Registers the ten fast-path natives under the ``hyp.`` prefix.
+
+    ``upcall_routines`` selects a subset to *not* implement natively —
+    those calls fall back to upcall stubs instead (figure 10's sweep).
+    """
+
+    def __init__(self, xen: Hypervisor, dom0_kernel: Kernel,
+                 svm: SvmManager, twin: "TwinDriverManager",
+                 pool_size: int = 256):
+        self.xen = xen
+        self.machine = xen.machine
+        self.dom0_kernel = dom0_kernel
+        self.svm = svm
+        self.view = SvmView(svm)
+        self.twin = twin
+        self.pool = SkbPool(dom0_kernel, size=pool_size)
+        self.addresses: Dict[str, int] = {}
+        self.calls: Dict[str, int] = {}
+        self._register_all()
+
+    # -- registration ----------------------------------------------------------
+
+    def _bind(self, name: str, impl: Callable, nargs: int):
+        def native(cpu: Cpu, _impl=impl, _nargs=nargs, _name=name):
+            self.calls[_name] = self.calls.get(_name, 0) + 1
+            args = [cpu.read_stack_arg(i) for i in range(_nargs)]
+            return _impl(*args)
+
+        addr = self.machine.register_native(
+            f"hyp.{name}", native,
+            cost=self.xen.costs.support_cost(name),
+            category="Xen",
+        )
+        self.addresses[name] = addr
+
+    def _register_all(self):
+        self._bind("netdev_alloc_skb", self.netdev_alloc_skb, 2)
+        self._bind("dev_kfree_skb_any", self.dev_kfree_skb_any, 1)
+        self._bind("netif_rx", self.netif_rx, 1)
+        self._bind("dma_map_single", self.dma_map_single, 4)
+        self._bind("dma_map_page", self.dma_map_page, 4)
+        self._bind("dma_unmap_single", self.dma_unmap_single, 3)
+        self._bind("dma_unmap_page", self.dma_unmap_page, 3)
+        self._bind("spin_trylock", self.spin_trylock, 1)
+        self._bind("spin_unlock_irqrestore", self.spin_unlock_irqrestore, 2)
+        self._bind("eth_type_trans", self.eth_type_trans, 2)
+
+    # -- implementations (all data access goes through the stlb view) -----------
+
+    def netdev_alloc_skb(self, dev: int, size: int) -> int:
+        skb_addr = self.pool.acquire()
+        if skb_addr is None:
+            return 0                      # driver's alloc-failure path
+        skb = SkBuff(self.view, skb_addr)
+        head = skb.head
+        skb.data = head
+        skb.tail = head
+        skb.len = 0
+        skb.nr_frags = 0
+        skb._set(L.SKB_DATA_LEN, 0, 2)
+        skb.refcnt = 1
+        skb.reserve(L.NET_SKB_PAD)
+        skb.dev = dev
+        return skb_addr
+
+    def dev_kfree_skb_any(self, skb_addr: int) -> int:
+        skb = SkBuff(self.view, skb_addr)
+        refs = skb.refcnt
+        if refs > 1:
+            skb.refcnt = refs - 1
+            return 0
+        if skb.pool:
+            self.pool.release(skb_addr)
+        else:
+            # A non-pool dom0 skb freed from the hypervisor: hand it back
+            # to dom0's allocator bookkeeping directly.
+            self.dom0_kernel.free_skb(skb_addr)
+        return 0
+
+    def netif_rx(self, skb_addr: int) -> int:
+        self.twin.hypervisor_netif_rx(skb_addr)
+        return 0
+
+    def dma_map_single(self, dev: int, vaddr: int, length: int,
+                       direction: int) -> int:
+        if vaddr >= HYPERVISOR_BASE:
+            raise SvmProtectionFault(vaddr, "DMA map of hypervisor address")
+        try:
+            bus = self.dom0_kernel.dma_map(vaddr, length)
+        except PageFault:
+            raise SvmProtectionFault(vaddr, "DMA map of unmapped page") from None
+        self._iommu_map(bus, length)
+        return bus
+
+    def dma_map_page(self, page: int, offset: int, length: int,
+                     direction: int) -> int:
+        # ``page`` is a machine page address — for guest fragments this is
+        # how "the DMA mapping functions return the correct guest machine
+        # page addresses" (paper §5.3, footnote 4).
+        self._iommu_map(page + offset, length)
+        return page + offset
+
+    def dma_unmap_single(self, bus: int, length: int, direction: int) -> int:
+        self._iommu_unmap(bus, length)
+        return 0
+
+    def dma_unmap_page(self, bus: int, length: int, direction: int) -> int:
+        self._iommu_unmap(bus, length)
+        return 0
+
+    def _iommu_map(self, bus: int, length: int):
+        if self.machine.iommu is not None:
+            self.machine.iommu.map_window("*", bus, length)
+
+    def _iommu_unmap(self, bus: int, length: int):
+        if self.machine.iommu is not None:
+            self.machine.iommu.unmap_window("*", bus, length)
+
+    def spin_trylock(self, lock: int) -> int:
+        if self.view.read_u32(lock):
+            return 0
+        self.view.write_u32(lock, 1)
+        return 1
+
+    def spin_unlock_irqrestore(self, lock: int, flags: int) -> int:
+        self.view.write_u32(lock, 0)
+        if flags & 1:
+            self.dom0_kernel.domain.enable_virq()
+        return 0
+
+    def eth_type_trans(self, skb_addr: int, dev: int) -> int:
+        skb = SkBuff(self.view, skb_addr)
+        raw = self.view.read_bytes(skb.data + 12, 2)
+        protocol = int.from_bytes(raw, "big")
+        skb.protocol = protocol
+        skb.dev = dev
+        skb.pull(L.ETH_HLEN)
+        return protocol

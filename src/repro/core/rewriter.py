@@ -1,0 +1,593 @@
+"""The assembler-level rewriting tool (paper §5.1).
+
+Takes the VM driver program and produces the hypervisor driver program:
+
+* every non-stack memory reference is replaced by the 10-instruction SVM
+  fast path of figure 4 (tag compare against the ``__stlb`` hash table,
+  XOR translation), with a per-site slow-path block appended at the end of
+  the program that calls ``__svm_slow_path`` and retries;
+* scratch registers come from a liveness analysis (footnote 3); when no
+  dead register is available the rewriter spills to ``__svm_spillN`` slots
+  in hypervisor data;
+* flags liveness is tracked: if the condition codes are live across a
+  rewritten instruction that does not itself set them, the translation
+  sequence is wrapped in ``pushf``/``popf``;
+* string instructions (§5.1.1) become loops that process page-bounded
+  chunks, translating the source/destination pointer(s) each iteration
+  (via the ``__svm_translate`` helper, which consults the same stlb) —
+  including the early-exit flag semantics of ``repe``/``repne``;
+* indirect calls and jumps (§5.1.2) are routed through
+  ``__stlb_call_xlate``, which maps VM-driver code addresses to hypervisor
+  driver addresses (a constant offset, because the same rewritten binary
+  is used for both instances) and dom0 support-routine addresses to their
+  hypervisor bindings.
+
+The output program is a normal :class:`~repro.isa.program.Program`; run
+over an *identity* stlb it behaves exactly like the input (that is how
+the VM instance runs, and how the semantic-equivalence tests work).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..isa.cfg import ControlFlowGraph
+from ..isa.instructions import Instruction
+from ..isa.liveness import LivenessAnalysis
+from ..isa.operands import Imm, Label, Mem, Reg
+from ..isa.program import Program
+from ..isa.registers import ALLOCATABLE
+
+#: Symbols the rewritten code references; the loaders resolve them
+#: per-instance (hypervisor stlb vs dom0 identity stlb).
+STLB_SYMBOL = "__stlb"
+SLOW_PATH_SYMBOL = "__svm_slow_path"
+TRANSLATE_SYMBOL = "__svm_translate"
+CALL_XLATE_SYMBOL = "__stlb_call_xlate"
+RET_SLOT_SYMBOL = "__svm_ret"
+SPILL_SYMBOL = "__svm_spill{}"
+N_SPILL_SLOTS = 4
+#: §4.5.1 stack protection (optional): bounds of the driver stack and the
+#: fault handler for variable-offset stack accesses.
+STACK_LO_SYMBOL = "__svm_stack_lo"
+STACK_HI_SYMBOL = "__svm_stack_hi"
+STACK_FAULT_SYMBOL = "__svm_stack_fault"
+
+RUNTIME_DATA_SYMBOLS = (
+    (STLB_SYMBOL, 4096 * 8),
+    (RET_SLOT_SYMBOL, 4),
+    (SPILL_SYMBOL.format(0), 4),
+    (SPILL_SYMBOL.format(1), 4),
+    (SPILL_SYMBOL.format(2), 4),
+    (SPILL_SYMBOL.format(3), 4),
+    (STACK_LO_SYMBOL, 4),
+    (STACK_HI_SYMBOL, 4),
+)
+RUNTIME_IMPORTS = (SLOW_PATH_SYMBOL, TRANSLATE_SYMBOL, CALL_XLATE_SYMBOL)
+
+
+class UnsupportedInstruction(Exception):
+    """The rewriter cannot soundly transform this instruction."""
+
+    pass
+
+
+@dataclass
+class RewriteStats:
+    """What the rewriter did — the §4.1 static numbers."""
+
+    input_instructions: int = 0
+    output_instructions: int = 0
+    memory_rewritten: int = 0
+    string_rewritten: int = 0
+    indirect_rewritten: int = 0
+    spills: int = 0
+    flag_saves: int = 0
+    #: §4.5.1: stack accesses proven safe statically (constant offset)
+    stack_verified: int = 0
+    #: §4.5.1: variable-offset stack accesses given runtime bounds checks
+    stack_checked: int = 0
+
+    @property
+    def memory_fraction(self) -> float:
+        """Fraction of input instructions that reference memory (the paper
+        measures ~25% for network drivers)."""
+        if self.input_instructions == 0:
+            return 0.0
+        return (self.memory_rewritten + self.string_rewritten
+                + self.indirect_rewritten) / self.input_instructions
+
+    @property
+    def expansion_factor(self) -> float:
+        if self.input_instructions == 0:
+            return 1.0
+        return self.output_instructions / self.input_instructions
+
+
+def _flags_liveness(program: Program) -> List[bool]:
+    """Per-instruction: are the condition codes live *across* it?"""
+    cfg = ControlFlowGraph(program)
+    n = len(program.instructions)
+    block_in: Dict[int, bool] = {s: False for s in cfg.blocks}
+    changed = True
+    while changed:
+        changed = False
+        for start in sorted(cfg.blocks, reverse=True):
+            block = cfg.blocks[start]
+            live = any(block_in.get(s, False) for s in block.successors)
+            for i in reversed(range(block.start, block.end)):
+                ins = program.instructions[i]
+                live = ins.reads_flags or (live and not ins.writes_flags)
+            if live != block_in[start]:
+                block_in[start] = live
+                changed = True
+    live_across = [False] * n
+    for start, block in cfg.blocks.items():
+        live = any(block_in.get(s, False) for s in block.successors)
+        for i in reversed(range(block.start, block.end)):
+            ins = program.instructions[i]
+            live_across[i] = live and not ins.writes_flags
+            live = ins.reads_flags or (live and not ins.writes_flags)
+    return live_across
+
+
+class Rewriter:
+    """The assembler-level rewriting tool: SVM, strings, indirect calls."""
+
+    def __init__(self, protect_stack: bool = False,
+                 stlb_entries: int = 4096):
+        """``protect_stack`` enables the §4.5.1 extension: variable-offset
+        stack-relative accesses get runtime bounds checks against the
+        driver-stack window (constant offsets are statically verified).
+        ``stlb_entries`` sizes the hash table the emitted fast path
+        indexes (power of two; the paper's table has 4096 entries)."""
+        if stlb_entries & (stlb_entries - 1):
+            raise ValueError("stlb_entries must be a power of two")
+        self.protect_stack = protect_stack
+        self.stlb_entries = stlb_entries
+        self._counter = 0
+
+    # ------------------------------------------------------------------ utils
+
+    def _fresh(self, tag: str) -> str:
+        self._counter += 1
+        return f".Lsvm{self._counter}_{tag}"
+
+    @staticmethod
+    def _uses_registers(ins: Instruction) -> set:
+        used = set(ins.registers_read()) | set(ins.registers_written())
+        mem = ins.memory_operand()
+        if mem is not None:
+            used.update(mem.registers())
+        # call clobber set is not a real "use"
+        if ins.is_call:
+            used -= {"eax", "ecx", "edx"} - set(
+                op.parent for op in ins.operands if isinstance(op, Reg)
+            )
+        return used
+
+    def _scratch(self, liveness: LivenessAnalysis, index: int,
+                 ins: Instruction, k: int,
+                 stats: RewriteStats) -> Tuple[List[str], List[Instruction],
+                                               List[Instruction]]:
+        """Pick ``k`` scratch registers; spill victims when too few are
+        dead. Returns (registers, save-instrs, restore-instrs)."""
+        free = list(liveness.free_registers_at(index))
+        used = self._uses_registers(ins)
+        free = [r for r in free if r not in used]
+        regs = free[:k]
+        saves: List[Instruction] = []
+        restores: List[Instruction] = []
+        if len(regs) < k:
+            victims = [r for r in ALLOCATABLE
+                       if r not in used and r not in regs]
+            needed = k - len(regs)
+            if needed > len(victims) or needed > N_SPILL_SLOTS:
+                raise UnsupportedInstruction(
+                    f"cannot find {k} scratch registers for "
+                    f"{ins.format()!r}"
+                )
+            for slot, victim in enumerate(victims[:needed]):
+                stats.spills += 1
+                spill = Mem(symbol=SPILL_SYMBOL.format(slot))
+                saves.append(Instruction("mov", (Reg(victim), spill)))
+                restores.append(Instruction("mov", (spill, Reg(victim))))
+                regs.append(victim)
+        return regs, saves, restores
+
+    # ------------------------------------------------------- SVM fast path
+
+    def _emit_svm_sequence(self, mem: Mem, r1: str, r2: str, r3: str,
+                           retry: str, slow: str) -> List[Instruction]:
+        """The paper's figure-4 sequence; ``retry`` labels its first
+        instruction, ``jne slow`` transfers to the slow-path block."""
+        stlb = Mem(symbol=STLB_SYMBOL, base=r1)
+        stlb4 = Mem(symbol=STLB_SYMBOL, disp=4, base=r1)
+        # index mask: low log2(entries) bits of the page number; the entry
+        # is 8 bytes, so the byte offset is (vaddr & mask) >> 9 for the
+        # paper's 4096-entry table (mask 0x00FFF000).
+        index_mask = (self.stlb_entries - 1) << 12
+        return [
+            Instruction("lea", (mem, Reg(r1))),                 # 1
+            Instruction("mov", (Reg(r1), Reg(r2))),             # 2
+            Instruction("and", (Imm(0xFFFFF000), Reg(r1))),     # 3
+            Instruction("mov", (Reg(r1), Reg(r3))),             # 4
+            Instruction("and", (Imm(index_mask), Reg(r1))),     # 5
+            Instruction("shr", (Imm(9), Reg(r1))),              # 6
+            Instruction("cmp", (stlb, Reg(r3))),                # 7
+            Instruction("jne", (Label(slow),)),                 # 8
+            Instruction("xor", (stlb4, Reg(r2))),               # 9
+        ]
+
+    def _slow_block(self, slow: str, retry: str, r2: str) -> List[Instruction]:
+        return [
+            Instruction("push", (Reg(r2),)),
+            Instruction("call", (Label(SLOW_PATH_SYMBOL),)),
+            Instruction("add", (Imm(4), Reg("esp"))),
+            Instruction("jmp", (Label(retry),)),
+        ]
+
+    def _rewrite_memory(self, ins: Instruction, index: int,
+                        liveness: LivenessAnalysis, flags_live: bool,
+                        out: "_Emitter", stats: RewriteStats):
+        mem = ins.memory_operand()
+        regs, saves, restores = self._scratch(liveness, index, ins, 3, stats)
+        r1, r2, r3 = regs
+        retry = self._fresh("retry")
+        slow = self._fresh("slow")
+        for save in saves:
+            out.emit(save)
+        if flags_live:
+            stats.flag_saves += 1
+            out.emit(Instruction("pushf", ()))
+        out.label(retry)
+        for seq in self._emit_svm_sequence(mem, r1, r2, r3, retry, slow):
+            out.emit(seq)
+        translated = Mem(base=r2)
+        new_ops = tuple(translated if op is mem else op
+                        for op in ins.operands)
+        out.emit(ins.replaced(operands=new_ops))
+        for restore in restores:
+            out.emit(restore)
+        if flags_live:
+            out.emit(Instruction("popf", ()))
+        out.tail_block(slow, self._slow_block(slow, retry, r2))
+        stats.memory_rewritten += 1
+
+    # ------------------------------------------------------- stack checks
+
+    def _rewrite_stack_checked(self, ins: Instruction, index: int,
+                               liveness: LivenessAnalysis, flags_live: bool,
+                               out: "_Emitter", stats: RewriteStats):
+        """§4.5.1: a stack access whose offset is computed at runtime — a
+        buffer-overflow candidate. Bounds-check the effective address
+        against the driver stack window; out-of-range aborts the driver."""
+        mem = ins.memory_operand()
+        regs, saves, restores = self._scratch(liveness, index, ins, 1, stats)
+        r1 = regs[0]
+        fault = self._fresh("sfault")
+        for save in saves:
+            out.emit(save)
+        if flags_live:
+            stats.flag_saves += 1
+            out.emit(Instruction("pushf", ()))
+        out.emit(Instruction("lea", (mem, Reg(r1))))
+        out.emit(Instruction("cmp", (Mem(symbol=STACK_LO_SYMBOL), Reg(r1))))
+        out.emit(Instruction("jb", (Label(fault),)))
+        out.emit(Instruction("cmp", (Mem(symbol=STACK_HI_SYMBOL), Reg(r1))))
+        out.emit(Instruction("jae", (Label(fault),)))
+        out.emit(ins)
+        for restore in restores:
+            out.emit(restore)
+        if flags_live:
+            out.emit(Instruction("popf", ()))
+        out.tail_block(fault, [
+            Instruction("call", (Label(STACK_FAULT_SYMBOL),)),
+        ])
+        stats.stack_checked += 1
+
+    # ------------------------------------------------------- indirect calls
+
+    def _rewrite_indirect(self, ins: Instruction, index: int,
+                          liveness: LivenessAnalysis, flags_live: bool,
+                          out: "_Emitter", stats: RewriteStats):
+        target = ins.operands[0]
+        ret_slot = Mem(symbol=RET_SLOT_SYMBOL)
+        if isinstance(target, Mem) and not target.is_stack_relative:
+            # Load the function pointer through SVM first.
+            regs, saves, restores = self._scratch(
+                liveness, index, ins, 3, stats
+            )
+            r1, r2, r3 = regs
+            retry = self._fresh("retry")
+            slow = self._fresh("slow")
+            for save in saves:
+                out.emit(save)
+            out.label(retry)
+            for seq in self._emit_svm_sequence(target, r1, r2, r3, retry, slow):
+                out.emit(seq)
+            out.emit(Instruction("push", (Mem(base=r2),)))
+            for restore in restores:
+                out.emit(restore)
+            out.tail_block(slow, self._slow_block(slow, retry, r2))
+        else:
+            # register target (or stack-relative pointer): push it directly
+            out.emit(Instruction("push", (target,)))
+        out.emit(Instruction("call", (Label(CALL_XLATE_SYMBOL),)))
+        out.emit(Instruction("add", (Imm(4), Reg("esp"))))
+        out.emit(ins.replaced(operands=(ret_slot,), indirect=True))
+        stats.indirect_rewritten += 1
+
+    # ------------------------------------------------------- string ops
+
+    def _rewrite_string(self, ins: Instruction, index: int,
+                        liveness: LivenessAnalysis, flags_live: bool,
+                        out: "_Emitter", stats: RewriteStats):
+        stats.string_rewritten += 1
+        uses_esi = ins.mnemonic in ("movs", "lods", "cmps")
+        uses_edi = ins.mnemonic in ("movs", "stos", "cmps", "scas")
+        size = ins.size
+        shift = {1: 0, 2: 1, 4: 2}[size]
+        sets_flags = ins.mnemonic in ("cmps", "scas")
+
+        if ins.prefix is None:
+            self._rewrite_string_single(ins, index, liveness, flags_live,
+                                        out, stats, uses_esi, uses_edi, size,
+                                        sets_flags)
+            return
+
+        regs, saves, restores = self._scratch(liveness, index, ins, 3, stats)
+        r1, r2, r3 = regs
+        top = self._fresh("top")
+        done = self._fresh("done")
+        done_pop = self._fresh("donep")
+
+        wrap_flags = flags_live and not sets_flags
+        for save in saves:
+            out.emit(save)
+        if wrap_flags:
+            stats.flag_saves += 1
+            out.emit(Instruction("pushf", ()))
+
+        out.label(top)
+        out.emit(Instruction("test", (Reg("ecx"), Reg("ecx"))))
+        out.emit(Instruction("je", (Label(done),)))
+        # r1 = min bytes-to-page-end over used pointers (default: full page)
+        out.emit(Instruction("mov", (Imm(0x1000), Reg(r1))))
+        for used, pointer in ((uses_esi, "esi"), (uses_edi, "edi")):
+            if not used:
+                continue
+            skip = self._fresh("pg")
+            out.emit(Instruction("mov", (Reg(pointer), Reg(r2))))
+            out.emit(Instruction("neg", (Reg(r2),)))
+            out.emit(Instruction("and", (Imm(0xFFF), Reg(r2))))
+            out.emit(Instruction("je", (Label(skip),)))      # aligned: full pg
+            out.emit(Instruction("cmp", (Reg(r2), Reg(r1))))
+            out.emit(Instruction("jbe", (Label(skip),)))
+            out.emit(Instruction("mov", (Reg(r2), Reg(r1))))
+            out.label(skip)
+        if shift:
+            out.emit(Instruction("shr", (Imm(shift), Reg(r1))))
+        # zero-element chunk (pointer within `size` of the page end):
+        # process one straddling element — pair-mapping makes it safe.
+        nonzero = self._fresh("nz")
+        out.emit(Instruction("test", (Reg(r1), Reg(r1))))
+        out.emit(Instruction("jne", (Label(nonzero),)))
+        out.emit(Instruction("mov", (Imm(1), Reg(r1))))
+        out.label(nonzero)
+        clamp = self._fresh("clamp")
+        out.emit(Instruction("cmp", (Reg("ecx"), Reg(r1))))
+        out.emit(Instruction("jbe", (Label(clamp),)))
+        out.emit(Instruction("mov", (Reg("ecx"), Reg(r1))))
+        out.label(clamp)
+        # translate the pointers for this chunk
+        if uses_esi:
+            self._emit_translate(out, "esi", r2)
+        if uses_edi:
+            self._emit_translate(out, "edi", r3)
+        # swap in translated pointers and the chunk count
+        out.emit(Instruction("push", (Reg("ecx"),)))
+        if uses_esi:
+            out.emit(Instruction("push", (Reg("esi"),)))
+        if uses_edi:
+            out.emit(Instruction("push", (Reg("edi"),)))
+        if uses_esi:
+            out.emit(Instruction("mov", (Reg(r2), Reg("esi"))))
+        if uses_edi:
+            out.emit(Instruction("mov", (Reg(r3), Reg("edi"))))
+        out.emit(Instruction("mov", (Reg(r1), Reg("ecx"))))
+        out.emit(ins.replaced(line=0))
+        out.emit(Instruction("mov", (Reg("ecx"), Reg(r2))))   # remaining
+        # restore the originals first (mov/pop preserve the chunk's flags),
+        # THEN save the flags for the repe/repne decision
+        if uses_edi:
+            out.emit(Instruction("pop", (Reg("edi"),)))
+        if uses_esi:
+            out.emit(Instruction("pop", (Reg("esi"),)))
+        out.emit(Instruction("pop", (Reg("ecx"),)))
+        if sets_flags:
+            out.emit(Instruction("pushf", ()))                # chunk flags
+        # consumed = chunk - remaining; advance originals
+        out.emit(Instruction("sub", (Reg(r2), Reg(r1))))
+        out.emit(Instruction("mov", (Reg(r1), Reg(r3))))
+        if shift:
+            out.emit(Instruction("shl", (Imm(shift), Reg(r3))))
+        if uses_esi:
+            out.emit(Instruction("add", (Reg(r3), Reg("esi"))))
+        if uses_edi:
+            out.emit(Instruction("add", (Reg(r3), Reg("edi"))))
+        out.emit(Instruction("sub", (Reg(r1), Reg("ecx"))))
+        if sets_flags:
+            # restore the chunk-final compare flags, then decide
+            out.emit(Instruction("popf", ()))
+            if ins.prefix == "repe":
+                out.emit(Instruction("jne", (Label(done),)))
+            elif ins.prefix == "repne":
+                out.emit(Instruction("je", (Label(done),)))
+            # exhausted? preserve compare flags across the test
+            out.emit(Instruction("pushf", ()))
+            out.emit(Instruction("test", (Reg("ecx"), Reg("ecx"))))
+            out.emit(Instruction("je", (Label(done_pop),)))
+            out.emit(Instruction("popf", ()))
+            out.emit(Instruction("jmp", (Label(top),)))
+            out.label(done_pop)
+            out.emit(Instruction("popf", ()))
+        else:
+            out.emit(Instruction("jmp", (Label(top),)))
+        out.label(done)
+        if wrap_flags:
+            out.emit(Instruction("popf", ()))
+        for restore in restores:
+            out.emit(restore)
+
+    def _rewrite_string_single(self, ins, index, liveness, flags_live,
+                               out, stats, uses_esi, uses_edi, size,
+                               sets_flags):
+        """Unprefixed string op: translate, run one element, re-advance the
+        original pointers (the op advanced the translated copies)."""
+        regs, saves, restores = self._scratch(liveness, index, ins, 2, stats)
+        r1, r2 = regs
+        wrap_flags = flags_live and not sets_flags
+        for save in saves:
+            out.emit(save)
+        if wrap_flags:
+            stats.flag_saves += 1
+            out.emit(Instruction("pushf", ()))
+        if uses_esi:
+            self._emit_translate(out, "esi", r1)
+        if uses_edi:
+            self._emit_translate(out, "edi", r2)
+        if uses_esi:
+            out.emit(Instruction("push", (Reg("esi"),)))
+            out.emit(Instruction("mov", (Reg(r1), Reg("esi"))))
+        if uses_edi:
+            out.emit(Instruction("push", (Reg("edi"),)))
+            out.emit(Instruction("mov", (Reg(r2), Reg("edi"))))
+        out.emit(ins.replaced(line=0))
+        if uses_edi:
+            out.emit(Instruction("pop", (Reg("edi"),)))
+        if uses_esi:
+            out.emit(Instruction("pop", (Reg("esi"),)))
+        if sets_flags:
+            out.emit(Instruction("pushf", ()))
+        if uses_esi:
+            out.emit(Instruction("add", (Imm(size), Reg("esi"))))
+        if uses_edi:
+            out.emit(Instruction("add", (Imm(size), Reg("edi"))))
+        if sets_flags:
+            out.emit(Instruction("popf", ()))
+        if wrap_flags:
+            out.emit(Instruction("popf", ()))
+        for restore in restores:
+            out.emit(restore)
+
+    def _emit_translate(self, out: "_Emitter", pointer: str, dest: str):
+        """Translate ``pointer`` through the stlb into ``dest`` via the
+        register-preserving helper (result via the ``__svm_ret`` slot)."""
+        out.emit(Instruction("push", (Reg(pointer),)))
+        out.emit(Instruction("call", (Label(TRANSLATE_SYMBOL),)))
+        out.emit(Instruction("add", (Imm(4), Reg("esp"))))
+        out.emit(Instruction("mov", (Mem(symbol=RET_SLOT_SYMBOL), Reg(dest))))
+
+    # ------------------------------------------------------- driver loop
+
+    def rewrite(self, program: Program) -> Tuple[Program, RewriteStats]:
+        for ins in program.instructions:
+            if ins.mnemonic == "std":
+                raise UnsupportedInstruction(
+                    "backward (std) string operations are not supported"
+                )
+        stats = RewriteStats(input_instructions=len(program.instructions))
+        liveness = LivenessAnalysis(program)
+        flags_live = _flags_liveness(program)
+        out = _Emitter()
+
+        label_positions: Dict[int, List[str]] = {}
+        for label, idx in program.labels.items():
+            label_positions.setdefault(idx, []).append(label)
+
+        for index, ins in enumerate(program.instructions):
+            for label in label_positions.get(index, ()):
+                out.label(label)
+            mem = ins.memory_operand()
+            if ins.is_string:
+                self._rewrite_string(ins, index, liveness,
+                                     flags_live[index], out, stats)
+            elif ins.indirect:
+                self._rewrite_indirect(ins, index, liveness,
+                                       flags_live[index], out, stats)
+            elif (
+                mem is not None
+                and ins.mnemonic != "lea"
+                and not mem.is_stack_relative
+            ):
+                self._rewrite_memory(ins, index, liveness,
+                                     flags_live[index], out, stats)
+            elif (
+                self.protect_stack
+                and mem is not None
+                and ins.mnemonic != "lea"
+                and mem.is_stack_relative
+            ):
+                if mem.index is None:
+                    # constant offset from esp/ebp: statically verifiable
+                    stats.stack_verified += 1
+                    out.emit(ins)
+                else:
+                    self._rewrite_stack_checked(ins, index, liveness,
+                                                flags_live[index], out,
+                                                stats)
+            else:
+                out.emit(ins)
+        for label in label_positions.get(len(program.instructions), ()):
+            out.label(label)
+        out.flush_tails()
+
+        rewritten = Program(
+            instructions=out.instructions,
+            labels=out.labels,
+            globals_=program.globals_,
+            comm=dict(program.comm),
+            name=f"{program.name}.twin",
+        )
+        stats.output_instructions = len(rewritten.instructions)
+        return rewritten, stats
+
+
+class _Emitter:
+    """Accumulates the output instruction stream, labels, and the slow-path
+    blocks that are appended after the main body (so the fast path is
+    fall-through, like the paper's figure 4)."""
+
+    def __init__(self):
+        self.instructions: List[Instruction] = []
+        self.labels: Dict[str, int] = {}
+        self._tails: List[Tuple[str, List[Instruction]]] = []
+
+    def emit(self, ins: Instruction):
+        self.instructions.append(ins)
+
+    def label(self, name: str):
+        if name in self.labels:
+            raise ValueError(f"duplicate label {name!r}")
+        self.labels[name] = len(self.instructions)
+
+    def tail_block(self, label: str, instructions: List[Instruction]):
+        self._tails.append((label, instructions))
+
+    def flush_tails(self):
+        for label, block in self._tails:
+            self.label(label)
+            for ins in block:
+                self.emit(ins)
+        self._tails = []
+
+
+def rewrite_driver(program: Program,
+                   protect_stack: bool = False,
+                   stlb_entries: int = 4096
+                   ) -> Tuple[Program, RewriteStats]:
+    """Convenience: rewrite ``program`` with a fresh :class:`Rewriter`."""
+    return Rewriter(protect_stack=protect_stack,
+                    stlb_entries=stlb_entries).rewrite(program)

@@ -1,0 +1,272 @@
+"""Software Virtual Memory (paper §4.1): the stlb and its slow path.
+
+The stlb is a 4096-entry hash table *in simulated memory*: the rewritten
+driver's 10-instruction fast path (emitted by :mod:`~repro.core.rewriter`)
+indexes it with real loads, compares the tag, and XORs the mapped entry
+into the address. This module owns:
+
+* the table memory and the Python-side hash chains (the slow path walks
+  chains on collision, exactly as §4.1 describes);
+* the miss handler ``__svm_slow_path``: permission check (the page must
+  belong to dom0's address space), allocation of **two consecutive**
+  hypervisor virtual pages (unaligned accesses may straddle a page), page
+  mapping, and table fill;
+* protection: any access outside dom0's address space raises
+  :class:`SvmProtectionFault` — "the driver is aborted";
+* the identity mode used when the same rewritten binary runs as the VM
+  instance inside dom0 (§5.1.2: identity mappings, "runs a little slower").
+
+Entry layout (8 bytes): ``[tag | xormap]`` where ``tag`` is the dom0 page
+address and ``xormap = dom0_page ^ mapped_page``, so the fast path
+computes ``translated = address ^ xormap``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..machine.machine import Machine
+from ..machine.memory import PAGE_SIZE
+from ..machine.paging import AddressSpace, HYPERVISOR_BASE, PageFault, PageTable
+
+STLB_ENTRIES = 4096
+STLB_ENTRY_SIZE = 8
+STLB_BYTES = STLB_ENTRIES * STLB_ENTRY_SIZE       # 32 KiB, maps 16 MiB
+PAGE_ADDR_MASK = 0xFFFFF000
+INDEX_MASK = 0x00FFF000
+
+
+class SvmProtectionFault(Exception):
+    """The driver touched memory outside dom0's address space."""
+
+    def __init__(self, vaddr: int, why: str = "outside dom0 address space"):
+        super().__init__(
+            f"SVM protection fault: driver access to {vaddr:#010x} ({why})"
+        )
+        self.vaddr = vaddr
+
+
+class StackProtectionFault(SvmProtectionFault):
+    """§4.5.1 extension: a variable-offset stack access fell outside the
+    driver-stack window (a buffer overflow / stack smash)."""
+
+    def __init__(self, esp: int):
+        super().__init__(esp, "stack access outside the driver stack")
+
+
+def stlb_index(vaddr: int, entries: int = STLB_ENTRIES) -> int:
+    """Hash: the low bits of the page number (paper fig. 4 lines 5-6;
+    12 bits for the paper's 4096-entry table)."""
+    return (vaddr >> 12) & (entries - 1)
+
+
+class SvmManager:
+    """One stlb instance: either the hypervisor's or dom0's identity one."""
+
+    def __init__(self, machine: Machine, table_addr: int,
+                 protected_space: AddressSpace,
+                 identity: bool = False,
+                 map_base: int = 0,
+                 name: str = "svm",
+                 entries: int = STLB_ENTRIES):
+        """``protected_space`` is the address space the driver is allowed
+        to touch (dom0). In identity mode no mappings are created and the
+        xormap is always zero; otherwise dom0 pages are mapped pairwise at
+        ``map_base`` upward in the shared hypervisor page table.
+        ``entries`` sizes the hash table (power of two; the paper uses
+        4096, mapping 16 MiB)."""
+        if entries & (entries - 1):
+            raise ValueError("stlb entries must be a power of two")
+        self.machine = machine
+        self.entries = entries
+        self.table_addr = table_addr
+        self.protected_space = protected_space
+        self.identity = identity
+        self.map_base = map_base
+        self.name = name
+        self._next_map = map_base
+        #: full chain: dom0 page address -> xormap (survives hash eviction)
+        self.chains: Dict[int, int] = {}
+        #: dom0 page -> hypervisor page actually mapped (non-identity)
+        self.mappings: Dict[int, int] = {}
+        self.misses = 0
+        self.collisions = 0
+        self.evictions = 0
+        self.protection_faults = 0
+        self._table_space = AddressSpace(
+            f"{name}-table", machine.phys, machine.hypervisor_table
+        )
+        self._zero_table()
+
+    # -- table memory -------------------------------------------------------------
+
+    def _table_mem(self) -> AddressSpace:
+        # The table may live in dom0 space (identity instance) or in the
+        # hypervisor region; both are reachable through protected_space
+        # combined with the shared hypervisor table.
+        if self.table_addr >= HYPERVISOR_BASE:
+            return self._table_space
+        return self.protected_space
+
+    def _zero_table(self):
+        mem = self._table_mem()
+        nbytes = self.entries * STLB_ENTRY_SIZE
+        for off in range(0, nbytes, PAGE_SIZE):
+            mem.write_bytes(self.table_addr + off,
+                            b"\x00" * min(PAGE_SIZE, nbytes - off))
+
+    def _write_entry(self, index: int, tag: int, xormap: int):
+        mem = self._table_mem()
+        mem.write_u32(self.table_addr + index * STLB_ENTRY_SIZE, tag)
+        mem.write_u32(self.table_addr + index * STLB_ENTRY_SIZE + 4, xormap)
+
+    def read_entry(self, index: int) -> Tuple[int, int]:
+        mem = self._table_mem()
+        return (
+            mem.read_u32(self.table_addr + index * STLB_ENTRY_SIZE),
+            mem.read_u32(self.table_addr + index * STLB_ENTRY_SIZE + 4),
+        )
+
+    def flush(self):
+        """Invalidate every translation (mappings stay; chains refill)."""
+        self._zero_table()
+
+    # -- permission check -----------------------------------------------------------
+
+    def _check_permitted(self, page_addr: int):
+        if page_addr >= HYPERVISOR_BASE:
+            self.protection_faults += 1
+            raise SvmProtectionFault(page_addr, "hypervisor address")
+        try:
+            self.protected_space.translate(page_addr)
+        except PageFault:
+            self.protection_faults += 1
+            raise SvmProtectionFault(page_addr) from None
+
+    # -- miss handling -----------------------------------------------------------------
+
+    def handle_miss(self, vaddr: int):
+        """The ``__svm_slow_path`` body: chain lookup, permission check,
+        pairwise page mapping, table fill."""
+        self.misses += 1
+        page = vaddr & PAGE_ADDR_MASK
+        index = stlb_index(vaddr, self.entries)
+        if page in self.chains:
+            # Hash collision evicted this page earlier: refill from chain.
+            self.collisions += 1
+            self._write_entry(index, page, self.chains[page])
+            return
+        self._check_permitted(page)
+        tag, _ = self.read_entry(index)
+        if tag != 0 and tag != page:
+            self.evictions += 1
+        xormap = 0 if self.identity else self._map_pair(page)
+        self.chains[page] = xormap
+        self._write_entry(index, page, xormap)
+
+    def _map_pair(self, page: int) -> int:
+        """Map ``page`` and ``page + PAGE_SIZE`` of dom0 at two consecutive
+        hypervisor virtual pages (paper footnote 2: unaligned accesses may
+        straddle a page boundary)."""
+        hyp_page = self._next_map
+        self._next_map += 2 * PAGE_SIZE
+        table: PageTable = self.machine.hypervisor_table
+        frame0 = self.protected_space.translate(page) >> 12
+        table.map(hyp_page >> 12, frame0)
+        self.mappings[page] = hyp_page
+        neighbour = page + PAGE_SIZE
+        try:
+            frame1 = self.protected_space.translate(neighbour) >> 12
+        except PageFault:
+            frame1 = None
+        if frame1 is not None:
+            table.map((hyp_page >> 12) + 1, frame1)
+        return page ^ hyp_page
+
+    # -- translation API (used by hypervisor support routines, §4.3) ------------------
+
+    def translate(self, vaddr: int, ensure: bool = True) -> int:
+        """dom0 virtual address -> address usable from any guest context.
+
+        Hypervisor support routines "make use of the stlb translation
+        table explicitly"; this is that lookup (filling on miss when
+        ``ensure``)."""
+        page = vaddr & PAGE_ADDR_MASK
+        if page not in self.chains:
+            if not ensure:
+                raise KeyError(f"no SVM mapping for {vaddr:#010x}")
+            self.handle_miss(vaddr)
+        return vaddr ^ self.chains[page]
+
+    def lookup_fast(self, vaddr: int) -> Optional[int]:
+        """What the inline fast path would produce: None on table miss."""
+        index = stlb_index(vaddr, self.entries)
+        tag, xormap = self.read_entry(index)
+        if tag == 0 or tag != (vaddr & PAGE_ADDR_MASK):
+            return None
+        return vaddr ^ xormap
+
+
+class SvmView:
+    """Address-space-like accessor that reaches dom0 data through SVM.
+
+    This is what the hypervisor's fast-path support routines use to touch
+    sk_buffs, locks and rings: every access translates through the stlb
+    first, so the protection property holds for them too. The interface
+    mirrors :class:`~repro.machine.paging.AddressSpace`.
+    """
+
+    def __init__(self, svm: SvmManager):
+        self.svm = svm
+        self._hyp = AddressSpace(
+            f"{svm.name}-view", svm.machine.phys,
+            svm.machine.hypervisor_table,
+        )
+        # identity instances resolve through dom0's own page tables
+        self._backing = svm.protected_space if svm.identity else self._hyp
+
+    @property
+    def name(self) -> str:
+        return f"svm:{self.svm.name}"
+
+    def translate(self, vaddr: int, write: bool = False) -> int:
+        return self._backing.translate(self.svm.translate(vaddr), write)
+
+    def read(self, vaddr: int, size: int) -> int:
+        if (vaddr & 0xFFF) + size > PAGE_SIZE:
+            return int.from_bytes(self.read_bytes(vaddr, size), "little")
+        return self._backing.read(self.svm.translate(vaddr), size)
+
+    def write(self, vaddr: int, size: int, value: int):
+        if (vaddr & 0xFFF) + size > PAGE_SIZE:
+            self.write_bytes(
+                vaddr,
+                (value & ((1 << (size * 8)) - 1)).to_bytes(size, "little"),
+            )
+            return
+        self._backing.write(self.svm.translate(vaddr), size, value)
+
+    def read_u32(self, vaddr: int) -> int:
+        return self.read(vaddr, 4)
+
+    def write_u32(self, vaddr: int, value: int):
+        self.write(vaddr, 4, value)
+
+    def read_bytes(self, vaddr: int, n: int) -> bytes:
+        out = bytearray()
+        while n > 0:
+            chunk = min(n, PAGE_SIZE - (vaddr & 0xFFF))
+            out += self._backing.read_bytes(self.svm.translate(vaddr), chunk)
+            vaddr += chunk
+            n -= chunk
+        return bytes(out)
+
+    def write_bytes(self, vaddr: int, payload: bytes):
+        pos = 0
+        while pos < len(payload):
+            chunk = min(len(payload) - pos, PAGE_SIZE - (vaddr & 0xFFF))
+            self._backing.write_bytes(
+                self.svm.translate(vaddr), payload[pos: pos + chunk]
+            )
+            vaddr += chunk
+            pos += chunk

@@ -1,0 +1,316 @@
+"""TwinDrivers orchestration (paper §3, §5).
+
+:class:`TwinDriverManager` performs the whole twinning flow:
+
+1. assemble the VM driver and **rewrite** it (SVM instrumentation);
+2. set up the dom0 *identity* SVM runtime and load the rewritten binary
+   into dom0 as the **VM instance** (the same rewritten driver is used for
+   both instances — §5.1.2 — so code addresses differ by a constant);
+3. set up the hypervisor stlb, the hypervisor support routines (Table 1),
+   the upcall stubs for everything else, and load the **hypervisor
+   instance** at ``HYP_CODE_BASE``;
+4. route NIC interrupts to the hypervisor instance (softirq context,
+   honouring dom0's virtual interrupt flag — §4.4);
+5. implement the guest transmit path (header copy + guest-page fragment
+   chaining) and the receive path (MAC demux, copy into guest, virtual
+   interrupt) for :class:`~repro.core.paravirt.ParavirtNetDevice`.
+
+Management operations (probe, open, stats, ethtool, watchdog timers)
+keep running in the **VM instance** inside dom0 via :meth:`vm_call` and
+:meth:`run_vm_maintenance`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..drivers import DriverSpec, E1000_SPEC
+from ..machine.nic import E1000Device
+from ..machine.paging import AddressSpace
+from ..osmodel import layout as L
+from ..osmodel.kernel import Kernel
+from ..osmodel.netdev import NetDevice
+from ..osmodel.skbuff import SkBuff
+from ..xen.hypervisor import HYP_CODE_BASE, HYP_SVM_MAP_BASE, Hypervisor
+from .hypsupport import HYPERVISOR_FAST_PATH, HypervisorSupport
+from .loader import (
+    DriverAborted,
+    HypAllocator,
+    HypervisorLoader,
+    SvmRuntime,
+    allocate_runtime_symbols,
+)
+from .paravirt import ParavirtNetDevice
+from .rewriter import STLB_SYMBOL, rewrite_driver
+from .svm import SvmManager, SvmProtectionFault
+from .upcall import UpcallManager
+
+
+class TwinDriverManager:
+    """Orchestrates the whole twinning flow (paper §3/§5)."""
+
+    def __init__(self, xen: Hypervisor, dom0_kernel: Kernel,
+                 upcall_routines: Iterable[str] = (),
+                 pool_size: int = 256,
+                 program=None,
+                 protect_stack: bool = False,
+                 stlb_entries: int = 4096,
+                 driver: Optional[DriverSpec] = None):
+        """``upcall_routines``: fast-path routine names to serve via
+        upcalls instead of hypervisor implementations (figure 10).
+        ``protect_stack`` enables the §4.5.1 extension (bounds checks on
+        variable-offset stack accesses). ``stlb_entries`` sizes the stlb
+        hash table (the paper's is 4096 entries / 16 MiB). ``driver``
+        selects which driver to twin (default: the e1000 spec)."""
+        self.xen = xen
+        self.machine = xen.machine
+        self.dom0_kernel = dom0_kernel
+        self.upcall_routines = frozenset(upcall_routines)
+        unknown = self.upcall_routines - frozenset(HYPERVISOR_FAST_PATH)
+        if unknown:
+            raise ValueError(f"not fast-path routines: {sorted(unknown)}")
+
+        # 1. assemble + rewrite
+        self.driver_spec = driver or E1000_SPEC
+        self.program = (program if program is not None
+                        else self.driver_spec.build_program())
+        self.rewritten, self.rewrite_stats = rewrite_driver(
+            self.program, protect_stack=protect_stack,
+            stlb_entries=stlb_entries)
+
+        # 2. dom0 identity runtime + VM instance
+        dom0_syms = allocate_runtime_symbols(dom0_kernel.alloc_module_data)
+        self.identity_svm = SvmManager(
+            self.machine, dom0_syms[STLB_SYMBOL],
+            dom0_kernel.domain.aspace, identity=True, name="dom0-stlb",
+            entries=stlb_entries,
+        )
+        self.dom0_runtime = SvmRuntime(
+            self.machine, "dom0", self.identity_svm, dom0_syms,
+            translate_code=self._identity_translate_code,
+            data_space=dom0_kernel.domain.aspace,
+        )
+        from ..osmodel import layout as _L
+        self.dom0_runtime.set_stack_bounds(_L.KERNEL_STACK_BASE,
+                                           _L.KERNEL_STACK_TOP)
+        self.vm_module = dom0_kernel.load_driver(
+            self.rewritten,
+            extra_symbols=dom0_syms,
+            extra_imports=self.dom0_runtime.imports,
+        )
+
+        # 3. hypervisor side
+        self.hyp_alloc = HypAllocator(self.machine)
+        hyp_syms = allocate_runtime_symbols(self.hyp_alloc.alloc)
+        self.svm = SvmManager(
+            self.machine, hyp_syms[STLB_SYMBOL],
+            dom0_kernel.domain.aspace, identity=False,
+            map_base=HYP_SVM_MAP_BASE, name="hyp-stlb",
+            entries=stlb_entries,
+        )
+        hyp_data_space = AddressSpace(
+            "hyp-data", self.machine.phys, self.machine.hypervisor_table
+        )
+        self.hyp_runtime = SvmRuntime(
+            self.machine, "hyp", self.svm, hyp_syms,
+            translate_code=None,  # installed by the loader
+            data_space=hyp_data_space,
+        )
+        self.upcalls = UpcallManager(xen, dom0_kernel)
+        self.hyp_support = HypervisorSupport(
+            xen, dom0_kernel, self.svm, self, pool_size=pool_size
+        )
+        support_bindings = {
+            name: addr for name, addr in self.hyp_support.addresses.items()
+            if name not in self.upcall_routines
+        }
+        loader = HypervisorLoader(xen, HYP_CODE_BASE, self.hyp_alloc)
+        self.hyp_driver = loader.load(
+            self.rewritten, self.vm_module, self.hyp_runtime,
+            support_bindings, upcall_factory=self.upcalls.make_stub,
+        )
+
+        # guests & NICs
+        self.guest_devices: List[ParavirtNetDevice] = []
+        self.guests_by_mac: Dict[bytes, ParavirtNetDevice] = {}
+        self.netdevs: Dict[int, int] = {}        # irq -> dom0 netdev addr
+        self.netdev_order: List[int] = []
+        self._rx_queue: List[Tuple[ParavirtNetDevice, int]] = []
+        self.rx_dropped_no_guest = 0
+        self._deferred_irqs: List[int] = []
+
+    # ------------------------------------------------------------------ setup
+
+    def attach_nic(self, nic: E1000Device) -> int:
+        """Probe + open the NIC through the VM instance in dom0, then take
+        over its interrupt line for the hypervisor driver. Returns the
+        dom0 address of the net_device."""
+        kernel = self.dom0_kernel
+        ndev = kernel.create_netdev_for_nic(nic)
+        kernel.domain.aspace.write_u32(ndev.addr + L.NDEV_MEM,
+                                       nic.mmio.start)
+        self.vm_call(self.driver_spec.probe_symbol, [ndev.addr])
+        self.vm_call(self.driver_spec.open_symbol, [ndev.addr])
+        self.xen.register_irq_handler(nic.irq, self._handle_nic_irq)
+        self.netdevs[nic.irq] = ndev.addr
+        self.netdev_order.append(ndev.addr)
+        return ndev.addr
+
+    def register_guest_device(self, dev: ParavirtNetDevice):
+        self.guest_devices.append(dev)
+        self.guests_by_mac[dev.mac] = dev
+        if self.netdev_order:
+            index = (len(self.guest_devices) - 1) % len(self.netdev_order)
+            dev.netdev_addr = self.netdev_order[index]
+        else:
+            dev.netdev_addr = None
+
+    def bind_device(self, dev: ParavirtNetDevice, netdev_addr: int):
+        dev.netdev_addr = netdev_addr
+
+    # ------------------------------------------------------------ VM instance
+
+    def vm_call(self, symbol: str, args) -> int:
+        """Run a management routine in the VM instance (dom0 context)."""
+        previous = self.xen.current
+        self.xen.switch_to(self.dom0_kernel.domain)
+        try:
+            return self.dom0_kernel.call_driver(
+                self.vm_module.symbol(symbol), args
+            )
+        finally:
+            self.xen.switch_to(previous)
+
+    def run_vm_maintenance(self) -> int:
+        """Fire due dom0 timers (the VM instance's watchdog etc.)."""
+        previous = self.xen.current
+        self.xen.switch_to(self.dom0_kernel.domain)
+        try:
+            return self.dom0_kernel.run_due_timers()
+        finally:
+            self.xen.switch_to(previous)
+
+    def _identity_translate_code(self, addr: int) -> int:
+        vm = self.vm_module.loaded
+        if vm.base <= addr < vm.end:
+            return addr
+        if self.machine.natives.is_native(addr):
+            return addr
+        raise SvmProtectionFault(addr, "indirect call outside the driver")
+
+    # -------------------------------------------------------------- interrupts
+
+    def _handle_nic_irq(self, irq: int):
+        """NIC interrupt: §4.4 — run the driver handler in a schedulable
+        softirq context, honouring dom0's virtual interrupt flag. If a
+        driver invocation is in flight the softirq is deferred until it
+        completes (a nested invocation would re-enter the per-CPU SVM
+        spill slots)."""
+        self.xen.raise_softirq(lambda: self._run_interrupt(irq))
+        if self.xen.driver_depth == 0:
+            self.xen.run_softirqs()
+
+    def _run_interrupt(self, irq: int):
+        if not self.dom0_kernel.domain.virq_enabled:
+            # dom0 masked driver interrupts (it may hold a shared lock):
+            # defer until the flag is re-enabled.
+            self._deferred_irqs.append(irq)
+            return
+        entry_vm, arg = self.dom0_kernel.irq_handlers[irq]
+        entry = self.hyp_driver.entry_for_vm_address(entry_vm)
+        self.hyp_driver.invoke(entry, [irq, arg], upcalls=self.upcalls)
+        self.flush_rx()
+
+    def retry_deferred_interrupts(self):
+        pending, self._deferred_irqs = self._deferred_irqs, []
+        for irq in pending:
+            self._run_interrupt(irq)
+
+    # ----------------------------------------------------------------- transmit
+
+    def guest_transmit(self, dev: ParavirtNetDevice, buf: int,
+                       frame_len: int) -> bool:
+        """The hypervisor half of the paravirtual transmit path."""
+        if dev.netdev_addr is None:
+            raise RuntimeError("guest device not bound to a NIC")
+        costs = self.xen.costs
+        if self.driver_spec.scatter_gather:
+            header, frags = dev.guest_frame_fragments(buf, frame_len)
+        else:
+            # the driver cannot do scatter/gather: hand it a linear skb
+            # (the whole frame is copied, like NETIF_F_SG-less devices)
+            header = dev.kernel.domain.aspace.read_bytes(buf, frame_len)
+            frags = []
+
+        skb_addr = self.hyp_support.netdev_alloc_skb(dev.netdev_addr,
+                                                     frame_len)
+        self._charge_support("netdev_alloc_skb")
+        if skb_addr == 0:
+            return False
+        skb = SkBuff(self.hyp_support.view, skb_addr)
+        # copy the header (or, without SG, the whole frame) into the skb
+        skb.put(len(header))
+        self.hyp_support.view.write_bytes(skb.data, header)
+        self.xen.charge_xen(costs.copy_cost(len(header)))
+        # ... and chain the rest of the guest packet as page fragments
+        for page, off, size in frags:
+            skb.add_frag(page, off, size)
+            self.xen.charge_xen(costs.frag_chain)
+
+        xmit_vm = NetDevice(self.dom0_kernel.domain.aspace,
+                            dev.netdev_addr).hard_start_xmit
+        entry = self.hyp_driver.entry_for_vm_address(xmit_vm)
+        result = self.hyp_driver.invoke(entry, [skb_addr, dev.netdev_addr],
+                                        upcalls=self.upcalls)
+        if result != 0:
+            self.hyp_support.dev_kfree_skb_any(skb_addr)
+            self._charge_support("dev_kfree_skb_any")
+            return False
+        return True
+
+    # ------------------------------------------------------------------ receive
+
+    def hypervisor_netif_rx(self, skb_addr: int):
+        """The hypervisor's netif_rx: demultiplex on destination MAC and
+        queue for the owning guest (paper §5.3)."""
+        costs = self.xen.costs
+        self.xen.charge_xen(costs.twin_rx_demux)
+        skb = SkBuff(self.hyp_support.view, skb_addr)
+        # eth_type_trans already pulled the header: MAC is at data - 14.
+        dst_mac = self.hyp_support.view.read_bytes(skb.data - L.ETH_HLEN,
+                                                   L.ETH_ALEN)
+        guest = self.guests_by_mac.get(dst_mac)
+        if guest is None and self.guest_devices:
+            guest = self.guest_devices[0]
+        if guest is None:
+            self.rx_dropped_no_guest += 1
+            self.hyp_support.dev_kfree_skb_any(skb_addr)
+            self._charge_support("dev_kfree_skb_any")
+            return
+        self._rx_queue.append((guest, skb_addr))
+
+    def flush_rx(self):
+        """'When the guest domain is scheduled next, the hypervisor copies
+        the packets into guest domain buffers and raises a virtual
+        interrupt' (§5.3)."""
+        costs = self.xen.costs
+        queue, self._rx_queue = self._rx_queue, []
+        for guest, skb_addr in queue:
+            skb = SkBuff(self.hyp_support.view, skb_addr)
+            payload = self.hyp_support.view.read_bytes(skb.data, skb.len)
+            self.xen.charge_xen(costs.copy_cost(len(payload))
+                                + costs.twin_rx_copy_extra)
+            self.xen.charge_xen(costs.virq_delivery)
+            self.machine.account.charge("dom0", costs.twin_rx_dom0_share)
+            self.hyp_support.dev_kfree_skb_any(skb_addr)
+            self._charge_support("dev_kfree_skb_any")
+            guest.deliver(payload)
+
+    # ------------------------------------------------------------------- helpers
+
+    def _charge_support(self, name: str):
+        self.xen.charge_xen(self.xen.costs.support_cost(name))
+
+    @property
+    def aborted(self) -> bool:
+        return self.hyp_driver.aborted

@@ -1,0 +1,102 @@
+"""Upcalls: synchronous cross-address-space calls into dom0 (paper §4.2).
+
+Driver calls to support routines the hypervisor does not implement are
+bound to *stub* natives created here. A stub:
+
+1. saves the call parameters and switches to the upcall stack (modelled;
+   charged as part of the stub cost),
+2. performs a synchronous domain switch to dom0 and delivers a
+   synchronous virtual interrupt on the registered upcall port,
+3. the dom0 upcall handler re-creates the call environment (the heap is
+   shared — single data instance; the register/stack parameters are
+   identical because the stub leaves the hypervisor stack in place and
+   dom0 reads the parameters from it) and invokes the dom0 support
+   routine,
+4. the routine's return value travels back through a "return hypercall"
+   and another domain switch.
+
+The cycle cost is the mechanism costs (two domain switches, event
+delivery, return hypercall) plus a calibrated cache-pollution residual so
+one upcall per driver invocation costs ``UPCALL_ROUND_TRIP`` — which is
+what collapses throughput in figure 10.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..machine.cpu import Cpu, NativeRoutine
+from ..osmodel.kernel import Kernel
+from ..xen.hypervisor import HYP_UPCALL_STACK_BASE, Hypervisor
+
+
+class UpcallManager:
+    """Builds upcall stubs and runs the dom0 side of each upcall."""
+
+    def __init__(self, xen: Hypervisor, dom0_kernel: Kernel):
+        self.xen = xen
+        self.machine = xen.machine
+        self.dom0_kernel = dom0_kernel
+        self.upcalls = 0
+        self.calls_by_name: Dict[str, int] = {}
+        self._invocation_upcalled = False
+        #: dom0 registers a handler on this port to receive upcalls.
+        self._pending: Optional[tuple] = None
+        self._result: Optional[int] = None
+        self.port = dom0_kernel.domain.bind_event_channel(self._dom0_handler)
+        costs = xen.costs
+        mechanics = (
+            2 * costs.domain_switch
+            + costs.event_channel_send
+            + costs.virq_delivery
+            + costs.hypercall            # the 'return' hypercall
+        )
+        #: residual charged so stub + mechanics == UPCALL_ROUND_TRIP.
+        self.cache_residual = max(
+            0, costs.upcall_round_trip - mechanics - costs.upcall_stub
+        )
+
+    # -- per-invocation bookkeeping (figure 10 first-upcall extra) --------------
+
+    def new_invocation(self):
+        self._invocation_upcalled = False
+
+    # -- the dom0 side ------------------------------------------------------------
+
+    def _dom0_handler(self, port: int):
+        """Runs in dom0 context: recover parameters, invoke the routine,
+        save the return value for the 'return hypercall'."""
+        routine, cpu = self._pending
+        self._pending = None
+        result = routine.fn(cpu)
+        self._result = 0 if result is None else result
+
+    # -- stub factory ----------------------------------------------------------------
+
+    def make_stub(self, name: str, dom0_native_addr: int) -> int:
+        """Create the hypervisor stub for an unimplemented support routine
+        and return its native address."""
+        dom0_routine = self.machine.natives.by_addr[dom0_native_addr]
+        costs = self.xen.costs
+
+        def stub(cpu: Cpu):
+            self.upcalls += 1
+            self.calls_by_name[name] = self.calls_by_name.get(name, 0) + 1
+            # stub bookkeeping: save parameters, switch to the upcall stack
+            cpu.charge_raw(costs.upcall_stub, "Xen")
+            if not self._invocation_upcalled:
+                self._invocation_upcalled = True
+                cpu.charge_raw(costs.upcall_first_extra, "Xen")
+            cpu.charge_raw(self.cache_residual, "Xen")
+            # synchronous virtual interrupt into dom0 (switches domains,
+            # runs the handler under dom0 accounting, switches back)
+            self._pending = (dom0_routine, cpu)
+            self.xen.send_event(self.dom0_kernel.domain, self.port,
+                                synchronous=True)
+            # 'return' hypercall back into the hypervisor
+            self.xen.hypercall(f"upcall-return:{name}")
+            result = self._result
+            self._result = None
+            return result
+
+        return self.machine.register_native(f"upcall.{name}", stub)

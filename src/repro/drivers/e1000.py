@@ -1,0 +1,1009 @@
+"""An e1000-style gigabit NIC driver, written in the toy-ISA assembly.
+
+This plays the role of the Intel e1000 Linux driver the paper twins: it is
+a *binary* driver from the rewriter's point of view. The performance-
+critical routines (``e1000_xmit_frame``, ``e1000_intr`` and its clean
+helpers) call exactly the paper's Table-1 support routines; the
+configuration/management routines (probe, open, close, ethtool, watchdog,
+stats) call a much wider support surface, which is what makes the 10-vs-
+everything fast-path split measurable.
+
+Notable realism points:
+
+* the probe routine stores ``$e1000_xmit_frame`` into the net_device and
+  clean-routine pointers into the adapter — real function pointers that
+  the hypervisor instance later reaches through ``stlb_call`` translation;
+* the interrupt handler dispatches tx/rx cleaning through those adapter
+  function pointers (indirect calls on the fast path);
+* MAC copies use ``rep movsb`` and array init uses ``rep stosl`` (string
+  instructions the rewriter must chunk page-wise);
+* descriptor rings and skb bookkeeping live entirely in driver/kernel
+  data structures in dom0 memory, touched by plain loads and stores.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..isa import Program, assemble
+from ..machine import nic as hw
+from ..osmodel import layout as L
+
+#: Ring geometry (power of two so the driver can mask instead of divide).
+TX_RING_ENTRIES = 64
+RX_RING_ENTRIES = 64
+RING_BYTES = TX_RING_ENTRIES * hw.DESC_SIZE
+RX_BUFFER_LEN = 1536
+
+#: Descriptor flag (driver-private, ignored by hardware): buffer was mapped
+#: with dma_map_page and must be unmapped with dma_unmap_page.
+DESC_PAGE = 0x4
+
+DRIVER_CONSTANTS: Dict[str, int] = dict(L.ASM_CONSTANTS)
+DRIVER_CONSTANTS.update(
+    {
+        "REG_CTRL": hw.REG_CTRL,
+        "REG_STATUS": hw.REG_STATUS,
+        "REG_ICR": hw.REG_ICR,
+        "REG_IMS": hw.REG_IMS,
+        "REG_IMC": hw.REG_IMC,
+        "REG_RCTL": hw.REG_RCTL,
+        "REG_TCTL": hw.REG_TCTL,
+        "REG_RDBAL": hw.REG_RDBAL,
+        "REG_RDLEN": hw.REG_RDLEN,
+        "REG_RDH": hw.REG_RDH,
+        "REG_RDT": hw.REG_RDT,
+        "REG_TDBAL": hw.REG_TDBAL,
+        "REG_TDLEN": hw.REG_TDLEN,
+        "REG_TDH": hw.REG_TDH,
+        "REG_TDT": hw.REG_TDT,
+        "ICR_TXDW": hw.ICR_TXDW,
+        "ICR_LSC": hw.ICR_LSC,
+        "ICR_RXT0": hw.ICR_RXT0,
+        "TCTL_EN": hw.TCTL_EN,
+        "RCTL_EN": hw.RCTL_EN,
+        "DESC_ADDR": hw.DESC_ADDR,
+        "DESC_LEN": hw.DESC_LEN,
+        "DESC_FLAGS": hw.DESC_FLAGS,
+        "DESC_SIZE": hw.DESC_SIZE,
+        "DESC_DD": hw.DESC_DD,
+        "DESC_EOP": hw.DESC_EOP,
+        "DESC_PAGE": DESC_PAGE,
+        "TX_RING_ENTRIES": TX_RING_ENTRIES,
+        "TX_RING_MASK": TX_RING_ENTRIES - 1,
+        "RX_RING_ENTRIES": RX_RING_ENTRIES,
+        "RX_RING_MASK": RX_RING_ENTRIES - 1,
+        "RING_BYTES": RING_BYTES,
+        "RX_BUFFER_LEN": RX_BUFFER_LEN,
+        "IMS_ALL": hw.ICR_TXDW | hw.ICR_RXT0 | hw.ICR_LSC,
+        "DMA_TO_DEVICE": 1,
+        "DMA_FROM_DEVICE": 2,
+    }
+)
+
+E1000_ASM = r"""
+# ===========================================================================
+# Global driver data (BSS; allocated in dom0 module-data space by the
+# module loader, referenced by absolute symbols -> rewritten to SVM).
+# ===========================================================================
+.comm e1000_probe_count, 4
+.comm e1000_intr_count, 4
+.comm e1000_xmit_calls, 4
+.comm e1000_version, 4
+.comm e1000_tx_timeout_count, 4
+
+.globl e1000_probe
+.globl e1000_open
+.globl e1000_close
+.globl e1000_xmit_frame
+.globl e1000_intr
+.globl e1000_clean_tx
+.globl e1000_clean_rx
+.globl e1000_alloc_rx_buffers
+.globl e1000_watchdog
+.globl e1000_get_stats
+.globl e1000_set_mac
+.globl e1000_change_mtu
+.globl e1000_ethtool_get_link
+.globl e1000_tx_timeout
+
+# ===========================================================================
+# e1000_probe(netdev) -- device discovery & adapter initialisation.
+# The kernel pre-fills netdev.irq/mac/mtu/priv and puts the NIC's MMIO
+# *physical* base in NDEV_MEM; probe remaps it and takes over.
+# ===========================================================================
+e1000_probe:
+    pushl %ebp
+    movl %esp, %ebp
+    pushl %ebx
+    pushl %esi
+    pushl %edi
+    movl 8(%ebp), %ebx              # ebx = netdev
+
+    pushl $0
+    call pci_enable_device
+    addl $4, %esp
+    pushl $0
+    call pci_set_master
+    addl $4, %esp
+    pushl $0
+    pushl $0
+    call pci_request_regions
+    addl $8, %esp
+
+    movl NDEV_PRIV(%ebx), %esi      # esi = adapter
+    movl %ebx, ADP_NETDEV(%esi)
+
+    # map device registers
+    pushl $0x4000
+    pushl NDEV_MEM(%ebx)
+    call ioremap
+    addl $8, %esp
+    movl %eax, ADP_HW(%esi)
+    movl %eax, NDEV_MEM(%ebx)
+
+    # reset counters / lock
+    leal ADP_TX_LOCK(%esi), %eax
+    pushl %eax
+    call spin_lock_init
+    addl $4, %esp
+    movl $TX_RING_ENTRIES, ADP_TX_COUNT(%esi)
+    movl $RX_RING_ENTRIES, ADP_RX_COUNT(%esi)
+    movl $0, ADP_TX_NEXT(%esi)
+    movl $0, ADP_TX_CLEAN(%esi)
+    movl $0, ADP_RX_NEXT(%esi)
+    movl $0, ADP_RX_FILL(%esi)
+    movl $0, ADP_TXP(%esi)
+    movl $0, ADP_TXB(%esi)
+    movl $0, ADP_RXP(%esi)
+    movl $0, ADP_RXB(%esi)
+    movl $0, ADP_TX_HANG(%esi)
+
+    # descriptor rings (physically contiguous, bus address by reference --
+    # note the stack variable passed by reference to a support routine)
+    leal -4(%ebp), %eax
+    pushl %eax
+    pushl $RING_BYTES
+    call dma_alloc_coherent
+    addl $8, %esp
+    movl %eax, ADP_TX_RING(%esi)
+    movl -4(%ebp), %eax
+    movl %eax, ADP_TX_DMA(%esi)
+
+    leal -4(%ebp), %eax
+    pushl %eax
+    pushl $RING_BYTES
+    call dma_alloc_coherent
+    addl $8, %esp
+    movl %eax, ADP_RX_RING(%esi)
+    movl -4(%ebp), %eax
+    movl %eax, ADP_RX_DMA(%esi)
+
+    # skb bookkeeping arrays, zeroed with a string store
+    pushl $0
+    pushl $256
+    call kmalloc
+    addl $8, %esp
+    movl %eax, ADP_TX_SKBS(%esi)
+    movl %eax, %edi
+    xorl %eax, %eax
+    movl $64, %ecx
+    rep stosl
+
+    pushl $0
+    pushl $256
+    call kmalloc
+    addl $8, %esp
+    movl %eax, ADP_RX_SKBS(%esi)
+    movl %eax, %edi
+    xorl %eax, %eax
+    movl $64, %ecx
+    rep stosl
+
+    # shadow the MAC address (string copy, 6 bytes)
+    leal NDEV_MAC(%ebx), %eax
+    movl %eax, %ecx
+    leal ADP_MACSHADOW(%esi), %edi
+    movl %ecx, %eax
+    movl %eax, %ecx
+    pushl %esi
+    movl %eax, %esi
+    movl $ETH_ALEN, %ecx
+    rep movsb
+    popl %esi
+
+    # install entry points: the function pointers the kernel (and later
+    # the TwinDrivers hypervisor instance) calls through
+    movl $e1000_xmit_frame, NDEV_XMIT(%ebx)
+    movl $e1000_clean_rx, ADP_CLEAN_RX(%esi)
+    movl $e1000_clean_tx, ADP_CLEAN_TX(%esi)
+
+    # watchdog timer
+    pushl $0
+    pushl $TIMER_SIZE
+    call kmalloc
+    addl $8, %esp
+    movl %eax, ADP_WATCHDOG(%esi)
+    pushl %eax
+    call init_timer
+    addl $4, %esp
+    movl ADP_WATCHDOG(%esi), %eax
+    movl $e1000_watchdog, TIMER_FN(%eax)
+    movl %esi, TIMER_ARG(%eax)
+
+    pushl %ebx
+    call register_netdev
+    addl $4, %esp
+    pushl %ebx
+    call netif_carrier_off
+    addl $4, %esp
+
+    incl e1000_probe_count
+    movl $70018, e1000_version      # "7.0.18" as a number
+
+    xorl %eax, %eax
+    popl %edi
+    popl %esi
+    popl %ebx
+    movl %ebp, %esp
+    popl %ebp
+    ret
+
+# ===========================================================================
+# e1000_open(netdev) -- program the rings, enable tx/rx, hook the IRQ.
+# ===========================================================================
+e1000_open:
+    pushl %ebp
+    movl %esp, %ebp
+    pushl %ebx
+    pushl %esi
+    pushl %edi
+    movl 8(%ebp), %ebx              # netdev
+    movl NDEV_PRIV(%ebx), %esi      # adapter
+    movl ADP_HW(%esi), %edi         # register base
+
+    movl ADP_TX_DMA(%esi), %eax
+    movl %eax, REG_TDBAL(%edi)
+    movl $RING_BYTES, REG_TDLEN(%edi)
+    movl $0, REG_TDH(%edi)
+    movl $0, REG_TDT(%edi)
+
+    movl ADP_RX_DMA(%esi), %eax
+    movl %eax, REG_RDBAL(%edi)
+    movl $RING_BYTES, REG_RDLEN(%edi)
+    movl $0, REG_RDH(%edi)
+    movl $0, REG_RDT(%edi)
+
+    movl $RCTL_EN, REG_RCTL(%edi)
+    movl $TCTL_EN, REG_TCTL(%edi)
+
+    pushl %esi
+    call e1000_alloc_rx_buffers
+    addl $4, %esp
+
+    movl $IMS_ALL, REG_IMS(%edi)
+
+    pushl %ebx                      # arg for the handler
+    pushl $0                        # flags
+    pushl $e1000_intr
+    pushl NDEV_IRQ(%ebx)
+    call request_irq
+    addl $16, %esp
+
+    pushl %ebx
+    call netif_carrier_on
+    addl $4, %esp
+    pushl %ebx
+    call netif_start_queue
+    addl $4, %esp
+
+    movl ADP_WATCHDOG(%esi), %eax
+    pushl $2
+    pushl %eax
+    call mod_timer
+    addl $8, %esp
+
+    xorl %eax, %eax
+    popl %edi
+    popl %esi
+    popl %ebx
+    movl %ebp, %esp
+    popl %ebp
+    ret
+
+# ===========================================================================
+# e1000_alloc_rx_buffers(adapter) -- refill the rx ring with fresh skbs.
+# Fast-path helper (called from the interrupt path); uses only Table-1
+# support routines.
+# ===========================================================================
+e1000_alloc_rx_buffers:
+    pushl %ebp
+    movl %esp, %ebp
+    pushl %ebx
+    pushl %esi
+    pushl %edi
+    movl 8(%ebp), %esi              # adapter
+.rx_fill_loop:
+    movl ADP_RX_FILL(%esi), %edx    # fill index
+    leal 1(%edx), %ecx
+    andl $RX_RING_MASK, %ecx
+    cmpl ADP_RX_NEXT(%esi), %ecx    # ring full (one-slot gap)?
+    je .rx_fill_done
+
+    pushl %edx
+    pushl $RX_BUFFER_LEN
+    movl ADP_NETDEV(%esi), %eax
+    pushl %eax
+    call netdev_alloc_skb
+    addl $8, %esp
+    popl %edx
+    testl %eax, %eax
+    je .rx_fill_done
+    movl %eax, %ebx                 # skb
+
+    movl ADP_RX_SKBS(%esi), %ecx    # remember the skb for this slot
+    movl %ebx, (%ecx,%edx,4)
+
+    pushl %edx
+    pushl $DMA_FROM_DEVICE
+    pushl $RX_BUFFER_LEN
+    movl SKB_DATA(%ebx), %eax
+    pushl %eax
+    pushl $0
+    call dma_map_single
+    addl $16, %esp
+    popl %edx
+
+    movl ADP_RX_RING(%esi), %ecx    # descriptor for this slot
+    movl %edx, %edi
+    shll $4, %edi
+    addl %ecx, %edi
+    movl %eax, DESC_ADDR(%edi)
+    movl $0, DESC_LEN(%edi)
+    movl $0, DESC_FLAGS(%edi)
+
+    leal 1(%edx), %ecx
+    andl $RX_RING_MASK, %ecx
+    movl %ecx, ADP_RX_FILL(%esi)
+    movl ADP_HW(%esi), %eax
+    movl %ecx, REG_RDT(%eax)        # hand the slot to hardware
+    jmp .rx_fill_loop
+.rx_fill_done:
+    popl %edi
+    popl %esi
+    popl %ebx
+    movl %ebp, %esp
+    popl %ebp
+    ret
+
+# ===========================================================================
+# e1000_xmit_frame(skb, netdev) -- THE transmit fast path.
+# Returns 0 on success, 1 on ring-full (NETDEV_TX_BUSY).
+# ===========================================================================
+e1000_xmit_frame:
+    pushl %ebp
+    movl %esp, %ebp
+    pushl %ebx
+    pushl %esi
+    pushl %edi
+    movl 8(%ebp), %ebx              # skb
+    movl 12(%ebp), %edx             # netdev
+    movl NDEV_PRIV(%edx), %esi      # adapter
+
+    incl e1000_xmit_calls
+
+    leal ADP_TX_LOCK(%esi), %eax
+    pushl %eax
+    call spin_trylock
+    addl $4, %esp
+    testl %eax, %eax
+    je .xmit_busy_unlocked
+
+    # descriptors needed = 1 + nr_frags; free = (clean - next - 1) & mask
+    movl SKB_NR_FRAGS(%ebx), %ecx
+    incl %ecx
+    movl ADP_TX_CLEAN(%esi), %eax
+    subl ADP_TX_NEXT(%esi), %eax
+    decl %eax
+    andl $TX_RING_MASK, %eax
+    cmpl %ecx, %eax
+    jb .xmit_ring_full
+
+    # map the linear part
+    movl SKB_LEN(%ebx), %edi
+    movzwl SKB_DATA_LEN(%ebx), %eax
+    subl %eax, %edi                 # edi = linear length
+    pushl $DMA_TO_DEVICE
+    pushl %edi
+    movl SKB_DATA(%ebx), %eax
+    pushl %eax
+    pushl $0
+    call dma_map_single
+    addl $16, %esp
+
+    # descriptor for the linear part
+    movl ADP_TX_NEXT(%esi), %edx
+    movl ADP_TX_RING(%esi), %ecx
+    pushl %edx
+    shll $4, %edx
+    addl %ecx, %edx                 # edx = &desc
+    movl %eax, DESC_ADDR(%edx)
+    movl %edi, DESC_LEN(%edx)
+    movl SKB_NR_FRAGS(%ebx), %ecx
+    testl %ecx, %ecx
+    jne .xmit_linear_mid
+    movl $DESC_EOP, DESC_FLAGS(%edx)
+    jmp .xmit_linear_done
+.xmit_linear_mid:
+    movl $0, DESC_FLAGS(%edx)
+.xmit_linear_done:
+    popl %edx                       # edx = linear desc index again
+
+    # fragments
+    xorl %edi, %edi                 # frag index
+.xmit_frag_loop:
+    cmpl SKB_NR_FRAGS(%ebx), %edi
+    jae .xmit_frags_done
+    # frag address = skb + SKB_FRAGS + i*12
+    movl %edi, %eax
+    shll $2, %eax
+    leal (%eax,%edi,8), %eax        # i*4 + i*8 = i*12
+    leal SKB_FRAGS(%ebx,%eax,1), %ecx
+    pushl %edx
+    pushl $DMA_TO_DEVICE
+    movl SKB_FRAG_SIZE(%ecx), %eax
+    pushl %eax
+    movl SKB_FRAG_OFF(%ecx), %eax
+    pushl %eax
+    movl SKB_FRAG_PAGE(%ecx), %eax
+    pushl %eax
+    call dma_map_page
+    addl $16, %esp
+    popl %edx
+    # next descriptor index = (linear_index + 1 + frag_i) & mask
+    leal 1(%edx,%edi,1), %ecx
+    andl $TX_RING_MASK, %ecx
+    pushl %edx
+    movl ADP_TX_RING(%esi), %edx
+    shll $4, %ecx
+    addl %edx, %ecx                 # ecx = &frag desc
+    popl %edx
+    movl %eax, DESC_ADDR(%ecx)
+    # size again (recompute the frag pointer)
+    movl %edi, %eax
+    shll $2, %eax
+    pushl %edx
+    leal (%eax,%edi,8), %eax
+    leal SKB_FRAGS(%ebx,%eax,1), %edx
+    movl SKB_FRAG_SIZE(%edx), %eax
+    popl %edx
+    movl %eax, DESC_LEN(%ecx)
+    # last frag gets EOP; all frag descs carry the PAGE flag
+    leal 1(%edi), %eax
+    cmpl SKB_NR_FRAGS(%ebx), %eax
+    je .xmit_frag_last
+    movl $DESC_PAGE, DESC_FLAGS(%ecx)
+    jmp .xmit_frag_next
+.xmit_frag_last:
+    movl $DESC_PAGE+DESC_EOP, DESC_FLAGS(%ecx)
+.xmit_frag_next:
+    incl %edi
+    jmp .xmit_frag_loop
+.xmit_frags_done:
+
+    # remember the skb on its LAST descriptor (freed by clean_tx)
+    movl SKB_NR_FRAGS(%ebx), %ecx
+    addl %edx, %ecx
+    andl $TX_RING_MASK, %ecx
+    movl ADP_TX_SKBS(%esi), %eax
+    movl %ebx, (%eax,%ecx,4)
+
+    # advance next = (last + 1) & mask
+    incl %ecx
+    andl $TX_RING_MASK, %ecx
+    movl %ecx, ADP_TX_NEXT(%esi)
+
+    # stats (driver-private and netdev)
+    incl ADP_TXP(%esi)
+    movl SKB_LEN(%ebx), %eax
+    addl %eax, ADP_TXB(%esi)
+    movl 12(%ebp), %edx
+    incl NDEV_TX_PKTS(%edx)
+    addl %eax, NDEV_TX_BYTES(%edx)
+
+    # kick hardware
+    movl ADP_HW(%esi), %eax
+    movl ADP_TX_NEXT(%esi), %ecx
+    movl %ecx, REG_TDT(%eax)
+
+    # unlock and return success
+    pushl $1
+    leal ADP_TX_LOCK(%esi), %eax
+    pushl %eax
+    call spin_unlock_irqrestore
+    addl $8, %esp
+    xorl %eax, %eax
+    jmp .xmit_out
+
+.xmit_ring_full:
+    movl 12(%ebp), %edx
+    pushl %edx
+    call netif_stop_queue
+    addl $4, %esp
+    pushl $1
+    leal ADP_TX_LOCK(%esi), %eax
+    pushl %eax
+    call spin_unlock_irqrestore
+    addl $8, %esp
+.xmit_busy_unlocked:
+    movl $1, %eax
+.xmit_out:
+    popl %edi
+    popl %esi
+    popl %ebx
+    movl %ebp, %esp
+    popl %ebp
+    ret
+
+# ===========================================================================
+# e1000_intr(irq, netdev) -- interrupt service routine (fast path).
+# Dispatches to the clean routines through adapter function pointers.
+# ===========================================================================
+e1000_intr:
+    pushl %ebp
+    movl %esp, %ebp
+    pushl %ebx
+    pushl %esi
+    pushl %edi
+    movl 12(%ebp), %ebx             # netdev (handler arg)
+    movl NDEV_PRIV(%ebx), %esi      # adapter
+    movl ADP_HW(%esi), %eax
+    movl REG_ICR(%eax), %edi        # read-to-clear cause register
+    testl %edi, %edi
+    je .intr_out
+
+    incl e1000_intr_count
+
+    testl $ICR_TXDW, %edi
+    je .intr_no_tx
+    pushl %esi
+    call *ADP_CLEAN_TX(%esi)
+    addl $4, %esp
+.intr_no_tx:
+    testl $ICR_RXT0, %edi
+    je .intr_no_rx
+    pushl %esi
+    call *ADP_CLEAN_RX(%esi)
+    addl $4, %esp
+    pushl %esi
+    call e1000_alloc_rx_buffers
+    addl $4, %esp
+.intr_no_rx:
+    testl $ICR_LSC, %edi
+    je .intr_out
+    pushl %esi
+    call mii_check_link
+    addl $4, %esp
+    testl %eax, %eax
+    je .intr_link_down
+    pushl %ebx
+    call netif_carrier_on
+    addl $4, %esp
+    jmp .intr_out
+.intr_link_down:
+    pushl %ebx
+    call netif_carrier_off
+    addl $4, %esp
+.intr_out:
+    popl %edi
+    popl %esi
+    popl %ebx
+    movl %ebp, %esp
+    popl %ebp
+    ret
+
+# ===========================================================================
+# e1000_clean_tx(adapter) -- reclaim completed tx descriptors (fast path).
+# ===========================================================================
+e1000_clean_tx:
+    pushl %ebp
+    movl %esp, %ebp
+    pushl %ebx
+    pushl %esi
+    pushl %edi
+    movl 8(%ebp), %esi              # adapter
+.clean_tx_loop:
+    movl ADP_TX_CLEAN(%esi), %ebx
+    cmpl ADP_TX_NEXT(%esi), %ebx
+    je .clean_tx_done
+    movl ADP_TX_RING(%esi), %ecx
+    movl %ebx, %edi
+    shll $4, %edi
+    addl %ecx, %edi                 # edi = &desc
+    movl DESC_FLAGS(%edi), %eax
+    testl $DESC_DD, %eax
+    je .clean_tx_done
+
+    # unmap: page frags with dma_unmap_page, linear with dma_unmap_single
+    testl $DESC_PAGE, %eax
+    je .clean_tx_single
+    pushl $DMA_TO_DEVICE
+    movl DESC_LEN(%edi), %eax
+    pushl %eax
+    movl DESC_ADDR(%edi), %eax
+    pushl %eax
+    call dma_unmap_page
+    addl $12, %esp
+    jmp .clean_tx_free
+.clean_tx_single:
+    pushl $DMA_TO_DEVICE
+    movl DESC_LEN(%edi), %eax
+    pushl %eax
+    movl DESC_ADDR(%edi), %eax
+    pushl %eax
+    call dma_unmap_single
+    addl $12, %esp
+.clean_tx_free:
+    # free the skb recorded on this slot, if any
+    movl ADP_TX_SKBS(%esi), %ecx
+    movl (%ecx,%ebx,4), %eax
+    testl %eax, %eax
+    je .clean_tx_advance
+    movl $0, (%ecx,%ebx,4)
+    pushl %eax
+    call dev_kfree_skb_any
+    addl $4, %esp
+.clean_tx_advance:
+    movl $0, DESC_FLAGS(%edi)
+    leal 1(%ebx), %eax
+    andl $TX_RING_MASK, %eax
+    movl %eax, ADP_TX_CLEAN(%esi)
+    jmp .clean_tx_loop
+.clean_tx_done:
+    # wake the queue if it was stopped and there is room again
+    # (netif_queue_stopped is a static inline in Linux: test the bit here)
+    movl ADP_NETDEV(%esi), %ebx
+    movl NDEV_STATE(%ebx), %eax
+    testl $NDEV_STATE_QUEUE_STOPPED, %eax
+    je .clean_tx_out
+    movl ADP_TX_CLEAN(%esi), %eax
+    subl ADP_TX_NEXT(%esi), %eax
+    decl %eax
+    andl $TX_RING_MASK, %eax
+    cmpl $8, %eax
+    jb .clean_tx_out
+    pushl %ebx
+    call netif_wake_queue
+    addl $4, %esp
+.clean_tx_out:
+    popl %edi
+    popl %esi
+    popl %ebx
+    movl %ebp, %esp
+    popl %ebp
+    ret
+
+# ===========================================================================
+# e1000_clean_rx(adapter) -- receive completed frames (fast path).
+# ===========================================================================
+e1000_clean_rx:
+    pushl %ebp
+    movl %esp, %ebp
+    pushl %ebx
+    pushl %esi
+    pushl %edi
+    movl 8(%ebp), %esi              # adapter
+.clean_rx_loop:
+    movl ADP_RX_NEXT(%esi), %ebx
+    movl ADP_RX_RING(%esi), %ecx
+    movl %ebx, %edi
+    shll $4, %edi
+    addl %ecx, %edi                 # edi = &desc
+    movl DESC_FLAGS(%edi), %eax
+    testl $DESC_DD, %eax
+    je .clean_rx_done
+
+    pushl $DMA_FROM_DEVICE
+    pushl $RX_BUFFER_LEN
+    movl DESC_ADDR(%edi), %eax
+    pushl %eax
+    call dma_unmap_single
+    addl $12, %esp
+
+    movl ADP_RX_SKBS(%esi), %ecx
+    movl (%ecx,%ebx,4), %edx        # edx = skb
+    movl $0, (%ecx,%ebx,4)
+    testl %edx, %edx
+    je .clean_rx_advance
+
+    # inline skb_put(skb, desc.len): tail += len, len = len
+    movl DESC_LEN(%edi), %eax
+    addl %eax, SKB_TAIL(%edx)
+    movl %eax, SKB_LEN(%edx)
+
+    # stats
+    incl ADP_RXP(%esi)
+    addl %eax, ADP_RXB(%esi)
+
+    pushl %edx
+    movl ADP_NETDEV(%esi), %eax
+    pushl %eax
+    pushl %edx
+    call eth_type_trans
+    addl $8, %esp
+    popl %edx
+
+    pushl %edx
+    call netif_rx
+    addl $4, %esp
+
+.clean_rx_advance:
+    movl $0, DESC_FLAGS(%edi)
+    leal 1(%ebx), %eax
+    andl $RX_RING_MASK, %eax
+    movl %eax, ADP_RX_NEXT(%esi)
+    jmp .clean_rx_loop
+.clean_rx_done:
+    popl %edi
+    popl %esi
+    popl %ebx
+    movl %ebp, %esp
+    popl %ebp
+    ret
+
+# ===========================================================================
+# e1000_watchdog(adapter) -- periodic link & tx-hang check (timer context;
+# NOT on the fast path: uses the wide support surface).
+# ===========================================================================
+e1000_watchdog:
+    pushl %ebp
+    movl %esp, %ebp
+    pushl %ebx
+    pushl %esi
+    movl 8(%ebp), %esi              # adapter
+    movl ADP_NETDEV(%esi), %ebx
+
+    pushl %esi
+    call mii_check_link
+    addl $4, %esp
+    testl %eax, %eax
+    je .wd_link_down
+    movl $1, ADP_LINK(%esi)
+    pushl %ebx
+    call netif_carrier_on
+    addl $4, %esp
+    jmp .wd_hang_check
+.wd_link_down:
+    movl $0, ADP_LINK(%esi)
+    pushl %ebx
+    call netif_carrier_off
+    addl $4, %esp
+.wd_hang_check:
+    # tx hang: clean index unchanged since last run while work pending
+    movl ADP_TX_CLEAN(%esi), %eax
+    cmpl ADP_TX_NEXT(%esi), %eax
+    je .wd_no_hang
+    cmpl ADP_TX_HANG(%esi), %eax
+    jne .wd_no_hang
+    incl e1000_tx_timeout_count
+    pushl %ebx
+    call e1000_tx_timeout
+    addl $4, %esp
+.wd_no_hang:
+    movl ADP_TX_CLEAN(%esi), %eax
+    movl %eax, ADP_TX_HANG(%esi)
+
+    # re-arm
+    movl ADP_WATCHDOG(%esi), %eax
+    pushl $2
+    pushl %eax
+    call mod_timer
+    addl $8, %esp
+
+    popl %esi
+    popl %ebx
+    movl %ebp, %esp
+    popl %ebp
+    ret
+
+# e1000_tx_timeout(netdev) -- error path: restart the queue.
+e1000_tx_timeout:
+    pushl %ebp
+    movl %esp, %ebp
+    movl 8(%ebp), %eax
+    pushl %eax
+    call netif_wake_queue
+    addl $4, %esp
+    movl %ebp, %esp
+    popl %ebp
+    ret
+
+# ===========================================================================
+# e1000_get_stats(netdev) -- publish driver stats into the netdev struct;
+# returns a pointer to them (management path).
+# ===========================================================================
+e1000_get_stats:
+    pushl %ebp
+    movl %esp, %ebp
+    pushl %esi
+    movl 8(%ebp), %edx
+    movl NDEV_PRIV(%edx), %esi
+    movl ADP_TXP(%esi), %eax
+    movl %eax, NDEV_TX_PKTS(%edx)
+    movl ADP_TXB(%esi), %eax
+    movl %eax, NDEV_TX_BYTES(%edx)
+    movl ADP_RXP(%esi), %eax
+    movl %eax, NDEV_RX_PKTS(%edx)
+    movl ADP_RXB(%esi), %eax
+    movl %eax, NDEV_RX_BYTES(%edx)
+    leal NDEV_TX_PKTS(%edx), %eax
+    popl %esi
+    movl %ebp, %esp
+    popl %ebp
+    ret
+
+# ===========================================================================
+# e1000_set_mac(netdev, mac_ptr) -- ethtool-style management operation.
+# ===========================================================================
+e1000_set_mac:
+    pushl %ebp
+    movl %esp, %ebp
+    pushl %ebx
+    pushl %esi
+    pushl %edi
+    movl 8(%ebp), %ebx              # netdev
+    pushl $0
+    call capable
+    addl $4, %esp
+    testl %eax, %eax
+    je .set_mac_fail
+    movl 12(%ebp), %esi             # new mac
+    leal NDEV_MAC(%ebx), %edi
+    movl $ETH_ALEN, %ecx
+    rep movsb
+    # update the adapter shadow too
+    movl NDEV_PRIV(%ebx), %edx
+    movl 12(%ebp), %esi
+    leal ADP_MACSHADOW(%edx), %edi
+    movl $ETH_ALEN, %ecx
+    rep movsb
+    xorl %eax, %eax
+    jmp .set_mac_out
+.set_mac_fail:
+    movl $1, %eax
+.set_mac_out:
+    popl %edi
+    popl %esi
+    popl %ebx
+    movl %ebp, %esp
+    popl %ebp
+    ret
+
+# e1000_change_mtu(netdev, new_mtu) -- management path with validation.
+e1000_change_mtu:
+    pushl %ebp
+    movl %esp, %ebp
+    movl 8(%ebp), %edx
+    movl 12(%ebp), %eax
+    cmpl $68, %eax
+    jl .mtu_bad
+    cmpl $MTU, %eax
+    jg .mtu_bad
+    movl %eax, NDEV_MTU(%edx)
+    xorl %eax, %eax
+    jmp .mtu_out
+.mtu_bad:
+    movl $1, %eax
+.mtu_out:
+    movl %ebp, %esp
+    popl %ebp
+    ret
+
+# e1000_ethtool_get_link(netdev)
+e1000_ethtool_get_link:
+    pushl %ebp
+    movl %esp, %ebp
+    movl 8(%ebp), %eax
+    pushl %eax
+    call ethtool_op_get_link
+    addl $4, %esp
+    movl %ebp, %esp
+    popl %ebp
+    ret
+
+# ===========================================================================
+# e1000_close(netdev) -- tear everything down (management path).
+# ===========================================================================
+e1000_close:
+    pushl %ebp
+    movl %esp, %ebp
+    pushl %ebx
+    pushl %esi
+    pushl %edi
+    movl 8(%ebp), %ebx
+    movl NDEV_PRIV(%ebx), %esi
+    movl ADP_HW(%esi), %edi
+
+    pushl %ebx
+    call netif_stop_queue
+    addl $4, %esp
+    pushl %ebx
+    call netif_carrier_off
+    addl $4, %esp
+
+    movl $0, REG_TCTL(%edi)
+    movl $0, REG_RCTL(%edi)
+    movl $IMS_ALL, REG_IMC(%edi)
+
+    movl ADP_WATCHDOG(%esi), %eax
+    pushl %eax
+    call del_timer_sync
+    addl $4, %esp
+
+    pushl %ebx
+    movl NDEV_IRQ(%ebx), %eax
+    pushl %eax
+    call free_irq
+    addl $8, %esp
+
+    # drop any rx skbs still on the ring
+    xorl %ebx, %ebx
+.close_rx_loop:
+    cmpl $RX_RING_ENTRIES, %ebx
+    jae .close_rx_done
+    movl ADP_RX_SKBS(%esi), %ecx
+    movl (%ecx,%ebx,4), %eax
+    testl %eax, %eax
+    je .close_rx_next
+    movl $0, (%ecx,%ebx,4)
+    pushl %eax
+    call dev_kfree_skb_any
+    addl $4, %esp
+.close_rx_next:
+    incl %ebx
+    jmp .close_rx_loop
+.close_rx_done:
+
+    pushl $RING_BYTES
+    movl ADP_TX_RING(%esi), %eax
+    pushl %eax
+    call dma_free_coherent
+    addl $8, %esp
+    pushl $RING_BYTES
+    movl ADP_RX_RING(%esi), %eax
+    pushl %eax
+    call dma_free_coherent
+    addl $8, %esp
+    movl ADP_TX_SKBS(%esi), %eax
+    pushl %eax
+    call kfree
+    addl $4, %esp
+    movl ADP_RX_SKBS(%esi), %eax
+    pushl %eax
+    call kfree
+    addl $4, %esp
+
+    xorl %eax, %eax
+    popl %edi
+    popl %esi
+    popl %ebx
+    movl %ebp, %esp
+    popl %ebp
+    ret
+"""
+
+
+def build_e1000_program(name: str = "e1000") -> Program:
+    """Assemble the e1000 driver into a Program (the 'driver binary')."""
+    return assemble(E1000_ASM, constants=DRIVER_CONSTANTS, name=name)
+
+
+#: Entry points the loader tells the hypervisor about (paper §5.2): the
+#: transmit routine, the interrupt handler, and management entry points
+#: that stay with the VM instance.
+FAST_PATH_ENTRIES = ("e1000_xmit_frame", "e1000_intr")
+MANAGEMENT_ENTRIES = (
+    "e1000_probe", "e1000_open", "e1000_close", "e1000_watchdog",
+    "e1000_get_stats", "e1000_set_mac", "e1000_change_mtu",
+    "e1000_ethtool_get_link",
+)

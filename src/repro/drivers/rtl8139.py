@@ -1,0 +1,487 @@
+"""An RTL8139-style driver in the toy assembly: the second twinned driver.
+
+Structurally different from the e1000 on purpose:
+
+* **copying transmit** — no scatter/gather: each packet is ``rep movsb``-ed
+  into one of four pre-mapped bounce buffers, then a single TSD register
+  write sends it (so the *string-instruction* rewriting is on the hot
+  path, and the DMA mappings are persistent — no per-packet dma_map);
+* **ring-buffer receive** — the device writes ``[status|len]`` records
+  into one contiguous ring; the driver parses records and copies payloads
+  into fresh sk_buffs.
+
+Its error-free fast path therefore calls a *different* (smaller) support
+set than the e1000's Table 1: no dma_map/unmap at all — evidence that the
+fast-path set is discovered per driver, not hard-coded.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..isa import Program, assemble
+from ..machine import rtl8139 as hw
+from ..osmodel import layout as L
+
+#: driver-private adapter layout (inside the netdev priv area)
+RTL_NETDEV = 0
+RTL_HW = 4
+RTL_RXRING = 8          # rx ring virtual address (dom0)
+RTL_RXOFF = 12          # driver read offset into the ring
+RTL_TXBUF0 = 16         # 4 bounce-buffer virtual addresses (16,20,24,28)
+RTL_TXNEXT = 32
+RTL_LOCK = 36
+RTL_TXP = 40
+RTL_TXB = 44
+RTL_RXP = 48
+RTL_RXB = 52
+RTL_RXDMA = 56          # rx ring bus address
+RTL_TXDMA0 = 64         # 4 bounce-buffer bus addresses (64,68,72,76)
+
+RTL_CONSTANTS: Dict[str, int] = dict(L.ASM_CONSTANTS)
+RTL_CONSTANTS.update({name: value for name, value in globals().items()
+                      if name.startswith("RTL_") and isinstance(value, int)})
+RTL_CONSTANTS.update({
+    "R_TSD0": hw.R_TSD0,
+    "R_TSAD0": hw.R_TSAD0,
+    "R_RBSTART": hw.R_RBSTART,
+    "R_CR": hw.R_CR,
+    "R_CAPR": hw.R_CAPR,
+    "R_CBR": hw.R_CBR,
+    "R_IMR": hw.R_IMR,
+    "R_ISR": hw.R_ISR,
+    "CR_BUFE": hw.CR_BUFE,
+    "CR_TE": hw.CR_TE,
+    "CR_RE": hw.CR_RE,
+    "TSD_TOK": hw.TSD_TOK,
+    "ISR_TOK": hw.ISR_TOK,
+    "ISR_ROK": hw.ISR_ROK,
+    "RX_RING_BYTES": hw.RX_RING_BYTES,
+    "RX_WRAP_THRESHOLD": hw.RX_WRAP_THRESHOLD,
+    "TX_SLOT_BYTES": hw.TX_SLOT_BYTES,
+})
+
+RTL8139_ASM = r"""
+.comm rtl_probe_count, 4
+.comm rtl_intr_count, 4
+
+.globl rtl8139_probe
+.globl rtl8139_open
+.globl rtl8139_close
+.globl rtl8139_xmit
+.globl rtl8139_intr
+.globl rtl8139_get_stats
+
+# ===========================================================================
+# rtl8139_probe(netdev)
+# ===========================================================================
+rtl8139_probe:
+    pushl %ebp
+    movl %esp, %ebp
+    pushl %ebx
+    pushl %esi
+    pushl %edi
+    movl 8(%ebp), %ebx              # netdev
+
+    pushl $0
+    call pci_enable_device
+    addl $4, %esp
+    pushl $0
+    call pci_set_master
+    addl $4, %esp
+
+    movl NDEV_PRIV(%ebx), %esi      # adapter
+    movl %ebx, RTL_NETDEV(%esi)
+
+    pushl $0x100
+    pushl NDEV_MEM(%ebx)
+    call ioremap
+    addl $8, %esp
+    movl %eax, RTL_HW(%esi)
+    movl %eax, NDEV_MEM(%ebx)
+
+    leal RTL_LOCK(%esi), %eax
+    pushl %eax
+    call spin_lock_init
+    addl $4, %esp
+
+    movl $0, RTL_TXNEXT(%esi)
+    movl $0, RTL_RXOFF(%esi)
+    movl $0, RTL_TXP(%esi)
+    movl $0, RTL_TXB(%esi)
+    movl $0, RTL_RXP(%esi)
+    movl $0, RTL_RXB(%esi)
+
+    # the contiguous rx ring, persistently mapped for DMA
+    leal -4(%ebp), %eax
+    pushl %eax
+    pushl $RX_RING_BYTES
+    call dma_alloc_coherent
+    addl $8, %esp
+    movl %eax, RTL_RXRING(%esi)
+    movl -4(%ebp), %eax
+    movl %eax, RTL_RXDMA(%esi)
+
+    # four transmit bounce buffers
+    xorl %edi, %edi
+.probe_txbuf:
+    cmpl $4, %edi
+    jae .probe_txbuf_done
+    leal -4(%ebp), %eax
+    pushl %eax
+    pushl $TX_SLOT_BYTES
+    call dma_alloc_coherent
+    addl $8, %esp
+    movl %eax, RTL_TXBUF0(%esi,%edi,4)
+    movl -4(%ebp), %eax
+    movl %eax, RTL_TXDMA0(%esi,%edi,4)
+    incl %edi
+    jmp .probe_txbuf
+.probe_txbuf_done:
+
+    movl $rtl8139_xmit, NDEV_XMIT(%ebx)
+
+    pushl %ebx
+    call register_netdev
+    addl $4, %esp
+    pushl %ebx
+    call netif_carrier_off
+    addl $4, %esp
+
+    incl rtl_probe_count
+    xorl %eax, %eax
+    popl %edi
+    popl %esi
+    popl %ebx
+    movl %ebp, %esp
+    popl %ebp
+    ret
+
+# ===========================================================================
+# rtl8139_open(netdev)
+# ===========================================================================
+rtl8139_open:
+    pushl %ebp
+    movl %esp, %ebp
+    pushl %ebx
+    pushl %esi
+    pushl %edi
+    movl 8(%ebp), %ebx
+    movl NDEV_PRIV(%ebx), %esi
+    movl RTL_HW(%esi), %edi
+
+    movl RTL_RXDMA(%esi), %eax
+    movl %eax, R_RBSTART(%edi)
+    movl $0, R_CAPR(%edi)
+    movl $0, RTL_RXOFF(%esi)
+
+    # program the four TSAD registers
+    xorl %ecx, %ecx
+.open_tsad:
+    cmpl $4, %ecx
+    jae .open_tsad_done
+    movl RTL_TXDMA0(%esi,%ecx,4), %eax
+    movl %eax, R_TSAD0(%edi,%ecx,4)
+    incl %ecx
+    jmp .open_tsad
+.open_tsad_done:
+
+    movl $CR_TE+CR_RE, R_CR(%edi)
+    movl $ISR_TOK+ISR_ROK, R_IMR(%edi)
+
+    pushl %ebx
+    pushl $0
+    pushl $rtl8139_intr
+    pushl NDEV_IRQ(%ebx)
+    call request_irq
+    addl $16, %esp
+
+    pushl %ebx
+    call netif_carrier_on
+    addl $4, %esp
+    pushl %ebx
+    call netif_start_queue
+    addl $4, %esp
+
+    xorl %eax, %eax
+    popl %edi
+    popl %esi
+    popl %ebx
+    movl %ebp, %esp
+    popl %ebp
+    ret
+
+# ===========================================================================
+# rtl8139_xmit(skb, netdev) -- copying transmit (the hot string op).
+# ===========================================================================
+rtl8139_xmit:
+    pushl %ebp
+    movl %esp, %ebp
+    pushl %ebx
+    pushl %esi
+    pushl %edi
+    movl 8(%ebp), %ebx              # skb
+    movl 12(%ebp), %edx             # netdev
+    movl NDEV_PRIV(%edx), %esi      # adapter
+
+    leal RTL_LOCK(%esi), %eax
+    pushl %eax
+    call spin_trylock
+    addl $4, %esp
+    testl %eax, %eax
+    je .rtl_xmit_busy
+
+    # slot = txnext & 3; it must carry TOK (free)
+    movl RTL_TXNEXT(%esi), %edi
+    andl $3, %edi
+    movl RTL_HW(%esi), %ecx
+    movl R_TSD0(%ecx,%edi,4), %eax
+    testl $TSD_TOK, %eax
+    je .rtl_xmit_full
+
+    # linear length (the kernel hands this driver linear skbs: no SG)
+    movl SKB_LEN(%ebx), %edx
+    movzwl SKB_DATA_LEN(%ebx), %eax
+    subl %eax, %edx                 # edx = copy length
+
+    # copy skb->data -> txbuf[slot]: dwords, then the remainder
+    pushl %esi
+    pushl %edi
+    movl RTL_TXBUF0(%esi,%edi,4), %eax
+    movl SKB_DATA(%ebx), %esi
+    movl %eax, %edi
+    movl %edx, %ecx
+    shrl $2, %ecx
+    rep movsl
+    movl %edx, %ecx
+    andl $3, %ecx
+    rep movsb
+    popl %edi
+    popl %esi
+
+    # kick the device: write the length into TSD[slot]
+    movl RTL_HW(%esi), %ecx
+    movl %edx, R_TSD0(%ecx,%edi,4)
+
+    incl RTL_TXNEXT(%esi)
+    incl RTL_TXP(%esi)
+    addl %edx, RTL_TXB(%esi)
+    movl 12(%ebp), %ecx
+    incl NDEV_TX_PKTS(%ecx)
+    addl %edx, NDEV_TX_BYTES(%ecx)
+
+    # the packet is copied out: free the skb right away
+    pushl %ebx
+    call dev_kfree_skb_any
+    addl $4, %esp
+
+    pushl $1
+    leal RTL_LOCK(%esi), %eax
+    pushl %eax
+    call spin_unlock_irqrestore
+    addl $8, %esp
+    xorl %eax, %eax
+    jmp .rtl_xmit_out
+
+.rtl_xmit_full:
+    movl 12(%ebp), %edx
+    pushl %edx
+    call netif_stop_queue
+    addl $4, %esp
+    pushl $1
+    leal RTL_LOCK(%esi), %eax
+    pushl %eax
+    call spin_unlock_irqrestore
+    addl $8, %esp
+.rtl_xmit_busy:
+    movl $1, %eax
+.rtl_xmit_out:
+    popl %edi
+    popl %esi
+    popl %ebx
+    movl %ebp, %esp
+    popl %ebp
+    ret
+
+# ===========================================================================
+# rtl8139_intr(irq, netdev) -- ISR: parse rx-ring records, ack TOK.
+# ===========================================================================
+rtl8139_intr:
+    pushl %ebp
+    movl %esp, %ebp
+    pushl %ebx
+    pushl %esi
+    pushl %edi
+    movl 12(%ebp), %ebx             # netdev
+    movl NDEV_PRIV(%ebx), %esi      # adapter
+    movl RTL_HW(%esi), %edi
+
+    movl R_ISR(%edi), %eax
+    testl %eax, %eax
+    je .rtl_intr_out
+    movl %eax, R_ISR(%edi)          # write-1-to-clear
+    incl rtl_intr_count
+
+    testl $ISR_ROK, %eax
+    je .rtl_intr_no_rx
+
+.rtl_rx_loop:
+    movl R_CR(%edi), %eax
+    testl $CR_BUFE, %eax
+    jne .rtl_intr_no_rx             # ring drained
+
+    movl RTL_RXRING(%esi), %ecx
+    addl RTL_RXOFF(%esi), %ecx      # ecx = &record
+    movl (%ecx), %edx
+    shrl $16, %edx                  # edx = packet length
+
+    pushl %edx                      # save len
+    pushl %edx                      # arg: size
+    pushl %ebx                      # arg: dev
+    call netdev_alloc_skb
+    addl $8, %esp
+    popl %edx                       # restore len
+    testl %eax, %eax
+    je .rtl_intr_no_rx              # alloc failure: leave ring as-is
+
+    # inline skb_put(skb, len)
+    addl %edx, SKB_TAIL(%eax)
+    movl %edx, SKB_LEN(%eax)
+
+    # copy payload: ring record body -> skb data (dwords + remainder)
+    pushl %esi
+    pushl %edi
+    pushl %eax                      # save skb
+    movl RTL_RXRING(%esi), %ecx
+    addl RTL_RXOFF(%esi), %ecx
+    leal 4(%ecx), %ecx              # skip the record header
+    movl SKB_DATA(%eax), %edi
+    movl %ecx, %esi
+    movl %edx, %ecx
+    shrl $2, %ecx
+    rep movsl
+    movl %edx, %ecx
+    andl $3, %ecx
+    rep movsb
+    popl %eax
+    popl %edi
+    popl %esi
+
+    incl RTL_RXP(%esi)
+    addl %edx, RTL_RXB(%esi)
+
+    # advance: off = align4(off + 4 + len); wrap like the device
+    movl RTL_RXOFF(%esi), %ecx
+    leal 7(%ecx,%edx,1), %ecx
+    andl $-4, %ecx
+    cmpl $RX_WRAP_THRESHOLD, %ecx
+    jb .rtl_rx_nowrap
+    xorl %ecx, %ecx
+.rtl_rx_nowrap:
+    movl %ecx, RTL_RXOFF(%esi)
+    movl %ecx, R_CAPR(%edi)
+
+    # hand the packet up
+    pushl %eax
+    pushl %ebx
+    pushl %eax
+    call eth_type_trans
+    addl $8, %esp
+    popl %eax
+    pushl %eax
+    call netif_rx
+    addl $4, %esp
+    jmp .rtl_rx_loop
+
+.rtl_intr_no_rx:
+.rtl_intr_out:
+    popl %edi
+    popl %esi
+    popl %ebx
+    movl %ebp, %esp
+    popl %ebp
+    ret
+
+# ===========================================================================
+# rtl8139_get_stats(netdev)
+# ===========================================================================
+rtl8139_get_stats:
+    pushl %ebp
+    movl %esp, %ebp
+    pushl %esi
+    movl 8(%ebp), %edx
+    movl NDEV_PRIV(%edx), %esi
+    movl RTL_TXP(%esi), %eax
+    movl %eax, NDEV_TX_PKTS(%edx)
+    movl RTL_TXB(%esi), %eax
+    movl %eax, NDEV_TX_BYTES(%edx)
+    movl RTL_RXP(%esi), %eax
+    movl %eax, NDEV_RX_PKTS(%edx)
+    movl RTL_RXB(%esi), %eax
+    movl %eax, NDEV_RX_BYTES(%edx)
+    leal NDEV_TX_PKTS(%edx), %eax
+    popl %esi
+    movl %ebp, %esp
+    popl %ebp
+    ret
+
+# ===========================================================================
+# rtl8139_close(netdev)
+# ===========================================================================
+rtl8139_close:
+    pushl %ebp
+    movl %esp, %ebp
+    pushl %ebx
+    pushl %esi
+    pushl %edi
+    movl 8(%ebp), %ebx
+    movl NDEV_PRIV(%ebx), %esi
+    movl RTL_HW(%esi), %edi
+
+    pushl %ebx
+    call netif_stop_queue
+    addl $4, %esp
+    pushl %ebx
+    call netif_carrier_off
+    addl $4, %esp
+
+    movl $0, R_CR(%edi)
+    movl $0, R_IMR(%edi)
+
+    pushl %ebx
+    movl NDEV_IRQ(%ebx), %eax
+    pushl %eax
+    call free_irq
+    addl $8, %esp
+
+    pushl $RX_RING_BYTES
+    movl RTL_RXRING(%esi), %eax
+    pushl %eax
+    call dma_free_coherent
+    addl $8, %esp
+    xorl %ecx, %ecx
+.close_txbuf:
+    cmpl $4, %ecx
+    jae .close_done
+    pushl %ecx
+    pushl $TX_SLOT_BYTES
+    movl RTL_TXBUF0(%esi,%ecx,4), %eax
+    pushl %eax
+    call dma_free_coherent
+    addl $8, %esp
+    popl %ecx
+    incl %ecx
+    jmp .close_txbuf
+.close_done:
+    xorl %eax, %eax
+    popl %edi
+    popl %esi
+    popl %ebx
+    movl %ebp, %esp
+    popl %ebp
+    ret
+"""
+
+
+def build_rtl8139_program(name: str = "rtl8139") -> Program:
+    return assemble(RTL8139_ASM, constants=RTL_CONSTANTS, name=name)

@@ -1,0 +1,321 @@
+"""AT&T-syntax assembler for the virtual ISA.
+
+The paper's toolchain compiles the Linux driver to assembly and feeds the
+assembly into an assembler-level rewriting tool. This module is our
+assembler: it parses AT&T-flavoured text into a :class:`~repro.isa.program.
+Program` that the rewriter, encoder and CPU interpreter all operate on.
+
+Supported directives::
+
+    .globl name          export a function symbol
+    .comm  name, size    reserve zero-initialised data (allocated at load)
+    # comment            (also ``;`` and trailing comments)
+
+Assembler-time constants (struct field offsets such as ``SKB_LEN``) may be
+supplied via ``constants=`` and are folded into displacements/immediates at
+parse time, mimicking C-preprocessor offsets in real driver source.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Iterable, Optional
+
+from .instructions import (
+    ALL_MNEMONICS,
+    FLOW,
+    JCC,
+    STRING,
+    Instruction,
+)
+from .operands import Imm, Label, Mem, Reg
+from .program import Program
+from .registers import is_register
+
+
+class AssemblerError(ValueError):
+    """Raised on any parse failure, with a line number."""
+
+
+_SUFFIXES = {"b": 1, "w": 2, "l": 4}
+
+_TOKEN_RE = re.compile(r"^[A-Za-z_.$][A-Za-z0-9_.$]*$")
+
+
+def _split_operands(text: str) -> list:
+    """Split an operand list on commas not inside parentheses."""
+    parts, depth, cur = [], 0, ""
+    for ch in text:
+        if ch == "(":
+            depth += 1
+        elif ch == ")":
+            depth -= 1
+        if ch == "," and depth == 0:
+            parts.append(cur.strip())
+            cur = ""
+        else:
+            cur += ch
+    if cur.strip():
+        parts.append(cur.strip())
+    return parts
+
+
+class Assembler:
+    """Parses assembly text into :class:`Program` objects."""
+
+    def __init__(self, constants: Optional[Dict[str, int]] = None):
+        self.constants = dict(constants or {})
+
+    # -- expressions ----------------------------------------------------------
+
+    def _eval_term(self, term: str, line: int) -> tuple:
+        """Evaluate a single term to (value, symbol)."""
+        term = term.strip()
+        if not term:
+            raise AssemblerError(f"line {line}: empty expression term")
+        neg = False
+        if term.startswith("-"):
+            neg, term = True, term[1:].strip()
+        if term in self.constants:
+            value, symbol = self.constants[term], None
+        elif re.fullmatch(r"0[xX][0-9a-fA-F]+|\d+", term):
+            value, symbol = int(term, 0), None
+        elif _TOKEN_RE.match(term):
+            value, symbol = 0, term
+        else:
+            raise AssemblerError(f"line {line}: bad expression term {term!r}")
+        if neg:
+            if symbol is not None:
+                raise AssemblerError(f"line {line}: cannot negate symbol")
+            value = -value
+        return value, symbol
+
+    def eval_expr(self, text: str, line: int) -> tuple:
+        """Evaluate ``a+b-c`` style expressions to (value, symbol|None)."""
+        # Normalise "a-b" into "a+-b" so we can split on '+'.
+        text = text.strip().replace("-", "+-")
+        if text.startswith("+-"):
+            text = text[1:]
+        value, symbol = 0, None
+        for term in text.split("+"):
+            if not term:
+                continue
+            tval, tsym = self._eval_term(term, line)
+            value += tval
+            if tsym is not None:
+                if symbol is not None:
+                    raise AssemblerError(
+                        f"line {line}: more than one symbol in expression"
+                    )
+                symbol = tsym
+        return value, symbol
+
+    # -- operands -------------------------------------------------------------
+
+    def parse_operand(self, text: str, line: int):
+        text = text.strip()
+        if text.startswith("$"):
+            value, symbol = self.eval_expr(text[1:], line)
+            return Imm(value=value, symbol=symbol)
+        if text.startswith("%"):
+            name = text[1:]
+            if not is_register(name):
+                raise AssemblerError(f"line {line}: unknown register {name!r}")
+            return Reg(name)
+        if "(" in text:
+            pre, _, rest = text.partition("(")
+            inner, _, after = rest.partition(")")
+            if after.strip():
+                raise AssemblerError(f"line {line}: junk after ')' in {text!r}")
+            disp, symbol = (0, None)
+            if pre.strip():
+                disp, symbol = self.eval_expr(pre, line)
+            parts = [p.strip() for p in inner.split(",")]
+            base = index = None
+            scale = 1
+            if parts and parts[0]:
+                if not parts[0].startswith("%"):
+                    raise AssemblerError(f"line {line}: bad base in {text!r}")
+                base = parts[0][1:]
+            if len(parts) >= 2 and parts[1]:
+                if not parts[1].startswith("%"):
+                    raise AssemblerError(f"line {line}: bad index in {text!r}")
+                index = parts[1][1:]
+            if len(parts) >= 3 and parts[2]:
+                scale = int(parts[2], 0)
+            return Mem(disp=disp, base=base, index=index, scale=scale,
+                       symbol=symbol)
+        # bare expression: absolute memory reference or branch target;
+        # disambiguated by the caller (branch targets become Labels).
+        value, symbol = self.eval_expr(text, line)
+        return Mem(disp=value, symbol=symbol)
+
+    # -- instructions -----------------------------------------------------------
+
+    def parse_instruction(self, text: str, line: int) -> Instruction:
+        prefix = None
+        parts = text.split(None, 1)
+        word = parts[0]
+        if word in ("rep", "repe", "repz", "repne", "repnz"):
+            prefix = {"repz": "repe", "repnz": "repne"}.get(word, word)
+            if len(parts) < 2:
+                raise AssemblerError(f"line {line}: dangling prefix {word!r}")
+            text = parts[1]
+            parts = text.split(None, 1)
+            word = parts[0]
+        rest = parts[1] if len(parts) > 1 else ""
+
+        mnemonic, size = self._parse_mnemonic(word, line)
+        indirect = False
+
+        if mnemonic in ("call", "jmp") and rest.strip().startswith("*"):
+            indirect = True
+            rest = rest.strip()[1:]
+
+        raw_ops = _split_operands(rest) if rest.strip() else []
+        operands = []
+        for i, raw in enumerate(raw_ops):
+            op = self.parse_operand(raw, line)
+            # Direct branch targets parse as bare Mem(symbol=...); convert.
+            if (
+                mnemonic in FLOW
+                and not indirect
+                and isinstance(op, Mem)
+                and op.is_absolute
+                and op.symbol is not None
+                and op.disp == 0
+            ):
+                op = Label(op.symbol)
+            operands.append(op)
+
+        instr = Instruction(
+            mnemonic=mnemonic,
+            operands=tuple(operands),
+            size=size,
+            prefix=prefix,
+            indirect=indirect,
+            line=line,
+        )
+        self._check_arity(instr, line)
+        return instr
+
+    def _parse_mnemonic(self, word: str, line: int) -> tuple:
+        # movzbl / movzwl: zero-extending loads — the size is the *source*
+        # width (must be resolved before generic suffix stripping).
+        if word in ("movzbl", "movzb"):
+            return "movzb", 1
+        if word in ("movzwl", "movzw"):
+            return "movzw", 2
+        if word in ALL_MNEMONICS:  # suffix-less forms (jmp, ret, nop, ...)
+            if word in STRING:
+                raise AssemblerError(
+                    f"line {line}: string instruction {word!r} needs a size "
+                    "suffix"
+                )
+            return word, 4
+        if word[:-1] in ALL_MNEMONICS and word[-1] in _SUFFIXES:
+            base = word[:-1]
+            if base in FLOW or base in ("nop", "ret"):
+                raise AssemblerError(f"line {line}: bad suffix on {base!r}")
+            return base, _SUFFIXES[word[-1]]
+        raise AssemblerError(f"line {line}: unknown mnemonic {word!r}")
+
+    def _check_arity(self, instr: Instruction, line: int):
+        two_ops = {"mov", "lea", "add", "sub", "and", "or", "xor", "imul",
+                   "cmp", "test", "shl", "shr", "sar", "xchg", "movzb",
+                   "movzw", "movsx"}
+        one_op = {"push", "pop", "inc", "dec", "neg", "not", "call", "jmp"}
+        zero_op = {"ret", "nop", "int3", "ud2", "hlt", "pushf", "popf",
+                   "cld", "std", "sti", "cli"} | STRING
+        n = len(instr.operands)
+        if instr.mnemonic in two_ops and n != 2:
+            raise AssemblerError(
+                f"line {line}: {instr.mnemonic} expects 2 operands, got {n}"
+            )
+        if instr.mnemonic in one_op and n != 1:
+            raise AssemblerError(
+                f"line {line}: {instr.mnemonic} expects 1 operand, got {n}"
+            )
+        if instr.mnemonic in JCC and n != 1:
+            raise AssemblerError(f"line {line}: {instr.mnemonic} expects a target")
+        if instr.mnemonic in zero_op and n != 0:
+            raise AssemblerError(
+                f"line {line}: {instr.mnemonic} takes no operands"
+            )
+        mems = [op for op in instr.operands if isinstance(op, Mem)]
+        if len(mems) > 1:
+            raise AssemblerError(f"line {line}: two memory operands")
+
+    # -- whole files -------------------------------------------------------------
+
+    def assemble(self, text: str, name: str = "program") -> Program:
+        instructions = []
+        labels: Dict[str, int] = {}
+        globals_: list = []
+        comm: Dict[str, int] = {}
+
+        for lineno, raw in enumerate(text.splitlines(), start=1):
+            line = raw.split("#", 1)[0].split(";", 1)[0].strip()
+            if not line:
+                continue
+            while line.endswith(":") or (":" in line and _TOKEN_RE.match(
+                    line.split(":", 1)[0].strip())):
+                label, _, line = line.partition(":")
+                label = label.strip()
+                if not _TOKEN_RE.match(label):
+                    raise AssemblerError(f"line {lineno}: bad label {label!r}")
+                if label in labels:
+                    raise AssemblerError(
+                        f"line {lineno}: duplicate label {label!r}"
+                    )
+                labels[label] = len(instructions)
+                line = line.strip()
+                if not line:
+                    break
+            if not line:
+                continue
+            if line.startswith(".globl") or line.startswith(".global"):
+                globals_.append(line.split(None, 1)[1].strip())
+                continue
+            if line.startswith(".comm"):
+                body = line.split(None, 1)[1]
+                sym, _, size_text = body.partition(",")
+                value, symbol = self.eval_expr(size_text, lineno)
+                if symbol is not None:
+                    raise AssemblerError(
+                        f"line {lineno}: .comm size must be constant"
+                    )
+                comm[sym.strip()] = value
+                continue
+            if line.startswith("."):
+                raise AssemblerError(
+                    f"line {lineno}: unsupported directive {line.split()[0]!r}"
+                )
+            instructions.append(self.parse_instruction(line, lineno))
+
+        program = Program(
+            instructions=instructions,
+            labels=labels,
+            globals_=tuple(globals_),
+            comm=comm,
+            name=name,
+        )
+        self._check_branch_targets(program)
+        return program
+
+    def _check_branch_targets(self, program: Program):
+        defined = program.defined_symbols()
+        for instr in program.instructions:
+            if instr.is_jump and not instr.indirect:
+                target = instr.operands[0]
+                if isinstance(target, Label) and target.name not in defined:
+                    raise AssemblerError(
+                        f"line {instr.line}: undefined jump target "
+                        f"{target.name!r}"
+                    )
+
+
+def assemble(text: str, constants: Optional[Dict[str, int]] = None,
+             name: str = "program") -> Program:
+    """Convenience wrapper: assemble ``text`` into a :class:`Program`."""
+    return Assembler(constants=constants).assemble(text, name=name)

@@ -1,0 +1,138 @@
+"""Operand model for the virtual ISA.
+
+Operands follow AT&T conventions:
+
+* ``Imm``   -- ``$42`` or ``$sym`` (symbolic immediates resolve at load time)
+* ``Reg``   -- ``%eax``
+* ``Mem``   -- ``disp(%base,%index,scale)`` with an optional symbol in place
+  of (or added to) the displacement, e.g. ``stlb+4(%ecx)``
+* ``Label`` -- branch/call target by name
+
+A ``Mem`` operand with ``base`` of ``esp``/``ebp`` is considered
+stack-relative; the SVM rewriter leaves those untouched, exactly as the
+paper does for stack accesses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from .registers import RESERVED, is_register, parent_register
+
+
+def _canon32(value: int) -> int:
+    """Canonical signed 32-bit two's-complement representative.
+
+    All address arithmetic in the ISA is mod 2**32; operands store the
+    signed representative so encodings are compact and formatting of
+    negative displacements stays readable."""
+    return ((value + 0x80000000) & 0xFFFFFFFF) - 0x80000000
+
+
+@dataclass(frozen=True)
+class Imm:
+    """Immediate operand; ``symbol`` defers the value to link time."""
+
+    value: int = 0
+    symbol: Optional[str] = None
+
+    def __post_init__(self):
+        object.__setattr__(self, "value", _canon32(self.value))
+
+    def format(self) -> str:
+        if self.symbol is not None:
+            if self.value:
+                return f"${self.symbol}+{self.value}"
+            return f"${self.symbol}"
+        return f"${self.value}"
+
+
+@dataclass(frozen=True)
+class Reg:
+    """Register operand. ``name`` may be a sub-register like ``al``."""
+
+    name: str
+
+    def __post_init__(self):
+        if not is_register(self.name):
+            raise ValueError(f"unknown register {self.name!r}")
+
+    @property
+    def parent(self) -> str:
+        return parent_register(self.name)
+
+    def format(self) -> str:
+        return f"%{self.name}"
+
+
+@dataclass(frozen=True)
+class Mem:
+    """Memory operand ``symbol+disp(%base,%index,scale)``."""
+
+    disp: int = 0
+    base: Optional[str] = None
+    index: Optional[str] = None
+    scale: int = 1
+    symbol: Optional[str] = None
+
+    def __post_init__(self):
+        object.__setattr__(self, "disp", _canon32(self.disp))
+        if self.base is not None and not is_register(self.base):
+            raise ValueError(f"bad base register {self.base!r}")
+        if self.index is not None and not is_register(self.index):
+            raise ValueError(f"bad index register {self.index!r}")
+        if self.scale not in (1, 2, 4, 8):
+            raise ValueError(f"bad scale {self.scale!r}")
+
+    @property
+    def is_stack_relative(self) -> bool:
+        """Paper rule: accesses based off the stack/frame pointer are not
+        rewritten (the hypervisor instance has a private, guarded stack)."""
+        return self.base in RESERVED
+
+    @property
+    def is_absolute(self) -> bool:
+        return self.base is None and self.index is None
+
+    def registers(self) -> tuple[str, ...]:
+        regs = []
+        if self.base is not None:
+            regs.append(parent_register(self.base))
+        if self.index is not None:
+            regs.append(parent_register(self.index))
+        return tuple(regs)
+
+    def with_symbol_resolved(self, value: int) -> "Mem":
+        """Fold a resolved symbol address into the displacement."""
+        return replace(self, disp=self.disp + value, symbol=None)
+
+    def format(self) -> str:
+        out = ""
+        if self.symbol is not None:
+            out += self.symbol
+            if self.disp:
+                out += f"+{self.disp}" if self.disp > 0 else f"{self.disp}"
+        elif self.disp or (self.base is None and self.index is None):
+            out += str(self.disp)
+        if self.base is not None or self.index is not None:
+            out += "("
+            if self.base is not None:
+                out += f"%{self.base}"
+            if self.index is not None:
+                out += f",%{self.index},{self.scale}"
+            out += ")"
+        return out
+
+
+@dataclass(frozen=True)
+class Label:
+    """Direct branch / call target."""
+
+    name: str
+
+    def format(self) -> str:
+        return self.name
+
+
+Operand = object  # union marker for type hints: Imm | Reg | Mem | Label

@@ -1,0 +1,50 @@
+"""Register definitions for the 32-bit virtual ISA.
+
+The ISA mirrors the ia32 general-purpose register file that the paper's
+rewriter works with: eight 32-bit registers plus the flags register. The
+rewriter (``repro.core.rewriter``) needs to reason about which registers an
+instruction reads and writes and which are free at a given program point, so
+the helpers here are deliberately explicit.
+"""
+
+from __future__ import annotations
+
+# General purpose registers, in ia32 encoding order.
+GPRS = ("eax", "ecx", "edx", "ebx", "esp", "ebp", "esi", "edi")
+
+#: Registers the rewriter may never allocate as scratch: the stack pointer
+#: and frame pointer anchor stack-relative accesses which SVM leaves alone.
+RESERVED = ("esp", "ebp")
+
+#: Registers eligible to be SVM scratch registers.
+ALLOCATABLE = tuple(r for r in GPRS if r not in RESERVED)
+
+#: Sub-register names (low byte / low word) mapped to their parent register.
+SUBREGISTERS = {
+    "al": "eax", "ax": "eax",
+    "cl": "ecx", "cx": "ecx",
+    "dl": "edx", "dx": "edx",
+    "bl": "ebx", "bx": "ebx",
+    "si": "esi", "di": "edi",
+}
+
+REG_INDEX = {name: i for i, name in enumerate(GPRS)}
+
+#: Caller-saved registers under the cdecl-like convention used by the toy
+#: kernel ABI; a call may clobber these.
+CALLER_SAVED = ("eax", "ecx", "edx")
+CALLEE_SAVED = ("ebx", "esi", "edi", "ebp")
+
+
+def parent_register(name: str) -> str:
+    """Return the full 32-bit register backing ``name`` (identity for GPRs)."""
+    if name in REG_INDEX:
+        return name
+    if name in SUBREGISTERS:
+        return SUBREGISTERS[name]
+    raise ValueError(f"unknown register {name!r}")
+
+
+def is_register(name: str) -> bool:
+    """True if ``name`` names a GPR or a sub-register of one."""
+    return name in REG_INDEX or name in SUBREGISTERS

@@ -1,0 +1,725 @@
+"""CPU interpreter for the virtual ISA, with cycle accounting.
+
+The interpreter executes loaded programs (the driver binaries — original
+and rewritten) against an :class:`~repro.machine.paging.AddressSpace`.
+Everything the paper's mechanisms rely on is modelled for real:
+
+* memory operands are translated through page tables and can fault;
+* MMIO accesses are dispatched to device models (the e1000);
+* ``call`` targets may be *native routines* — Python implementations of
+  kernel/hypervisor support functions, registered by the loaders. This is
+  the boundary between "code the rewriter sees" (driver binary) and "the
+  driver support API" (paper §4.3);
+* every instruction charges cycles to the current accounting category, so
+  the figure 7/8 per-packet breakdowns come from actual execution.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..metrics.cycles import CycleAccount
+from ..isa.encoder import code_size, layout
+from ..isa.instructions import Instruction
+from ..isa.operands import Imm, Label, Mem, Reg
+from ..isa.program import Program
+from ..isa.registers import SUBREGISTERS
+from .memory import PhysicalMemory
+from .paging import AddressSpace
+
+#: Return-address sentinel that terminates an invocation from Python.
+SENTINEL_RETURN = 0xDEAD0000
+#: Base of the native-routine plane (support routines live here).
+NATIVE_BASE = 0xFFF00000
+
+MASK32 = 0xFFFFFFFF
+
+
+class ExecutionFault(Exception):
+    """Control transferred outside any loaded program, or mid-instruction."""
+
+
+class CpuBudgetExceeded(Exception):
+    """Instruction budget blown — the paper's 'infinite loop in the driver'
+    failure mode (§4.5.2); callers may treat it like a watchdog timeout."""
+
+
+class UnresolvedSymbol(Exception):
+    """An operand still carries a symbol at execution time: loader bug."""
+
+
+@dataclass
+class InstructionCosts:
+    """Per-class cycle costs charged by the interpreter.
+
+    These model amortised pipeline+cache behaviour, not latency of one
+    instruction. They are part of the calibration story (DESIGN.md §5):
+    the *ratio* between the rewritten and native driver (paper: 2-3x)
+    emerges from instruction counts, while the absolute scale is set so
+    the native e1000 transmit path costs ~960 cycles/packet (figure 7).
+    """
+
+    alu: int = 1
+    #: extra cycles for a memory access that misses the hot set (driver
+    #: data structures, sk_buffs, descriptor rings).
+    mem: int = 6
+    #: extra cycles for an access to a cache-hot region: the stack, the
+    #: stlb table, the SVM spill slots. This is what keeps the paper's
+    #: rewritten-driver slowdown in the 2-3x band: the 10-instruction SVM
+    #: sequence is ALU work plus two L1-resident stlb loads.
+    mem_hot: int = 2
+    call: int = 10
+    ret: int = 8
+    mmio: int = 120
+    string_per_unit: int = 2
+    native_call: int = 12
+
+
+class NativeRoutine:
+    """A Python-implemented function callable from driver code."""
+
+    def __init__(self, name: str, fn: Callable, cost: int = 0,
+                 category: Optional[str] = None):
+        self.name = name
+        self.fn = fn
+        self.cost = cost
+        self.category = category
+        self.calls = 0
+
+    def __repr__(self):  # pragma: no cover
+        return f"<native {self.name}>"
+
+
+class LoadedProgram:
+    """A program laid out at a base address with resolved branch targets."""
+
+    def __init__(self, program: Program, base: int,
+                 extern: Optional[Dict[str, int]] = None,
+                 name: Optional[str] = None):
+        self.program = program
+        self.base = base
+        self.name = name or program.name
+        self.addrs = layout(program, base)
+        self.end = base + code_size(program)
+        self.addr_to_index = {a: i for i, a in enumerate(self.addrs)}
+        self.symbols = {
+            label: (self.addrs[i] if i < len(self.addrs) else self.end)
+            for label, i in program.labels.items()
+        }
+        extern = extern or {}
+        self.targets: Dict[int, int] = {}
+        for i, instr in enumerate(program.instructions):
+            if instr.is_control_flow and not instr.indirect and instr.operands:
+                op = instr.operands[0]
+                if isinstance(op, Label):
+                    if op.name in self.symbols:
+                        self.targets[i] = self.symbols[op.name]
+                    elif op.name in extern:
+                        self.targets[i] = extern[op.name]
+                    else:
+                        raise UnresolvedSymbol(
+                            f"{self.name}: unresolved call target {op.name!r}"
+                        )
+
+    def symbol(self, name: str) -> int:
+        return self.symbols[name]
+
+
+class CodeRegistry:
+    """Maps instruction addresses to loaded programs."""
+
+    def __init__(self):
+        self._bases: List[int] = []
+        self._programs: List[LoadedProgram] = []
+
+    def register(self, loaded: LoadedProgram):
+        for base, prog in zip(self._bases, self._programs):
+            if loaded.base < prog.end and base < loaded.end:
+                raise ValueError(
+                    f"code overlap: {loaded.name} with {prog.name}"
+                )
+        pos = bisect_right(self._bases, loaded.base)
+        self._bases.insert(pos, loaded.base)
+        self._programs.insert(pos, loaded)
+
+    def lookup(self, addr: int) -> Tuple[LoadedProgram, int]:
+        pos = bisect_right(self._bases, addr) - 1
+        if pos >= 0:
+            loaded = self._programs[pos]
+            if loaded.base <= addr < loaded.end:
+                index = loaded.addr_to_index.get(addr)
+                if index is None:
+                    raise ExecutionFault(
+                        f"jump into the middle of an instruction at "
+                        f"{addr:#010x} in {loaded.name}"
+                    )
+                return loaded, index
+        raise ExecutionFault(f"execution of unmapped address {addr:#010x}")
+
+    def contains(self, addr: int) -> bool:
+        pos = bisect_right(self._bases, addr) - 1
+        return pos >= 0 and self._programs[pos].base <= addr < self._programs[pos].end
+
+    def program_at(self, addr: int) -> LoadedProgram:
+        return self.lookup(addr)[0]
+
+
+class NativeRegistry:
+    """Allocates native-plane addresses and dispatches calls to them."""
+
+    def __init__(self):
+        self.by_addr: Dict[int, NativeRoutine] = {}
+        self.by_name: Dict[str, int] = {}
+        self._next = NATIVE_BASE
+
+    def register(self, routine: NativeRoutine) -> int:
+        addr = self._next
+        self._next += 16
+        self.by_addr[addr] = routine
+        self.by_name[routine.name] = addr
+        return addr
+
+    def address_of(self, name: str) -> int:
+        return self.by_name[name]
+
+    def is_native(self, addr: int) -> bool:
+        return addr in self.by_addr
+
+
+class Cpu:
+    """The interpreter. One CPU, as in the paper's uniprocessor profile."""
+
+    def __init__(self, phys: PhysicalMemory, code: CodeRegistry,
+                 natives: NativeRegistry, account: CycleAccount,
+                 costs: Optional[InstructionCosts] = None):
+        self.phys = phys
+        self.code = code
+        self.natives = natives
+        self.account = account
+        self.costs = costs or InstructionCosts()
+        self.regs: Dict[str, int] = {
+            r: 0 for r in
+            ("eax", "ecx", "edx", "ebx", "esp", "ebp", "esi", "edi")
+        }
+        self.flags = {"zf": False, "sf": False, "cf": False, "of": False}
+        self.df = False
+        self.eip = SENTINEL_RETURN
+        self.address_space: Optional[AddressSpace] = None
+        self._category: List[str] = ["dom0"]
+        self.executed = 0
+        self.max_steps_per_call = 5_000_000
+        #: virtual-address ranges treated as cache-hot (stacks, stlb).
+        self.hot_ranges: List[Tuple[int, int]] = []
+        #: multiplies interpreter cycle charges (driver-speed calibration).
+        self.cycle_scale = 1.0
+
+    # -- accounting ----------------------------------------------------------
+
+    @property
+    def category(self) -> str:
+        return self._category[-1]
+
+    def push_category(self, category: str):
+        self._category.append(category)
+
+    def pop_category(self):
+        if len(self._category) == 1:
+            raise RuntimeError("category stack underflow")
+        self._category.pop()
+
+    def charge(self, cycles: float, category: Optional[str] = None):
+        self.account.charge(category or self.category,
+                            int(round(cycles * self.cycle_scale)))
+
+    def charge_raw(self, cycles: int, category: Optional[str] = None):
+        """Charge un-scaled cycles (used by modelled kernel costs)."""
+        self.account.charge(category or self.category, int(cycles))
+
+    # -- registers -------------------------------------------------------------
+
+    def get_reg(self, name: str) -> int:
+        if name in self.regs:
+            return self.regs[name]
+        parent = SUBREGISTERS[name]
+        value = self.regs[parent]
+        return value & (0xFF if len(name) == 2 and name[1] == "l" else 0xFFFF)
+
+    def set_reg(self, name: str, value: int):
+        if name in self.regs:
+            self.regs[name] = value & MASK32
+            return
+        parent = SUBREGISTERS[name]
+        if len(name) == 2 and name[1] == "l":
+            self.regs[parent] = (self.regs[parent] & ~0xFF) | (value & 0xFF)
+        else:
+            self.regs[parent] = (self.regs[parent] & ~0xFFFF) | (value & 0xFFFF)
+
+    # -- stack -------------------------------------------------------------------
+
+    def push(self, value: int):
+        self.regs["esp"] = (self.regs["esp"] - 4) & MASK32
+        self.write_mem(self.regs["esp"], 4, value)
+
+    def pop(self) -> int:
+        value = self.read_mem(self.regs["esp"], 4)
+        self.regs["esp"] = (self.regs["esp"] + 4) & MASK32
+        return value
+
+    def read_stack_arg(self, index: int) -> int:
+        """Argument ``index`` (0-based) for a native routine: the return
+        address sits at ``esp``, arguments above it."""
+        return self.read_mem(self.regs["esp"] + 4 + 4 * index, 4)
+
+    # -- memory -------------------------------------------------------------------
+
+    def add_hot_range(self, lo: int, hi: int):
+        self.hot_ranges.append((lo, hi))
+
+    def _mem_cost(self, vaddr: int) -> int:
+        for lo, hi in self.hot_ranges:
+            if lo <= vaddr < hi:
+                return self.costs.mem_hot
+        return self.costs.mem
+
+    def read_mem(self, vaddr: int, size: int) -> int:
+        vaddr &= MASK32
+        paddr = self.address_space.translate(vaddr)
+        if self.phys.mmio_region_at(paddr) is not None:
+            self.charge(self.costs.mmio)
+        else:
+            self.charge(self._mem_cost(vaddr))
+        return self._phys_access(paddr, vaddr, size, None)
+
+    def write_mem(self, vaddr: int, size: int, value: int):
+        vaddr &= MASK32
+        paddr = self.address_space.translate(vaddr, write=True)
+        if self.phys.mmio_region_at(paddr) is not None:
+            self.charge(self.costs.mmio)
+        else:
+            self.charge(self._mem_cost(vaddr))
+        self._phys_access(paddr, vaddr, size, value)
+
+    def _phys_access(self, paddr: int, vaddr: int, size: int,
+                     value: Optional[int]):
+        # Handle page-straddling accesses virtually (translations of the two
+        # halves may be discontiguous).
+        if (vaddr & 0xFFF) + size > 0x1000:
+            if value is None:
+                raw = self.address_space.read_bytes(vaddr, size)
+                return int.from_bytes(raw, "little")
+            self.address_space.write_bytes(
+                vaddr, (value & ((1 << (size * 8)) - 1)).to_bytes(size, "little")
+            )
+            return None
+        if value is None:
+            return self.phys.read(paddr, size)
+        self.phys.write(paddr, size, value)
+        return None
+
+    # -- operand evaluation ----------------------------------------------------------
+
+    def effective_address(self, mem: Mem) -> int:
+        if mem.symbol is not None:
+            raise UnresolvedSymbol(
+                f"unresolved data symbol {mem.symbol!r} at execution"
+            )
+        addr = mem.disp
+        if mem.base is not None:
+            addr += self.get_reg(mem.base)
+        if mem.index is not None:
+            addr += self.get_reg(mem.index) * mem.scale
+        return addr & MASK32
+
+    def read_operand(self, op, size: int) -> int:
+        if isinstance(op, Imm):
+            if op.symbol is not None:
+                raise UnresolvedSymbol(
+                    f"unresolved immediate symbol {op.symbol!r}"
+                )
+            return op.value & ((1 << (size * 8)) - 1)
+        if isinstance(op, Reg):
+            return self.get_reg(op.name) & ((1 << (size * 8)) - 1)
+        if isinstance(op, Mem):
+            return self.read_mem(self.effective_address(op), size)
+        raise ExecutionFault(f"cannot read operand {op!r}")
+
+    def write_operand(self, op, size: int, value: int):
+        if isinstance(op, Reg):
+            if size == 4 or op.name not in self.regs:
+                self.set_reg(op.name, value & ((1 << (size * 8)) - 1))
+            else:
+                # e.g. "movb $1, %eax" is rejected at parse; partial writes
+                # to full registers only happen via sub-register names.
+                masked = value & ((1 << (size * 8)) - 1)
+                current = self.regs[op.name]
+                self.regs[op.name] = (current & ~((1 << (size * 8)) - 1)) | masked
+            return
+        if isinstance(op, Mem):
+            self.write_mem(self.effective_address(op), size, value)
+            return
+        raise ExecutionFault(f"cannot write operand {op!r}")
+
+    # -- flags ------------------------------------------------------------------------
+
+    def _set_zsf(self, result: int, size: int):
+        bits = size * 8
+        masked = result & ((1 << bits) - 1)
+        self.flags["zf"] = masked == 0
+        self.flags["sf"] = bool(masked & (1 << (bits - 1)))
+
+    def _flags_add(self, a: int, b: int, size: int) -> int:
+        bits = size * 8
+        mask = (1 << bits) - 1
+        r = (a + b) & mask
+        sign = 1 << (bits - 1)
+        self.flags["cf"] = (a + b) > mask
+        self.flags["of"] = bool((~(a ^ b)) & (a ^ r) & sign)
+        self._set_zsf(r, size)
+        return r
+
+    def _flags_sub(self, a: int, b: int, size: int) -> int:
+        bits = size * 8
+        mask = (1 << bits) - 1
+        r = (a - b) & mask
+        sign = 1 << (bits - 1)
+        self.flags["cf"] = a < b
+        self.flags["of"] = bool((a ^ b) & (a ^ r) & sign)
+        self._set_zsf(r, size)
+        return r
+
+    def _flags_logic(self, r: int, size: int) -> int:
+        self.flags["cf"] = False
+        self.flags["of"] = False
+        self._set_zsf(r, size)
+        return r & ((1 << (size * 8)) - 1)
+
+    def condition(self, cc: str) -> bool:
+        f = self.flags
+        return {
+            "je": f["zf"], "jz": f["zf"],
+            "jne": not f["zf"], "jnz": not f["zf"],
+            "jl": f["sf"] != f["of"],
+            "jge": f["sf"] == f["of"],
+            "jle": f["zf"] or (f["sf"] != f["of"]),
+            "jg": (not f["zf"]) and f["sf"] == f["of"],
+            "jb": f["cf"],
+            "jae": not f["cf"],
+            "jbe": f["cf"] or f["zf"],
+            "ja": not (f["cf"] or f["zf"]),
+            "js": f["sf"],
+            "jns": not f["sf"],
+        }[cc]
+
+    def flags_word(self) -> int:
+        f = self.flags
+        return (
+            (1 if f["cf"] else 0)
+            | (1 << 6 if f["zf"] else 0)
+            | (1 << 7 if f["sf"] else 0)
+            | (1 << 11 if f["of"] else 0)
+            | (1 << 10 if self.df else 0)
+        )
+
+    def set_flags_word(self, word: int):
+        self.flags["cf"] = bool(word & 1)
+        self.flags["zf"] = bool(word & (1 << 6))
+        self.flags["sf"] = bool(word & (1 << 7))
+        self.flags["of"] = bool(word & (1 << 11))
+        self.df = bool(word & (1 << 10))
+
+    # -- invocation from Python ---------------------------------------------------------
+
+    def call_function(self, addr: int, args=(), stack_top: Optional[int] = None,
+                      category: Optional[str] = None) -> int:
+        """Invoke a function at ``addr`` with integer args, cdecl-style.
+
+        Used by the kernel/hypervisor layers to enter driver code. Nested
+        invocations (native routine -> driver callback) are supported.
+        """
+        saved_eip = self.eip
+        saved_esp = self.regs["esp"]
+        if stack_top is not None:
+            if self.eip != SENTINEL_RETURN:
+                # Nested invocation (e.g. an interrupt handler invoked while
+                # driver code is suspended): stack below the live frames
+                # instead of clobbering them from stack_top.
+                self.regs["esp"] = (saved_esp - 64) & ~0xF
+            else:
+                self.regs["esp"] = stack_top
+        if category is not None:
+            self.push_category(category)
+        try:
+            # Native target: dispatch directly.
+            routine = self.natives.by_addr.get(addr)
+            if routine is not None:
+                for value in reversed(args):
+                    self.push(value)
+                self.push(SENTINEL_RETURN)
+                self._invoke_native(routine)
+                return self.regs["eax"]
+            for value in reversed(args):
+                self.push(value)
+            self.push(SENTINEL_RETURN)
+            self.eip = addr
+            self._run_loop()
+            return self.regs["eax"]
+        finally:
+            if category is not None:
+                self.pop_category()
+            self.regs["esp"] = saved_esp
+            self.eip = saved_eip
+
+    def _run_loop(self):
+        budget = self.max_steps_per_call
+        steps = 0
+        while self.eip != SENTINEL_RETURN:
+            self.step()
+            steps += 1
+            if steps > budget:
+                raise CpuBudgetExceeded(
+                    f"driver executed more than {budget} instructions"
+                )
+
+    def _invoke_native(self, routine: NativeRoutine):
+        routine.calls += 1
+        self.charge(self.costs.native_call)
+        if routine.cost:
+            self.charge_raw(routine.cost, routine.category)
+        if routine.category is not None:
+            self.push_category(routine.category)
+        try:
+            result = routine.fn(self)
+        finally:
+            if routine.category is not None:
+                self.pop_category()
+        if result is not None:
+            self.regs["eax"] = result & MASK32
+        self.eip = self.pop()
+
+    # -- the interpreter ---------------------------------------------------------------
+
+    def step(self):
+        loaded, index = self.code.lookup(self.eip)
+        instr = loaded.program.instructions[index]
+        self.executed += 1
+        next_addr = (
+            loaded.addrs[index + 1]
+            if index + 1 < len(loaded.addrs) else loaded.end
+        )
+        self.eip = next_addr
+        self._execute(instr, loaded, index)
+
+    def _branch_target(self, instr: Instruction, loaded: LoadedProgram,
+                       index: int) -> int:
+        if instr.indirect:
+            op = instr.operands[0]
+            if isinstance(op, Reg):
+                return self.get_reg(op.name)
+            if isinstance(op, Mem):
+                self.charge(self.costs.mem)
+                return self.read_mem(self.effective_address(op), 4)
+            raise ExecutionFault("bad indirect target operand")
+        return loaded.targets[index]
+
+    def _execute(self, instr: Instruction, loaded: LoadedProgram, index: int):
+        m = instr.mnemonic
+        size = instr.size
+        costs = self.costs
+        self.charge(costs.alu)
+
+        if m == "nop" or m in ("cld", "std", "sti", "cli"):
+            if m == "cld":
+                self.df = False
+            elif m == "std":
+                self.df = True
+            return
+        if m in ("int3", "ud2", "hlt"):
+            raise ExecutionFault(f"{m} executed at {loaded.name}[{index}]")
+
+        if m == "mov":
+            value = self.read_operand(instr.src, size)
+            self.write_operand(instr.dst, size, value)
+            return
+        if m in ("movzb", "movzw"):
+            value = self.read_operand(instr.src, size)
+            self.write_operand(instr.dst, 4, value)
+            return
+        if m == "movsx":
+            value = self.read_operand(instr.src, size)
+            bits = size * 8
+            if value & (1 << (bits - 1)):
+                value |= MASK32 ^ ((1 << bits) - 1)
+            self.write_operand(instr.dst, 4, value)
+            return
+        if m == "lea":
+            self.write_operand(instr.dst, 4,
+                               self.effective_address(instr.src))
+            return
+        if m == "xchg":
+            a = self.read_operand(instr.src, size)
+            b = self.read_operand(instr.dst, size)
+            self.write_operand(instr.src, size, b)
+            self.write_operand(instr.dst, size, a)
+            return
+
+        if m in ("add", "sub", "and", "or", "xor", "imul", "cmp", "test"):
+            a = self.read_operand(instr.dst, size)
+            b = self.read_operand(instr.src, size)
+            if m == "add":
+                r = self._flags_add(a, b, size)
+            elif m in ("sub", "cmp"):
+                r = self._flags_sub(a, b, size)
+            elif m in ("and", "test"):
+                r = self._flags_logic(a & b, size)
+            elif m == "or":
+                r = self._flags_logic(a | b, size)
+            elif m == "xor":
+                r = self._flags_logic(a ^ b, size)
+            else:  # imul
+                full = a * b
+                r = full & ((1 << (size * 8)) - 1)
+                self.flags["cf"] = self.flags["of"] = full != r
+                self._set_zsf(r, size)
+            if m not in ("cmp", "test"):
+                self.write_operand(instr.dst, size, r)
+            return
+
+        if m in ("shl", "shr", "sar"):
+            count = self.read_operand(instr.src, 1) & 0x1F
+            value = self.read_operand(instr.dst, size)
+            bits = size * 8
+            if count == 0:
+                return
+            if m == "shl":
+                r = value << count
+                self.flags["cf"] = bool(r & (1 << bits))
+                r &= (1 << bits) - 1
+            elif m == "shr":
+                self.flags["cf"] = bool((value >> (count - 1)) & 1)
+                r = value >> count
+            else:  # sar
+                sign = value & (1 << (bits - 1))
+                v = value
+                for _ in range(count):
+                    v = (v >> 1) | sign
+                self.flags["cf"] = bool((value >> (count - 1)) & 1)
+                r = v & ((1 << bits) - 1)
+            self.flags["of"] = False
+            self._set_zsf(r, size)
+            self.write_operand(instr.dst, size, r)
+            return
+
+        if m in ("inc", "dec", "neg", "not"):
+            value = self.read_operand(instr.dst, size)
+            cf = self.flags["cf"]
+            if m == "inc":
+                r = self._flags_add(value, 1, size)
+                self.flags["cf"] = cf  # inc/dec preserve CF
+            elif m == "dec":
+                r = self._flags_sub(value, 1, size)
+                self.flags["cf"] = cf
+            elif m == "neg":
+                r = self._flags_sub(0, value, size)
+            else:
+                r = (~value) & ((1 << (size * 8)) - 1)
+            self.write_operand(instr.dst, size, r)
+            return
+
+        if m == "push":
+            self.push(self.read_operand(instr.src, 4))
+            return
+        if m == "pop":
+            self.write_operand(instr.dst, 4, self.pop())
+            return
+        if m == "pushf":
+            self.push(self.flags_word())
+            return
+        if m == "popf":
+            self.set_flags_word(self.pop())
+            return
+
+        if m == "call":
+            self.charge(costs.call)
+            target = self._branch_target(instr, loaded, index)
+            routine = self.natives.by_addr.get(target)
+            if routine is not None:
+                self.push(self.eip)
+                self._invoke_native(routine)
+                return
+            self.push(self.eip)
+            self.eip = target
+            return
+        if m == "ret":
+            self.charge(costs.ret)
+            self.eip = self.pop()
+            return
+        if m == "jmp":
+            target = self._branch_target(instr, loaded, index)
+            routine = self.natives.by_addr.get(target)
+            if routine is not None:
+                # Tail call into a native routine: return address is the
+                # caller's, already on the stack.
+                self._invoke_native(routine)
+                return
+            self.eip = target
+            return
+        if instr.is_conditional:
+            if self.condition(m):
+                self.eip = loaded.targets[index]
+            return
+
+        if instr.is_string:
+            self._execute_string(instr)
+            return
+
+        raise ExecutionFault(f"unimplemented mnemonic {m!r}")  # pragma: no cover
+
+    # -- string instructions ----------------------------------------------------------
+
+    def _string_element(self, instr: Instruction) -> bool:
+        """One element of a string op; returns the zf produced (for cmps/scas)."""
+        size = instr.size
+        step = -size if self.df else size
+        m = instr.mnemonic
+        if m == "movs":
+            value = self.read_mem(self.regs["esi"], size)
+            self.write_mem(self.regs["edi"], size, value)
+            self.regs["esi"] = (self.regs["esi"] + step) & MASK32
+            self.regs["edi"] = (self.regs["edi"] + step) & MASK32
+        elif m == "stos":
+            self.write_mem(self.regs["edi"], size,
+                           self.get_reg("eax"))
+            self.regs["edi"] = (self.regs["edi"] + step) & MASK32
+        elif m == "lods":
+            value = self.read_mem(self.regs["esi"], size)
+            mask = (1 << (size * 8)) - 1
+            self.regs["eax"] = (self.regs["eax"] & ~mask) | (value & mask)
+            self.regs["esi"] = (self.regs["esi"] + step) & MASK32
+        elif m == "cmps":
+            a = self.read_mem(self.regs["esi"], size)
+            b = self.read_mem(self.regs["edi"], size)
+            self._flags_sub(a, b, size)
+            self.regs["esi"] = (self.regs["esi"] + step) & MASK32
+            self.regs["edi"] = (self.regs["edi"] + step) & MASK32
+        elif m == "scas":
+            a = self.get_reg("eax") & ((1 << (size * 8)) - 1)
+            b = self.read_mem(self.regs["edi"], size)
+            self._flags_sub(a, b, size)
+            self.regs["edi"] = (self.regs["edi"] + step) & MASK32
+        return self.flags["zf"]
+
+    def _execute_string(self, instr: Instruction):
+        if instr.prefix is None:
+            self.charge(self.costs.string_per_unit)
+            self._string_element(instr)
+            return
+        while self.regs["ecx"] != 0:
+            self.charge(self.costs.string_per_unit)
+            zf = self._string_element(instr)
+            self.regs["ecx"] = (self.regs["ecx"] - 1) & MASK32
+            if instr.prefix == "repe" and not zf:
+                break
+            if instr.prefix == "repne" and zf:
+                break

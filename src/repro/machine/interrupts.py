@@ -1,0 +1,53 @@
+"""Interrupt controller: device lines into the hypervisor.
+
+Devices assert an IRQ line; the controller records it and, if a dispatcher
+is installed (the hypervisor registers one), delivers synchronously. The
+hypervisor decides routing — native kernel handler, dom0 virtual IRQ, or
+the TwinDrivers hypervisor-driver softirq path.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+
+class InterruptController:
+    """Device IRQ lines with masking and a pluggable dispatcher."""
+
+    def __init__(self):
+        self.pending: List[int] = []
+        self.masked: Dict[int, bool] = {}
+        self.dispatcher: Optional[Callable[[int], None]] = None
+        self.raised_count: Dict[int, int] = {}
+        self._in_dispatch = False
+
+    def set_dispatcher(self, dispatcher: Callable[[int], None]):
+        self.dispatcher = dispatcher
+
+    def mask(self, irq: int):
+        self.masked[irq] = True
+
+    def unmask(self, irq: int):
+        self.masked[irq] = False
+        self._drain()
+
+    def raise_irq(self, irq: int):
+        self.raised_count[irq] = self.raised_count.get(irq, 0) + 1
+        self.pending.append(irq)
+        self._drain()
+
+    def _drain(self):
+        # Avoid re-entrant dispatch when a handler's actions raise further
+        # interrupts (e.g. the driver refilling the rx ring).
+        if self.dispatcher is None or self._in_dispatch:
+            return
+        self._in_dispatch = True
+        try:
+            while self.pending:
+                irq = self.pending[0]
+                if self.masked.get(irq):
+                    break
+                self.pending.pop(0)
+                self.dispatcher(irq)
+        finally:
+            self._in_dispatch = False

@@ -1,0 +1,138 @@
+"""Physical memory: frames, a frame allocator, and an MMIO bus.
+
+All state the simulated system touches — driver data structures, sk_buffs,
+NIC descriptor rings, page tables' targets, stacks — lives in instances of
+:class:`PhysicalMemory`. Accessing an unallocated frame raises
+:class:`BusError`, which catches stray DMA addresses and loader bugs.
+
+Device registers are claimed as MMIO regions: physical accesses that fall
+inside a region are dispatched to the owning device model instead of RAM,
+exactly how the driver's register reads/writes reach our e1000 model.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+PAGE_SHIFT = 12
+PAGE_SIZE = 1 << PAGE_SHIFT
+PAGE_MASK = ~(PAGE_SIZE - 1) & 0xFFFFFFFF
+OFFSET_MASK = PAGE_SIZE - 1
+
+
+class BusError(Exception):
+    """Physical access to memory that is neither RAM nor MMIO."""
+
+    def __init__(self, paddr: int, why: str = "unallocated frame"):
+        super().__init__(f"bus error at physical {paddr:#010x}: {why}")
+        self.paddr = paddr
+
+
+class MMIORegion:
+    """A physical address range owned by a device model."""
+
+    def __init__(self, start: int, size: int, device):
+        self.start = start
+        self.end = start + size
+        self.device = device
+
+    def contains(self, paddr: int) -> bool:
+        return self.start <= paddr < self.end
+
+
+class PhysicalMemory:
+    """Frame-granular RAM plus MMIO dispatch."""
+
+    def __init__(self, frames: int = 65536):
+        self.max_frames = frames
+        self._frames: Dict[int, bytearray] = {}
+        self._next_frame = 1  # frame 0 reserved: catches null-ish DMA
+        self._mmio: List[MMIORegion] = []
+
+    # -- allocation --------------------------------------------------------------
+
+    def allocate_frame(self) -> int:
+        """Allocate one zeroed frame, returning its frame number."""
+        if self._next_frame >= self.max_frames:
+            raise MemoryError("physical memory exhausted")
+        frame = self._next_frame
+        self._next_frame += 1
+        self._frames[frame] = bytearray(PAGE_SIZE)
+        return frame
+
+    def allocate_frames(self, n: int) -> List[int]:
+        return [self.allocate_frame() for _ in range(n)]
+
+    def frame_allocated(self, frame: int) -> bool:
+        return frame in self._frames
+
+    @property
+    def allocated_frames(self) -> int:
+        return len(self._frames)
+
+    # -- MMIO --------------------------------------------------------------------
+
+    def add_mmio_region(self, start: int, size: int, device) -> MMIORegion:
+        region = MMIORegion(start, size, device)
+        for other in self._mmio:
+            if region.start < other.end and other.start < region.end:
+                raise ValueError("overlapping MMIO regions")
+        self._mmio.append(region)
+        return region
+
+    def mmio_region_at(self, paddr: int) -> Optional[MMIORegion]:
+        for region in self._mmio:
+            if region.contains(paddr):
+                return region
+        return None
+
+    # -- access ------------------------------------------------------------------
+
+    def _frame_data(self, paddr: int) -> Tuple[bytearray, int]:
+        frame = paddr >> PAGE_SHIFT
+        data = self._frames.get(frame)
+        if data is None:
+            raise BusError(paddr)
+        return data, paddr & OFFSET_MASK
+
+    def read(self, paddr: int, size: int) -> int:
+        """Little-endian read of 1/2/4 bytes, MMIO-aware."""
+        region = self.mmio_region_at(paddr)
+        if region is not None:
+            return region.device.mmio_read(paddr - region.start, size)
+        return int.from_bytes(self.read_bytes(paddr, size), "little")
+
+    def write(self, paddr: int, size: int, value: int):
+        region = self.mmio_region_at(paddr)
+        if region is not None:
+            region.device.mmio_write(paddr - region.start, size,
+                                     value & ((1 << (size * 8)) - 1))
+            return
+        self.write_bytes(paddr, (value & ((1 << (size * 8)) - 1))
+                         .to_bytes(size, "little"))
+
+    def read_bytes(self, paddr: int, n: int) -> bytes:
+        out = bytearray()
+        while n > 0:
+            data, off = self._frame_data(paddr)
+            chunk = min(n, PAGE_SIZE - off)
+            out += data[off: off + chunk]
+            paddr += chunk
+            n -= chunk
+        return bytes(out)
+
+    def write_bytes(self, paddr: int, payload: bytes):
+        pos = 0
+        n = len(payload)
+        while pos < n:
+            data, off = self._frame_data(paddr)
+            chunk = min(n - pos, PAGE_SIZE - off)
+            data[off: off + chunk] = payload[pos: pos + chunk]
+            paddr += chunk
+            pos += chunk
+
+    def read_u32(self, paddr: int) -> int:
+        return self.read(paddr, 4)
+
+    def write_u32(self, paddr: int, value: int):
+        self.write(paddr, 4, value)

@@ -1,0 +1,293 @@
+"""e1000-style NIC device model: MMIO registers, descriptor rings, DMA.
+
+The device is programmed exactly the way the driver binary programs it:
+by writing ring base/head/tail registers through MMIO and by placing
+legacy-style 16-byte descriptors in (physical) memory. Transmit works by
+the driver advancing TDT; the device DMAs the buffers out and raises a
+TXDW interrupt. Receive works by the device DMAing an incoming frame into
+the next free rx descriptor's buffer and raising RXT0.
+
+Register offsets loosely follow the Intel 8254x datasheet so the driver
+assembly reads like a real e1000 driver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from .interrupts import InterruptController
+from .iommu import Iommu, IommuFault
+from .memory import PhysicalMemory
+
+# Register offsets (bytes from the MMIO base).
+REG_CTRL = 0x0000
+REG_STATUS = 0x0008
+REG_ICR = 0x00C0      # interrupt cause read (read-to-clear)
+REG_IMS = 0x00D0      # interrupt mask set
+REG_IMC = 0x00D8      # interrupt mask clear
+REG_RCTL = 0x0100
+REG_TCTL = 0x0400
+REG_RDBAL = 0x2800
+REG_RDLEN = 0x2808
+REG_RDH = 0x2810
+REG_RDT = 0x2818
+REG_TDBAL = 0x3800
+REG_TDLEN = 0x3808
+REG_TDH = 0x3810
+REG_TDT = 0x3818
+
+MMIO_SIZE = 0x4000
+
+# Interrupt cause bits.
+ICR_TXDW = 0x01       # transmit descriptor written back
+ICR_LSC = 0x04        # link status change
+ICR_RXT0 = 0x80       # receiver timer / packet received
+
+# Control/status bits.
+CTRL_RST = 0x04000000
+STATUS_LU = 0x02      # link up
+TCTL_EN = 0x02
+RCTL_EN = 0x02
+
+# Descriptor layout (16 bytes, legacy-ish).
+DESC_ADDR = 0         # u32 buffer physical address
+DESC_LEN = 8          # u32 length
+DESC_FLAGS = 12       # u32: bit0 DD (device done), bit1 EOP
+DESC_SIZE = 16
+DESC_DD = 0x1
+DESC_EOP = 0x2
+
+
+@dataclass
+class NicStats:
+    """Per-device counters (packets, bytes, drops, interrupts, faults)."""
+
+    tx_packets: int = 0
+    tx_bytes: int = 0
+    rx_packets: int = 0
+    rx_bytes: int = 0
+    rx_dropped_no_desc: int = 0
+    interrupts: int = 0
+    dma_faults: int = 0
+
+
+class E1000Device:
+    """One simulated NIC attached to physical memory and an IRQ line."""
+
+    def __init__(self, phys: PhysicalMemory, intc: InterruptController,
+                 irq: int, mmio_phys_base: int, mac: bytes,
+                 name: str = "eth0"):
+        if len(mac) != 6:
+            raise ValueError("MAC must be 6 bytes")
+        self.phys = phys
+        self.intc = intc
+        self.irq = irq
+        self.mac = bytes(mac)
+        self.name = name
+        self.regs = {
+            REG_CTRL: 0,
+            REG_STATUS: STATUS_LU,
+            REG_ICR: 0,
+            REG_IMS: 0,
+            REG_RCTL: 0,
+            REG_TCTL: 0,
+            REG_RDBAL: 0, REG_RDLEN: 0, REG_RDH: 0, REG_RDT: 0,
+            REG_TDBAL: 0, REG_TDLEN: 0, REG_TDH: 0, REG_TDT: 0,
+        }
+        self.stats = NicStats()
+        self.on_transmit: Optional[Callable[["E1000Device", bytes], None]] = None
+        self.mmio = phys.add_mmio_region(mmio_phys_base, MMIO_SIZE, self)
+        self._tx_fragments: List[bytes] = []
+        #: interrupt coalescing: raise the line only every Nth cause (the
+        #: 8254x's interrupt throttling timers, simplified). 1 = immediate.
+        self.interrupt_batch = 1
+        self._coalesced = 0
+        #: optional DMA protection (paper §4.5): when set, every DMA this
+        #: device performs is checked against programmed windows.
+        self.iommu: Optional[Iommu] = None
+
+    # -- MMIO interface ------------------------------------------------------
+
+    def mmio_read(self, offset: int, size: int) -> int:
+        value = self.regs.get(offset, 0)
+        if offset == REG_ICR:
+            # read-to-clear, as on real hardware
+            self.regs[REG_ICR] = 0
+        return value & ((1 << (size * 8)) - 1)
+
+    def mmio_write(self, offset: int, size: int, value: int):
+        if offset == REG_ICR:
+            self.regs[REG_ICR] &= ~value
+            return
+        if offset == REG_IMS:
+            self.regs[REG_IMS] |= value
+            self._maybe_interrupt()
+            return
+        if offset == REG_IMC:
+            self.regs[REG_IMS] &= ~value
+            return
+        if offset == REG_CTRL and value & CTRL_RST:
+            self._reset()
+            return
+        self.regs[offset] = value
+        if offset == REG_TDT:
+            self._process_tx()
+
+    def _reset(self):
+        for off in (REG_RDBAL, REG_RDLEN, REG_RDH, REG_RDT,
+                    REG_TDBAL, REG_TDLEN, REG_TDH, REG_TDT,
+                    REG_ICR, REG_IMS, REG_RCTL, REG_TCTL):
+            self.regs[off] = 0
+        self.regs[REG_STATUS] = STATUS_LU
+
+    # -- DMA (IOMMU-checked when protection is enabled) --------------------------
+
+    def _dma_read_bytes(self, paddr: int, n: int) -> bytes:
+        if self.iommu is not None:
+            self.iommu.check(self.name, paddr, n, write=False)
+        return self.phys.read_bytes(paddr, n)
+
+    def _dma_write_bytes(self, paddr: int, payload: bytes):
+        if self.iommu is not None:
+            self.iommu.check(self.name, paddr, len(payload), write=True)
+        self.phys.write_bytes(paddr, payload)
+
+    # descriptor-ring accesses are DMA too, but the ring was mapped by
+    # dma_alloc_coherent which programs a persistent window; device models
+    # commonly treat ring traffic as covered by that window.
+    def _dma_read_u32(self, paddr: int) -> int:
+        if self.iommu is not None:
+            self.iommu.check(self.name, paddr, 4, write=False)
+        return self.phys.read_u32(paddr)
+
+    def _dma_write_u32(self, paddr: int, value: int):
+        if self.iommu is not None:
+            self.iommu.check(self.name, paddr, 4, write=True)
+        self.phys.write_u32(paddr, value)
+
+    # -- descriptors -----------------------------------------------------------
+
+    def _ring_entries(self, len_reg: int) -> int:
+        return self.regs[len_reg] // DESC_SIZE
+
+    def _desc_addr(self, base_reg: int, index: int) -> int:
+        return self.regs[base_reg] + index * DESC_SIZE
+
+    # -- transmit ------------------------------------------------------------------
+
+    def _process_tx(self):
+        if not self.regs[REG_TCTL] & TCTL_EN:
+            return
+        entries = self._ring_entries(REG_TDLEN)
+        if entries == 0:
+            return
+        did_work = False
+        while self.regs[REG_TDH] != self.regs[REG_TDT]:
+            head = self.regs[REG_TDH]
+            desc = self._desc_addr(REG_TDBAL, head)
+            try:
+                addr = self._dma_read_u32(desc + DESC_ADDR)
+                length = self._dma_read_u32(desc + DESC_LEN)
+                flags = self._dma_read_u32(desc + DESC_FLAGS)
+                payload = (self._dma_read_bytes(addr, length)
+                           if length else b"")
+            except IommuFault:
+                # the IOMMU blocked the transfer: drop this descriptor,
+                # exactly what protects memory from a rogue bus address
+                self.stats.dma_faults += 1
+                self._tx_fragments = []
+                self.regs[REG_TDH] = (head + 1) % entries
+                did_work = True
+                continue
+            self._tx_fragments.append(payload)
+            if flags & DESC_EOP:
+                packet = b"".join(self._tx_fragments)
+                self._tx_fragments = []
+                self.stats.tx_packets += 1
+                self.stats.tx_bytes += len(packet)
+                if self.on_transmit is not None:
+                    self.on_transmit(self, packet)
+            self._dma_write_u32(desc + DESC_FLAGS, flags | DESC_DD)
+            self.regs[REG_TDH] = (head + 1) % entries
+            did_work = True
+        if did_work:
+            self.regs[REG_ICR] |= ICR_TXDW
+            self._maybe_interrupt()
+
+    # -- receive -----------------------------------------------------------------------
+
+    def rx_slots_free(self) -> int:
+        entries = self._ring_entries(REG_RDLEN)
+        if entries == 0:
+            return 0
+        head, tail = self.regs[REG_RDH], self.regs[REG_RDT]
+        return (tail - head) % entries
+
+    def receive(self, packet: bytes) -> bool:
+        """Deliver a frame from the wire into the rx ring. Returns False
+        (and counts a drop) when the ring has no free descriptors."""
+        if not self.regs[REG_RCTL] & RCTL_EN or self.rx_slots_free() == 0:
+            self.stats.rx_dropped_no_desc += 1
+            return False
+        entries = self._ring_entries(REG_RDLEN)
+        head = self.regs[REG_RDH]
+        desc = self._desc_addr(REG_RDBAL, head)
+        try:
+            addr = self._dma_read_u32(desc + DESC_ADDR)
+            self._dma_write_bytes(addr, packet)
+            self._dma_write_u32(desc + DESC_LEN, len(packet))
+            self._dma_write_u32(desc + DESC_FLAGS, DESC_DD | DESC_EOP)
+        except IommuFault:
+            self.stats.dma_faults += 1
+            return False
+        self.regs[REG_RDH] = (head + 1) % entries
+        self.stats.rx_packets += 1
+        self.stats.rx_bytes += len(packet)
+        self.regs[REG_ICR] |= ICR_RXT0
+        self._maybe_interrupt()
+        return True
+
+    # -- interrupts -------------------------------------------------------------------------
+
+    def _maybe_interrupt(self):
+        if not self.regs[REG_ICR] & self.regs[REG_IMS]:
+            return
+        self._coalesced += 1
+        if self._coalesced < self.interrupt_batch:
+            return
+        self._coalesced = 0
+        self.stats.interrupts += 1
+        self.intc.raise_irq(self.irq)
+
+    def flush_interrupts(self):
+        """Deliver any coalesced-but-unraised interrupt immediately."""
+        self._coalesced = 0
+        if self.regs[REG_ICR] & self.regs[REG_IMS]:
+            self.stats.interrupts += 1
+            self.intc.raise_irq(self.irq)
+
+
+class Wire:
+    """The network: sinks transmitted frames, injects received ones.
+
+    Benchmarks use it as a traffic generator/sink rather than simulating
+    the five client machines packet-by-packet."""
+
+    def __init__(self):
+        self.transmitted: List[bytes] = []
+        self.keep_payloads = False
+        self.tx_count = 0
+        self.tx_bytes = 0
+
+    def attach(self, nic: E1000Device):
+        nic.on_transmit = self._on_transmit
+
+    def _on_transmit(self, nic: E1000Device, packet: bytes):
+        self.tx_count += 1
+        self.tx_bytes += len(packet)
+        if self.keep_payloads:
+            self.transmitted.append(packet)
+
+    def inject(self, nic: E1000Device, packet: bytes) -> bool:
+        return nic.receive(packet)

@@ -1,0 +1,28 @@
+"""Measurement: cycle accounting and throughput conversion."""
+
+from .cycles import CATEGORIES, CycleAccount, PacketProfile, format_profile_table
+from .throughput import (
+    CPU_HZ,
+    DEFAULT_NICS,
+    NIC_GOODPUT_MBPS,
+    PACKET_BITS,
+    PACKET_BYTES,
+    ThroughputResult,
+    improvement_factor,
+    throughput_from_cycles,
+)
+
+__all__ = [
+    "CATEGORIES",
+    "CPU_HZ",
+    "CycleAccount",
+    "DEFAULT_NICS",
+    "NIC_GOODPUT_MBPS",
+    "PACKET_BITS",
+    "PACKET_BYTES",
+    "PacketProfile",
+    "ThroughputResult",
+    "format_profile_table",
+    "improvement_factor",
+    "throughput_from_cycles",
+]

@@ -1,0 +1,93 @@
+"""Cycle accounting in the paper's four profile categories.
+
+Figures 7 and 8 of the paper break per-packet CPU cost into four
+categories: ``dom0`` (driver-domain / native kernel), ``domU`` (guest
+kernel), ``Xen`` (hypervisor) and ``e1000`` (the driver itself). Every
+cycle charged anywhere in the simulator lands in exactly one of these
+buckets, so the profile benchmarks can print the same stacked bars.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable
+
+#: The paper's profile categories (figure 7/8 legend order).
+CATEGORIES = ("dom0", "domU", "Xen", "e1000")
+
+
+class CycleAccount:
+    """Accumulates cycles per category plus free-form event counters."""
+
+    def __init__(self):
+        self.cycles: Dict[str, int] = {c: 0 for c in CATEGORIES}
+        self.events: Dict[str, int] = {}
+
+    def charge(self, category: str, cycles: int):
+        if category not in self.cycles:
+            raise KeyError(f"unknown cycle category {category!r}")
+        if cycles < 0:
+            raise ValueError("cannot charge negative cycles")
+        self.cycles[category] += cycles
+
+    def count(self, event: str, n: int = 1):
+        self.events[event] = self.events.get(event, 0) + n
+
+    @property
+    def total(self) -> int:
+        return sum(self.cycles.values())
+
+    def merged(self, other: "CycleAccount") -> "CycleAccount":
+        out = CycleAccount()
+        for c in CATEGORIES:
+            out.cycles[c] = self.cycles[c] + other.cycles[c]
+        for k in set(self.events) | set(other.events):
+            out.events[k] = self.events.get(k, 0) + other.events.get(k, 0)
+        return out
+
+    def snapshot(self) -> Dict[str, int]:
+        return dict(self.cycles)
+
+    def delta_since(self, snapshot: Dict[str, int]) -> Dict[str, int]:
+        return {c: self.cycles[c] - snapshot.get(c, 0) for c in CATEGORIES}
+
+    def reset(self):
+        self.cycles = {c: 0 for c in CATEGORIES}
+        self.events = {}
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        parts = ", ".join(f"{c}={v}" for c, v in self.cycles.items() if v)
+        return f"CycleAccount({parts})"
+
+
+@dataclass
+class PacketProfile:
+    """Per-packet cycle breakdown — one stacked bar of figure 7/8."""
+
+    config: str
+    direction: str                     # "tx" | "rx"
+    packets: int
+    cycles: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def per_packet(self) -> Dict[str, float]:
+        if self.packets == 0:
+            return {c: 0.0 for c in CATEGORIES}
+        return {c: self.cycles.get(c, 0) / self.packets for c in CATEGORIES}
+
+    @property
+    def total_per_packet(self) -> float:
+        return sum(self.per_packet.values())
+
+    def format_row(self) -> str:
+        pp = self.per_packet
+        cells = "  ".join(f"{c}={pp[c]:8.0f}" for c in CATEGORIES)
+        return (f"{self.config:12s} {self.direction:2s}  {cells}  "
+                f"total={self.total_per_packet:8.0f}")
+
+
+def format_profile_table(profiles: Iterable[PacketProfile],
+                         title: str) -> str:
+    lines = [title, "-" * len(title)]
+    lines.extend(p.format_row() for p in profiles)
+    return "\n".join(lines)

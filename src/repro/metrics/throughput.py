@@ -1,0 +1,89 @@
+"""Throughput math: cycles/packet -> Mb/s, CPU utilisation, CPU-scaled units.
+
+The paper's testbed is a 3.0 GHz Xeon with five 1 Gb/s NICs. Throughput in
+any configuration is the smaller of the line-rate bound (5 x ~938 Mb/s TCP
+goodput) and the CPU bound (cycles available / cycles per packet). The
+paper reports *CPU-scaled units* — throughput divided by CPU utilisation —
+when comparing configurations that are not all CPU-saturated (only native
+Linux transmit leaves CPU headroom: 4690 Mb/s at 76.9 % CPU).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Testbed parameters (paper §6.1).
+CPU_HZ = 3_000_000_000
+NIC_LINE_MBPS = 1000.0
+#: Practical TCP goodput of a single GigE NIC: 4690 Mb/s over 5 NICs.
+NIC_GOODPUT_MBPS = 938.0
+DEFAULT_NICS = 5
+#: MTU-sized packet: 1500 bytes on the wire per TCP segment.
+PACKET_BYTES = 1500
+PACKET_BITS = PACKET_BYTES * 8
+
+
+@dataclass
+class ThroughputResult:
+    """Outcome of a streaming benchmark run for one configuration."""
+
+    config: str
+    direction: str
+    cycles_per_packet: float
+    throughput_mbps: float
+    cpu_utilization: float           # 0..1
+    nics: int
+
+    @property
+    def cpu_scaled_mbps(self) -> float:
+        """Throughput normalised to 100 % CPU — the paper's comparison unit."""
+        if self.cpu_utilization <= 0:
+            return 0.0
+        return self.throughput_mbps / self.cpu_utilization
+
+    def format_row(self) -> str:
+        return (
+            f"{self.config:12s} {self.direction:2s} "
+            f"{self.throughput_mbps:7.0f} Mb/s  "
+            f"cpu={self.cpu_utilization * 100:5.1f}%  "
+            f"cpu-scaled={self.cpu_scaled_mbps:7.0f} Mb/s  "
+            f"({self.cycles_per_packet:7.0f} cyc/pkt)"
+        )
+
+
+def throughput_from_cycles(
+    config: str,
+    direction: str,
+    cycles_per_packet: float,
+    nics: int = DEFAULT_NICS,
+    cpu_hz: int = CPU_HZ,
+    packet_bits: int = PACKET_BITS,
+    goodput_per_nic_mbps: float = NIC_GOODPUT_MBPS,
+) -> ThroughputResult:
+    """Convert a measured cycles/packet figure into a throughput result.
+
+    The achievable packet rate is ``min(line rate, CPU rate)``; CPU
+    utilisation is the fraction of the CPU needed to sustain the achieved
+    rate (capped at 1.0).
+    """
+    if cycles_per_packet <= 0:
+        raise ValueError("cycles_per_packet must be positive")
+    line_pps = nics * goodput_per_nic_mbps * 1e6 / packet_bits
+    cpu_pps = cpu_hz / cycles_per_packet
+    achieved_pps = min(line_pps, cpu_pps)
+    throughput_mbps = achieved_pps * packet_bits / 1e6
+    utilization = min(1.0, achieved_pps * cycles_per_packet / cpu_hz)
+    return ThroughputResult(
+        config=config,
+        direction=direction,
+        cycles_per_packet=cycles_per_packet,
+        throughput_mbps=throughput_mbps,
+        cpu_utilization=utilization,
+        nics=nics,
+    )
+
+
+def improvement_factor(result: ThroughputResult,
+                       baseline: ThroughputResult) -> float:
+    """CPU-scaled improvement factor (the paper's 2.4x / 2.1x numbers)."""
+    return result.cpu_scaled_mbps / baseline.cpu_scaled_mbps

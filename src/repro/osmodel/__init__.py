@@ -1,0 +1,24 @@
+"""Mini-Linux kernel model: heap, sk_buffs, netdev, support routines."""
+
+from . import layout
+from .heap import HeapError, KernelHeap
+from .kernel import BROADCAST_MAC, DriverModule, Kernel, KernelError
+from .netdev import NetDevice
+from .skbuff import SkBuff, init_skb
+from .support import FAST_PATH_ROUTINES, SupportError, SupportLibrary
+
+__all__ = [
+    "BROADCAST_MAC",
+    "DriverModule",
+    "FAST_PATH_ROUTINES",
+    "HeapError",
+    "Kernel",
+    "KernelError",
+    "KernelHeap",
+    "NetDevice",
+    "SkBuff",
+    "SupportError",
+    "SupportLibrary",
+    "init_skb",
+    "layout",
+]

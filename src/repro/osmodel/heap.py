@@ -1,0 +1,124 @@
+"""Kernel heap allocator over a domain's address space.
+
+A slab-flavoured allocator: requests are rounded up to a power-of-two size
+class and naturally aligned, so allocations of up to a page never straddle
+a physical page boundary — which is what lets the NIC DMA an sk_buff data
+buffer with a single (physical) bus address, as on Linux.
+
+Page-or-larger allocations take whole pages backed by *contiguous
+physical frames* (``dma_alloc_coherent`` semantics for descriptor rings).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..machine.memory import PAGE_SIZE
+from ..machine.paging import AddressSpace
+from .layout import KERNEL_HEAP_BASE, KERNEL_HEAP_LIMIT
+
+_MIN_CLASS = 32
+
+
+class HeapError(MemoryError):
+    """Allocation failure or invalid free."""
+
+    pass
+
+
+class KernelHeap:
+    def __init__(self, aspace: AddressSpace,
+                 base: int = KERNEL_HEAP_BASE,
+                 limit: int = KERNEL_HEAP_LIMIT):
+        self.aspace = aspace
+        self.base = base
+        self.limit = limit
+        self._brk = base
+        self._free: Dict[int, List[int]] = {}
+        self._sizes: Dict[int, int] = {}   # vaddr -> size class
+        self.allocated_bytes = 0
+        self.total_allocs = 0
+
+    # -- internals --------------------------------------------------------------
+
+    @staticmethod
+    def _size_class(size: int) -> int:
+        if size <= 0:
+            raise HeapError("allocation size must be positive")
+        cls = _MIN_CLASS
+        while cls < size:
+            cls <<= 1
+        return cls
+
+    def _grow(self, nbytes: int) -> int:
+        start = self._brk
+        end = start + nbytes
+        if end > self.limit:
+            raise HeapError("kernel heap exhausted")
+        # Map any pages not yet backed.
+        first_page = start & ~(PAGE_SIZE - 1)
+        if start % PAGE_SIZE == 0:
+            unmapped_from = start
+        else:
+            unmapped_from = first_page + PAGE_SIZE
+        page = unmapped_from
+        while page < end:
+            if not self.aspace.is_mapped(page):
+                frame = self.aspace.phys.allocate_frame()
+                self.aspace.map_page(page, frame)
+            page += PAGE_SIZE
+        self._brk = end
+        return start
+
+    # -- public API -----------------------------------------------------------------
+
+    def alloc(self, size: int, zero: bool = True) -> int:
+        """kmalloc: power-of-two size class, naturally aligned."""
+        cls = self._size_class(size)
+        self.total_allocs += 1
+        free_list = self._free.get(cls)
+        if free_list:
+            addr = free_list.pop()
+        else:
+            if cls >= PAGE_SIZE:
+                return self.alloc_pages((cls + PAGE_SIZE - 1) // PAGE_SIZE)
+            # align brk to the size class
+            misalign = self._brk % cls
+            if misalign:
+                self._grow(cls - misalign)
+            addr = self._grow(cls)
+        self._sizes[addr] = cls
+        self.allocated_bytes += cls
+        if zero:
+            self.aspace.write_bytes(addr, b"\x00" * cls)
+        return addr
+
+    def alloc_pages(self, npages: int) -> Tuple[int]:
+        """Allocate page-aligned, physically-contiguous pages; returns the
+        virtual address (physical contiguity is guaranteed because frames
+        are allocated in one run)."""
+        misalign = self._brk % PAGE_SIZE
+        if misalign:
+            self._grow(PAGE_SIZE - misalign)
+        start = self._brk
+        frames = self.aspace.phys.allocate_frames(npages)
+        for i, frame in enumerate(frames):
+            vaddr = start + i * PAGE_SIZE
+            if self.aspace.is_mapped(vaddr):
+                self.aspace.unmap_page(vaddr)
+            self.aspace.map_page(vaddr, frame)
+        self._brk = start + npages * PAGE_SIZE
+        self._sizes[start] = npages * PAGE_SIZE
+        self.allocated_bytes += npages * PAGE_SIZE
+        self.total_allocs += 1
+        return start
+
+    def free(self, addr: int):
+        cls = self._sizes.pop(addr, None)
+        if cls is None:
+            raise HeapError(f"free of unknown address {addr:#010x}")
+        self.allocated_bytes -= cls
+        self._free.setdefault(cls, []).append(addr)
+
+    def owns(self, addr: int) -> bool:
+        return self.base <= addr < self._brk

@@ -1,0 +1,140 @@
+"""Kernel virtual-address layout and in-memory struct layouts.
+
+Driver code is assembly: it manipulates ``sk_buff``/``net_device``/adapter
+structures through loads and stores at these offsets. The same constants
+are used by the Python-side kernel (support routines) and are exported to
+the assembler as compile-time constants (:data:`ASM_CONSTANTS`), playing
+the role of C struct offsets baked into a compiled driver.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+# ---------------------------------------------------------------------------
+# Per-domain kernel virtual layout
+# ---------------------------------------------------------------------------
+
+KERNEL_BASE = 0xC0000000
+KERNEL_STACK_BASE = 0xC0800000       # stack occupies the pages below the top
+KERNEL_STACK_PAGES = 8
+KERNEL_STACK_TOP = KERNEL_STACK_BASE + KERNEL_STACK_PAGES * 0x1000
+KERNEL_HEAP_BASE = 0xC1000000
+KERNEL_HEAP_LIMIT = 0xC7F00000
+MODULE_CODE_BASE = 0xC8000000
+MODULE_DATA_BASE = 0xC9000000
+IOREMAP_BASE = 0xE0000000
+
+# ---------------------------------------------------------------------------
+# sk_buff layout (96-byte struct; data buffer allocated separately)
+# ---------------------------------------------------------------------------
+
+SKB_NEXT = 0
+SKB_DEV = 4
+SKB_DATA = 8
+SKB_LEN = 12
+SKB_HEAD = 16
+SKB_END = 20
+SKB_TAIL = 24
+SKB_PROTOCOL = 28        # u16
+SKB_DATA_LEN = 30        # u16: bytes held in fragments (len - linear)
+SKB_NR_FRAGS = 32
+SKB_FRAGS = 36           # up to 4 frags, 12 bytes each
+SKB_FRAG_PAGE = 0        # within a frag: machine page address
+SKB_FRAG_OFF = 4
+SKB_FRAG_SIZE = 8
+SKB_FRAG_ENTRY = 12
+SKB_MAX_FRAGS = 4
+SKB_REFCNT = 84
+SKB_POOL = 88            # nonzero: owned by the hypervisor buffer pool
+SKB_TRUESIZE = 92
+SKB_STRUCT_SIZE = 96
+
+#: Default data buffer: fits an MTU frame plus headroom in half a page, so
+#: buffers never straddle a physical page (DMA-contiguity, like Linux's
+#: SKB_DATA_ALIGN + slab behaviour for 2KiB allocations).
+SKB_BUFFER_SIZE = 2048
+NET_SKB_PAD = 64
+
+# ---------------------------------------------------------------------------
+# net_device layout
+# ---------------------------------------------------------------------------
+
+NDEV_PRIV = 0
+NDEV_IRQ = 4
+NDEV_MTU = 8
+NDEV_FLAGS = 12
+NDEV_XMIT = 16           # hard_start_xmit function pointer
+NDEV_MAC = 20            # 6 bytes
+NDEV_TX_PKTS = 28
+NDEV_TX_BYTES = 32
+NDEV_RX_PKTS = 36
+NDEV_RX_BYTES = 40
+NDEV_TX_ERRORS = 44
+NDEV_RX_ERRORS = 48
+NDEV_MEM = 52            # ioremapped MMIO base (set by the driver)
+NDEV_STATE = 56          # bit0: queue stopped, bit1: carrier ok
+NDEV_NAME = 60           # 16 bytes
+NDEV_SIZE = 76
+
+NDEV_FLAG_UP = 0x1
+NDEV_STATE_QUEUE_STOPPED = 0x1
+NDEV_STATE_CARRIER = 0x2
+
+# ---------------------------------------------------------------------------
+# Driver-private adapter struct (kmalloc'ed by e1000_probe)
+# ---------------------------------------------------------------------------
+
+ADP_NETDEV = 0
+ADP_HW = 4               # ioremapped register base
+ADP_TX_RING = 8          # descriptor ring virtual address
+ADP_TX_COUNT = 12
+ADP_TX_NEXT = 16         # next descriptor to use
+ADP_TX_CLEAN = 20        # next descriptor to clean
+ADP_TX_SKBS = 24         # array of skb pointers (tx_count entries)
+ADP_RX_RING = 28
+ADP_RX_COUNT = 32
+ADP_RX_NEXT = 36         # next descriptor to clean
+ADP_RX_FILL = 40         # next descriptor to (re)fill
+ADP_RX_SKBS = 44
+ADP_TX_LOCK = 48         # spinlock word
+ADP_TXP = 52             # driver-private stats
+ADP_TXB = 56
+ADP_RXP = 60
+ADP_RXB = 64
+ADP_FLAGS = 68
+ADP_WATCHDOG = 72        # timer struct address
+ADP_MACSHADOW = 76       # 6 bytes
+ADP_LINK = 84
+ADP_TX_DMA = 88          # bus address of the tx descriptor ring
+ADP_RX_DMA = 92
+ADP_CLEAN_RX = 96        # function pointer: rx-clean routine
+ADP_CLEAN_TX = 100       # function pointer: tx-clean routine
+ADP_TX_HANG = 104        # watchdog: last observed clean index
+ADP_SIZE = 128
+
+# ---------------------------------------------------------------------------
+# Kernel timer struct
+# ---------------------------------------------------------------------------
+
+TIMER_FN = 0
+TIMER_ARG = 4
+TIMER_EXPIRES = 8
+TIMER_ACTIVE = 12
+TIMER_SIZE = 16
+
+# ---------------------------------------------------------------------------
+# Ethernet constants
+# ---------------------------------------------------------------------------
+
+ETH_HLEN = 14
+ETH_ALEN = 6
+MTU = 1500
+ETH_FRAME_LEN = MTU + ETH_HLEN
+
+#: All of the above, exported to the assembler as named constants.
+ASM_CONSTANTS: Dict[str, int] = {
+    name: value
+    for name, value in globals().items()
+    if name.isupper() and isinstance(value, int)
+}

@@ -1,0 +1,135 @@
+"""net_device: the kernel's view of a network interface.
+
+Like :class:`~repro.osmodel.skbuff.SkBuff`, this is a view over a struct
+in simulated memory. Crucially, ``hard_start_xmit`` is a real function
+pointer stored in memory by the driver's probe routine; the kernel
+transmit path reads it and makes an indirect call into driver code — the
+exact pattern whose translation the paper's ``stlb_call`` handles for the
+hypervisor instance.
+"""
+
+from __future__ import annotations
+
+from ..machine.paging import AddressSpace
+from . import layout as L
+
+
+class NetDevice:
+    """View of a net_device struct living in simulated kernel memory."""
+
+    def __init__(self, aspace: AddressSpace, addr: int):
+        self.aspace = aspace
+        self.addr = addr
+
+    def _get(self, off: int, size: int = 4) -> int:
+        return self.aspace.read(self.addr + off, size)
+
+    def _set(self, off: int, value: int, size: int = 4):
+        self.aspace.write(self.addr + off, size, value)
+
+    # -- fields -----------------------------------------------------------------
+
+    @property
+    def priv(self) -> int:
+        return self._get(L.NDEV_PRIV)
+
+    @priv.setter
+    def priv(self, value: int):
+        self._set(L.NDEV_PRIV, value)
+
+    @property
+    def irq(self) -> int:
+        return self._get(L.NDEV_IRQ)
+
+    @irq.setter
+    def irq(self, value: int):
+        self._set(L.NDEV_IRQ, value)
+
+    @property
+    def mtu(self) -> int:
+        return self._get(L.NDEV_MTU)
+
+    @mtu.setter
+    def mtu(self, value: int):
+        self._set(L.NDEV_MTU, value)
+
+    @property
+    def hard_start_xmit(self) -> int:
+        return self._get(L.NDEV_XMIT)
+
+    @hard_start_xmit.setter
+    def hard_start_xmit(self, value: int):
+        self._set(L.NDEV_XMIT, value)
+
+    @property
+    def mac(self) -> bytes:
+        return self.aspace.read_bytes(self.addr + L.NDEV_MAC, L.ETH_ALEN)
+
+    @mac.setter
+    def mac(self, value: bytes):
+        self.aspace.write_bytes(self.addr + L.NDEV_MAC, bytes(value))
+
+    @property
+    def mem(self) -> int:
+        return self._get(L.NDEV_MEM)
+
+    # -- stats ---------------------------------------------------------------------
+
+    def bump_stat(self, off: int, n: int = 1):
+        self._set(off, self._get(off) + n)
+
+    @property
+    def tx_packets(self) -> int:
+        return self._get(L.NDEV_TX_PKTS)
+
+    @property
+    def tx_bytes(self) -> int:
+        return self._get(L.NDEV_TX_BYTES)
+
+    @property
+    def rx_packets(self) -> int:
+        return self._get(L.NDEV_RX_PKTS)
+
+    @property
+    def rx_bytes(self) -> int:
+        return self._get(L.NDEV_RX_BYTES)
+
+    # -- state bits -------------------------------------------------------------------
+
+    @property
+    def queue_stopped(self) -> bool:
+        return bool(self._get(L.NDEV_STATE) & L.NDEV_STATE_QUEUE_STOPPED)
+
+    def stop_queue(self):
+        self._set(L.NDEV_STATE,
+                  self._get(L.NDEV_STATE) | L.NDEV_STATE_QUEUE_STOPPED)
+
+    def start_queue(self):
+        self._set(L.NDEV_STATE,
+                  self._get(L.NDEV_STATE) & ~L.NDEV_STATE_QUEUE_STOPPED)
+
+    @property
+    def carrier_ok(self) -> bool:
+        return bool(self._get(L.NDEV_STATE) & L.NDEV_STATE_CARRIER)
+
+    def set_carrier(self, on: bool):
+        state = self._get(L.NDEV_STATE)
+        if on:
+            state |= L.NDEV_STATE_CARRIER
+        else:
+            state &= ~L.NDEV_STATE_CARRIER
+        self._set(L.NDEV_STATE, state)
+
+    @property
+    def name(self) -> str:
+        raw = self.aspace.read_bytes(self.addr + L.NDEV_NAME, 16)
+        return raw.split(b"\x00", 1)[0].decode("ascii", "replace")
+
+    @name.setter
+    def name(self, value: str):
+        raw = value.encode("ascii")[:15]
+        self.aspace.write_bytes(self.addr + L.NDEV_NAME,
+                                raw + b"\x00" * (16 - len(raw)))
+
+    def __repr__(self):  # pragma: no cover
+        return f"<NetDevice {self.name} @{self.addr:#010x}>"

@@ -1,0 +1,58 @@
+"""Benchmark workloads: netperf streaming, per-packet profiles, the
+SPECweb99 web-server workload, and the Table-1 fast-path trace."""
+
+from .netperf import (
+    ALL_CONFIGS,
+    UpcallSweepPoint,
+    figure5_transmit,
+    figure6_receive,
+    figure10_upcall_sweep,
+    run_netperf,
+    summarize,
+)
+from .profile import (
+    figure7_profiles,
+    figure8_profiles,
+    profile_config,
+    profile_direction,
+)
+from .specweb import FileSet, WebFile
+from .table1 import Table1Result, run_table1
+from .webserver import (
+    RequestShape,
+    WebServerCapacity,
+    WebServerCurve,
+    WebServerPoint,
+    capacity_for,
+    figure9_curves,
+    measure_packet_costs,
+    run_webserver_curve,
+    simulate_requests,
+)
+
+__all__ = [
+    "ALL_CONFIGS",
+    "FileSet",
+    "RequestShape",
+    "Table1Result",
+    "UpcallSweepPoint",
+    "WebFile",
+    "WebServerCapacity",
+    "WebServerCurve",
+    "WebServerPoint",
+    "capacity_for",
+    "figure10_upcall_sweep",
+    "figure5_transmit",
+    "figure6_receive",
+    "figure7_profiles",
+    "figure8_profiles",
+    "figure9_curves",
+    "measure_packet_costs",
+    "profile_config",
+    "profile_direction",
+    "run_netperf",
+    "run_table1",
+    "run_webserver_curve",
+    "simulate_requests",
+    "summarize",
+]

@@ -1,0 +1,120 @@
+"""The netperf-style TCP streaming microbenchmark (figures 5, 6, 10).
+
+The paper streams TCP over five gigabit NICs and reports aggregate
+throughput plus CPU utilisation. We measure steady-state cycles/packet by
+actually pushing MTU frames through the full simulated stack, convert the
+single-NIC profile figure to a 5-NIC streaming figure with the per-config
+batching-efficiency factor (see ``MULTI_NIC_EFFICIENCY`` in
+:mod:`repro.xen.costs`), and apply the line-rate cap — exactly the
+arithmetic of :func:`repro.metrics.throughput.throughput_from_cycles`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..configs import UPCALL_SWEEP_ORDER, build
+from ..metrics.throughput import (
+    DEFAULT_NICS,
+    ThroughputResult,
+    improvement_factor,
+    throughput_from_cycles,
+)
+from ..xen.costs import CostModel, MULTI_NIC_EFFICIENCY
+from .profile import DEFAULT_PACKETS, DEFAULT_WARMUP, profile_direction
+
+ALL_CONFIGS = ("domU", "domU-twin", "dom0", "linux")
+
+
+def run_netperf(name: str, direction: str,
+                packets: int = DEFAULT_PACKETS,
+                warmup: int = DEFAULT_WARMUP,
+                nics: int = DEFAULT_NICS,
+                costs: Optional[CostModel] = None,
+                **build_kwargs) -> ThroughputResult:
+    """One bar of figure 5 (tx) or figure 6 (rx)."""
+    system = build(name, n_nics=nics, costs=costs, **build_kwargs)
+    prof = profile_direction(system, direction, packets=packets,
+                             warmup=warmup)
+    efficiency = MULTI_NIC_EFFICIENCY.get((name, direction), 1.0)
+    return throughput_from_cycles(
+        config=name,
+        direction=direction,
+        cycles_per_packet=prof.total_per_packet * efficiency,
+        nics=nics,
+    )
+
+
+def figure5_transmit(packets: int = DEFAULT_PACKETS
+                     ) -> List[ThroughputResult]:
+    """Transmit throughput for domU / domU-twin / dom0 / Linux."""
+    return [run_netperf(name, "tx", packets=packets)
+            for name in ALL_CONFIGS]
+
+
+def figure6_receive(packets: int = DEFAULT_PACKETS
+                    ) -> List[ThroughputResult]:
+    """Receive throughput for domU / domU-twin / dom0 / Linux."""
+    return [run_netperf(name, "rx", packets=packets)
+            for name in ALL_CONFIGS]
+
+
+@dataclass
+class UpcallSweepPoint:
+    """One bar of figure 10: throughput at k upcalled routines."""
+
+    n_upcalls: int
+    throughput_mbps: float
+    upcalls_per_packet: float
+    cycles_per_packet: float
+
+
+def figure10_upcall_sweep(max_upcalls: int = len(UPCALL_SWEEP_ORDER),
+                          packets: int = 256,
+                          costs: Optional[CostModel] = None
+                          ) -> List[UpcallSweepPoint]:
+    """Transmit throughput as fast-path routines are progressively served
+    by upcalls instead of hypervisor implementations (figure 10)."""
+    points = []
+    for k in range(max_upcalls + 1):
+        system = build("domU-twin", n_nics=DEFAULT_NICS, n_upcalls=k,
+                       costs=costs)
+        prof = profile_direction(system, "tx", packets=packets,
+                                 warmup=DEFAULT_WARMUP)
+        upcalls = system.twin.upcalls.upcalls
+        efficiency = MULTI_NIC_EFFICIENCY[("domU-twin", "tx")]
+        result = throughput_from_cycles(
+            config=f"domU-twin+{k}upcalls",
+            direction="tx",
+            cycles_per_packet=prof.total_per_packet * efficiency,
+            nics=DEFAULT_NICS,
+        )
+        points.append(UpcallSweepPoint(
+            n_upcalls=k,
+            throughput_mbps=result.throughput_mbps,
+            upcalls_per_packet=upcalls / max(1, prof.packets + DEFAULT_WARMUP),
+            cycles_per_packet=prof.total_per_packet,
+        ))
+    return points
+
+
+def summarize(results: List[ThroughputResult]) -> Dict[str, float]:
+    """The paper's headline factors, computed from a result set."""
+    by_name = {r.config: r for r in results}
+    out: Dict[str, float] = {}
+    if "domU-twin" in by_name and "domU" in by_name:
+        out["twin_vs_domU_cpu_scaled"] = improvement_factor(
+            by_name["domU-twin"], by_name["domU"]
+        )
+    if "domU-twin" in by_name and "linux" in by_name:
+        out["twin_fraction_of_linux_cpu_scaled"] = (
+            by_name["domU-twin"].cpu_scaled_mbps
+            / by_name["linux"].cpu_scaled_mbps
+        )
+    if "domU-twin" in by_name and "dom0" in by_name:
+        out["twin_fraction_of_dom0"] = (
+            by_name["domU-twin"].throughput_mbps
+            / by_name["dom0"].throughput_mbps
+        )
+    return out

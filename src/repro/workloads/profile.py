@@ -1,0 +1,69 @@
+"""Per-packet CPU profiles (figures 7 and 8).
+
+Runs a warmup phase (fills the stlb, rx rings, caches), then measures the
+cycle delta per category over a steady-state batch of packets — the
+simulator's equivalent of the paper's single-NIC oprofile run.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from ..configs import SystemUnderTest, build
+from ..metrics.cycles import PacketProfile
+from ..xen.costs import CostModel
+
+DEFAULT_WARMUP = 128
+DEFAULT_PACKETS = 512
+
+
+def profile_direction(system: SystemUnderTest, direction: str,
+                      packets: int = DEFAULT_PACKETS,
+                      warmup: int = DEFAULT_WARMUP) -> PacketProfile:
+    if direction not in ("tx", "rx"):
+        raise ValueError("direction must be 'tx' or 'rx'")
+    op = (system.transmit_packets if direction == "tx"
+          else system.receive_packets)
+    done = op(warmup)
+    if done < warmup:
+        raise RuntimeError(
+            f"{system.name}: only {done}/{warmup} warmup packets flowed"
+        )
+    snap = system.snapshot()
+    done = op(packets)
+    delta = system.delta_since(snap)
+    if done < packets:
+        raise RuntimeError(
+            f"{system.name}: only {done}/{packets} packets flowed"
+        )
+    return PacketProfile(
+        config=system.name,
+        direction=direction,
+        packets=packets,
+        cycles=delta,
+    )
+
+
+def profile_config(name: str, direction: str,
+                   packets: int = DEFAULT_PACKETS,
+                   warmup: int = DEFAULT_WARMUP,
+                   n_nics: int = 1,
+                   costs: Optional[CostModel] = None,
+                   **build_kwargs) -> PacketProfile:
+    """Build a fresh system (single NIC, like the paper's profile run) and
+    measure one direction."""
+    system = build(name, n_nics=n_nics, costs=costs, **build_kwargs)
+    return profile_direction(system, direction, packets=packets,
+                             warmup=warmup)
+
+
+def figure7_profiles(packets: int = DEFAULT_PACKETS) -> List[PacketProfile]:
+    """Transmit cycles/packet for all four configurations (figure 7)."""
+    return [profile_config(name, "tx", packets=packets)
+            for name in ("linux", "dom0", "domU-twin", "domU")]
+
+
+def figure8_profiles(packets: int = DEFAULT_PACKETS) -> List[PacketProfile]:
+    """Receive cycles/packet for all four configurations (figure 8)."""
+    return [profile_config(name, "rx", packets=packets)
+            for name in ("linux", "dom0", "domU-twin", "domU")]

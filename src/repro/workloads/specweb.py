@@ -1,0 +1,65 @@
+"""SPECweb99-like static file-set (paper §6.3).
+
+The web-server workload serves files "generated from the file size
+distribution specified in the static content part of SPECweb99", from a
+single directory, fully cached in memory. SPECweb99's static mix has four
+size classes with fixed access weights and nine file sizes per class;
+within a class, access skews toward the middle sizes (we use the
+benchmark's published within-class weights, approximated by a triangular
+profile).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Sequence
+
+#: (class base size in bytes, access weight). Mean works out to ~14.7 KB.
+CLASS_BASES = (102, 1024, 10240, 102400)
+CLASS_WEIGHTS = (0.35, 0.50, 0.14, 0.01)
+#: nine files per class: base * multiplier
+FILE_MULTIPLIERS = (1, 2, 3, 4, 5, 6, 7, 8, 9)
+#: within-class access profile (SPECweb99 favours mid-sized files).
+WITHIN_CLASS_WEIGHTS = (1, 2, 3, 4, 5, 4, 3, 2, 1)
+
+
+@dataclass(frozen=True)
+class WebFile:
+    """One static file of the SPECweb99-like set."""
+
+    name: str
+    size: int
+
+
+class FileSet:
+    """The single-directory static file set."""
+
+    def __init__(self):
+        self.files: List[WebFile] = []
+        self._weights: List[float] = []
+        total_within = sum(WITHIN_CLASS_WEIGHTS)
+        for cls, (base, cls_weight) in enumerate(
+                zip(CLASS_BASES, CLASS_WEIGHTS)):
+            for i, mult in enumerate(FILE_MULTIPLIERS):
+                self.files.append(
+                    WebFile(name=f"class{cls}_{i}", size=base * mult)
+                )
+                self._weights.append(
+                    cls_weight * WITHIN_CLASS_WEIGHTS[i] / total_within
+                )
+
+    @property
+    def mean_size(self) -> float:
+        return sum(f.size * w for f, w in zip(self.files, self._weights))
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(f.size for f in self.files)
+
+    def sample(self, rng: random.Random) -> WebFile:
+        return rng.choices(self.files, weights=self._weights, k=1)[0]
+
+    def sample_sizes(self, n: int, seed: int = 99) -> Sequence[int]:
+        rng = random.Random(seed)
+        return [self.sample(rng).size for _ in range(n)]

@@ -1,0 +1,222 @@
+"""The web-server workload (figure 9): knot + httperf over SPECweb99.
+
+Model structure:
+
+* per-packet network costs come from *measured* steady-state profiles of
+  the real simulated stack (the same numbers as figures 7/8);
+* a request costs: application work (accept/parse/file-cache/syscalls,
+  scaled by the per-config virtualization factor) plus the network cost
+  of its TCP exchange — connection setup/teardown and ACK packets are
+  small-packet crossings that hit the split-driver path hardest
+  (``REQRESP_PACKET_FACTOR``);
+* httperf drives an *open loop*: offered connection rates are swept and
+  responses that miss the timeout are discarded, so past saturation the
+  delivered throughput degrades toward ``OVERLOAD_EFFICIENCY`` x capacity
+  (domU's receive-livelock behaviour).
+
+The capacity calculation is analytic on top of measured per-packet
+profiles; ``simulate_requests`` additionally pushes whole request
+exchanges through the real stack for validation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..configs import build
+from ..metrics.throughput import CPU_HZ
+from ..xen.costs import (
+    CostModel,
+    OVERLOAD_EFFICIENCY,
+    REQRESP_PACKET_FACTOR,
+    VIRT_APP_FACTOR,
+)
+from .profile import profile_direction
+from .specweb import FileSet
+
+#: TCP maximum segment size for response data.
+MSS = 1448
+#: HTTP response header bytes.
+HTTP_HEADER = 290
+#: response timeout behaviour is folded into OVERLOAD_EFFICIENCY.
+DEFAULT_RATES = tuple(range(1000, 20001, 1000))
+
+
+@dataclass
+class RequestShape:
+    """Packet counts for one HTTP/1.0-style request over its own TCP
+    connection (as httperf issues them)."""
+
+    response_bytes: int
+
+    @property
+    def data_packets(self) -> int:
+        return max(1, math.ceil((self.response_bytes + HTTP_HEADER) / MSS))
+
+    @property
+    def tx_packets(self) -> int:
+        # SYN-ACK + data + FIN + ACK of the request
+        return self.data_packets + 3
+
+    @property
+    def rx_packets(self) -> int:
+        # SYN + request + client ACKs (~every 2 segments) + FIN
+        return 3 + math.ceil(self.data_packets / 2)
+
+    @property
+    def response_bits(self) -> int:
+        return (self.response_bytes + HTTP_HEADER) * 8
+
+
+@dataclass
+class WebServerCapacity:
+    """Per-configuration request cost and saturation rate."""
+
+    config: str
+    cycles_per_request: float
+    requests_per_second: float
+    mean_response_bits: float
+
+    @property
+    def saturation_mbps(self) -> float:
+        return self.requests_per_second * self.mean_response_bits / 1e6
+
+
+@dataclass
+class WebServerPoint:
+    """One (offered rate, delivered throughput) point of figure 9."""
+
+    request_rate: int
+    delivered_rps: float
+    throughput_mbps: float
+    cpu_utilization: float
+
+
+@dataclass
+class WebServerCurve:
+    """A full figure-9 curve for one configuration."""
+
+    config: str
+    capacity: WebServerCapacity
+    points: List[WebServerPoint] = field(default_factory=list)
+
+    @property
+    def peak_mbps(self) -> float:
+        return max(p.throughput_mbps for p in self.points)
+
+
+def measure_packet_costs(name: str, packets: int = 256,
+                         costs: Optional[CostModel] = None
+                         ) -> Dict[str, float]:
+    """Steady-state per-packet cycles for both directions (one NIC, like
+    the web server's single active path per connection)."""
+    tx_sys = build(name, n_nics=1, costs=costs)
+    tx = profile_direction(tx_sys, "tx", packets=packets)
+    rx_sys = build(name, n_nics=1, costs=costs)
+    rx = profile_direction(rx_sys, "rx", packets=packets)
+    return {"tx": tx.total_per_packet, "rx": rx.total_per_packet}
+
+
+def capacity_for(name: str, fileset: Optional[FileSet] = None,
+                 packet_costs: Optional[Dict[str, float]] = None,
+                 samples: int = 2000,
+                 costs: Optional[CostModel] = None) -> WebServerCapacity:
+    fileset = fileset or FileSet()
+    packet_costs = packet_costs or measure_packet_costs(name, costs=costs)
+    cost_model = costs or CostModel()
+    app = _app_request_cycles(cost_model) * VIRT_APP_FACTOR[name]
+    pkt_factor = REQRESP_PACKET_FACTOR[name]
+    total_cycles = 0.0
+    total_bits = 0.0
+    for size in fileset.sample_sizes(samples):
+        shape = RequestShape(size)
+        net = (shape.tx_packets * packet_costs["tx"]
+               + shape.rx_packets * packet_costs["rx"]) * pkt_factor
+        total_cycles += app + net
+        total_bits += shape.response_bits
+    mean_cycles = total_cycles / samples
+    return WebServerCapacity(
+        config=name,
+        cycles_per_request=mean_cycles,
+        requests_per_second=CPU_HZ / mean_cycles,
+        mean_response_bits=total_bits / samples,
+    )
+
+
+def _app_request_cycles(costs: CostModel) -> float:
+    from ..xen.costs import APP_REQUEST_CYCLES
+    return APP_REQUEST_CYCLES
+
+
+def delivered_rate(offered: float, capacity_rps: float,
+                   overload_eff: float) -> float:
+    """Open-loop delivery: below saturation everything is served; above
+    it, timeouts and interrupt pressure pull goodput toward
+    ``overload_eff * capacity`` as offered load grows."""
+    if offered <= capacity_rps:
+        return offered
+    # smooth decline: at offered == capacity, full capacity; as
+    # offered -> infinity, capacity * overload_eff.
+    excess = capacity_rps / offered
+    return capacity_rps * (overload_eff + (1.0 - overload_eff) * excess)
+
+
+def run_webserver_curve(name: str,
+                        rates: Sequence[int] = DEFAULT_RATES,
+                        fileset: Optional[FileSet] = None,
+                        packet_costs: Optional[Dict[str, float]] = None,
+                        costs: Optional[CostModel] = None) -> WebServerCurve:
+    capacity = capacity_for(name, fileset=fileset,
+                            packet_costs=packet_costs, costs=costs)
+    eff = OVERLOAD_EFFICIENCY[name]
+    curve = WebServerCurve(config=name, capacity=capacity)
+    for rate in rates:
+        served = delivered_rate(rate, capacity.requests_per_second, eff)
+        curve.points.append(WebServerPoint(
+            request_rate=rate,
+            delivered_rps=served,
+            throughput_mbps=served * capacity.mean_response_bits / 1e6,
+            cpu_utilization=min(
+                1.0, rate / capacity.requests_per_second
+            ),
+        ))
+    return curve
+
+
+def figure9_curves(rates: Sequence[int] = DEFAULT_RATES,
+                   costs: Optional[CostModel] = None) -> List[WebServerCurve]:
+    fileset = FileSet()
+    return [
+        run_webserver_curve(name, rates=rates, fileset=fileset, costs=costs)
+        for name in ("linux", "dom0", "domU-twin", "domU")
+    ]
+
+
+def simulate_requests(name: str, n_requests: int = 20,
+                      costs: Optional[CostModel] = None) -> Dict[str, float]:
+    """Validation: push whole request exchanges (receive the request
+    packets, transmit the response packets) through the real stack and
+    report measured cycles/request."""
+    fileset = FileSet()
+    system = build(name, n_nics=1, costs=costs)
+    # warm up
+    system.transmit_packets(64)
+    system.receive_packets(64)
+    sizes = fileset.sample_sizes(n_requests, seed=7)
+    snap = system.snapshot()
+    total_bits = 0
+    for size in sizes:
+        shape = RequestShape(size)
+        system.receive_packets(shape.rx_packets, payload_len=256)
+        system.transmit_packets(shape.data_packets)
+        system.transmit_packets(3, payload_len=40)   # SYN-ACK/FIN/ACK
+        total_bits += shape.response_bits
+    delta = system.delta_since(snap)
+    cycles = sum(delta.values())
+    return {
+        "cycles_per_request": cycles / n_requests,
+        "requests_per_second": CPU_HZ / (cycles / n_requests),
+        "mean_response_bits": total_bits / n_requests,
+    }

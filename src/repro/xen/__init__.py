@@ -1,0 +1,41 @@
+"""Xen-like hypervisor substrate: domains, events, grants, cost model."""
+
+from .costs import (
+    CostModel,
+    MULTI_NIC_EFFICIENCY,
+    OVERLOAD_EFFICIENCY,
+    REQRESP_PACKET_FACTOR,
+    SUPPORT_ROUTINE_COSTS,
+    VIRT_APP_FACTOR,
+)
+from .domain import Domain
+from .granttable import GrantEntry, GrantError, GrantTable
+from .hypervisor import (
+    HYP_CODE_BASE,
+    HYP_DATA_BASE,
+    HYP_STACK_BASE,
+    HYP_STACK_PAGES,
+    HYP_SVM_MAP_BASE,
+    HYP_UPCALL_STACK_BASE,
+    Hypervisor,
+)
+
+__all__ = [
+    "CostModel",
+    "Domain",
+    "GrantEntry",
+    "GrantError",
+    "GrantTable",
+    "HYP_CODE_BASE",
+    "HYP_DATA_BASE",
+    "HYP_STACK_BASE",
+    "HYP_STACK_PAGES",
+    "HYP_SVM_MAP_BASE",
+    "HYP_UPCALL_STACK_BASE",
+    "Hypervisor",
+    "MULTI_NIC_EFFICIENCY",
+    "OVERLOAD_EFFICIENCY",
+    "REQRESP_PACKET_FACTOR",
+    "SUPPORT_ROUTINE_COSTS",
+    "VIRT_APP_FACTOR",
+]

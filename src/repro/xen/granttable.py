@@ -1,0 +1,88 @@
+"""Grant tables: page sharing for the standard Xen I/O channel.
+
+The unoptimized guest path (the paper's ``domU`` configuration) moves
+packets between the guest and dom0 through grant operations: the guest
+issues a grant for the page holding a packet, dom0 maps (tx) or the
+hypervisor grant-copies (rx) it, then the grant is revoked. Each
+operation does real bookkeeping here and charges its calibrated cost at
+the call site in the hypervisor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+
+class GrantError(Exception):
+    """A grant operation violated the table's access rules."""
+
+    pass
+
+
+@dataclass
+class GrantEntry:
+    """One grant: a frame made accessible to one other domain."""
+
+    ref: int
+    frame: int
+    grantee: int          # domid allowed to use the grant
+    readonly: bool
+    mapped: bool = False
+
+
+class GrantTable:
+    """Per-domain table of grants issued by that domain."""
+
+    def __init__(self, domid: int):
+        self.domid = domid
+        self.entries: Dict[int, GrantEntry] = {}
+        self._next_ref = 1
+        self.ops = {"issue": 0, "map": 0, "unmap": 0, "copy": 0, "revoke": 0}
+
+    def issue(self, frame: int, grantee: int, readonly: bool = False) -> int:
+        ref = self._next_ref
+        self._next_ref += 1
+        self.entries[ref] = GrantEntry(ref=ref, frame=frame, grantee=grantee,
+                                       readonly=readonly)
+        self.ops["issue"] += 1
+        return ref
+
+    def lookup(self, ref: int, grantee: int) -> GrantEntry:
+        entry = self.entries.get(ref)
+        if entry is None:
+            raise GrantError(f"bad grant ref {ref} for dom{self.domid}")
+        if entry.grantee != grantee:
+            raise GrantError(
+                f"grant {ref} not issued to dom{grantee}"
+            )
+        return entry
+
+    def map(self, ref: int, grantee: int) -> int:
+        entry = self.lookup(ref, grantee)
+        if entry.mapped:
+            raise GrantError(f"grant {ref} already mapped")
+        entry.mapped = True
+        self.ops["map"] += 1
+        return entry.frame
+
+    def unmap(self, ref: int, grantee: int):
+        entry = self.lookup(ref, grantee)
+        if not entry.mapped:
+            raise GrantError(f"grant {ref} not mapped")
+        entry.mapped = False
+        self.ops["unmap"] += 1
+
+    def copy_frame(self, ref: int, grantee: int) -> int:
+        """Grant-copy: no mapping state changes, just an access check."""
+        entry = self.lookup(ref, grantee)
+        self.ops["copy"] += 1
+        return entry.frame
+
+    def revoke(self, ref: int):
+        entry = self.entries.pop(ref, None)
+        if entry is None:
+            raise GrantError(f"revoking unknown grant {ref}")
+        if entry.mapped:
+            raise GrantError(f"revoking mapped grant {ref}")
+        self.ops["revoke"] += 1

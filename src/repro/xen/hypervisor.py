@@ -1,0 +1,184 @@
+"""The Xen-like hypervisor: domains, switches, events, hypercalls, softirqs.
+
+This is the substrate both driver models run on:
+
+* the *hosted* model (paper's ``domU``) pays :func:`switch_to` on every
+  crossing between a guest and dom0;
+* the *TwinDrivers* model invokes the hypervisor driver from any guest
+  context via :func:`hypercall` with **no** switch — the whole point of
+  SVM is that the driver's data is reachable through hypervisor mappings
+  that are present in every address space.
+
+Cycle charging convention: hypervisor work charges the ``Xen`` category,
+domain kernel work charges the domain's category (``dom0``/``domU``), and
+driver-binary execution charges ``e1000`` (the CPU is switched to that
+category around driver invocations).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from ..machine.machine import Machine
+from ..machine.paging import AddressSpace, HYPERVISOR_BASE
+from .costs import CostModel
+from .domain import Domain
+from .granttable import GrantTable
+
+#: Hypervisor virtual-address layout (all inside the shared region).
+HYP_CODE_BASE = 0xF0100000
+HYP_STACK_BASE = 0xF0200000
+HYP_STACK_PAGES = 4
+HYP_UPCALL_STACK_BASE = 0xF0210000
+HYP_DATA_BASE = 0xF0300000
+#: SVM-created mappings of dom0 pages are allocated upward from here.
+HYP_SVM_MAP_BASE = 0xF4000000
+
+
+class Hypervisor:
+    """The Xen-like VMM: domains, switches, events, grants, softirqs."""
+
+    def __init__(self, machine: Machine, costs: Optional[CostModel] = None):
+        self.machine = machine
+        self.costs = costs or CostModel()
+        self.domains: List[Domain] = []
+        self.current: Optional[Domain] = None
+        self.dom0: Optional[Domain] = None
+        self.grant_tables: Dict[int, GrantTable] = {}
+        self._softirqs: List[Callable[[], None]] = []
+        self._irq_handlers: Dict[int, Callable[[int], None]] = {}
+        self.switches = 0
+        self.hypercalls = 0
+        #: >0 while a hypervisor-driver invocation is in flight; softirqs
+        #: are deferred until it drains (paper §4.4: the driver ISR runs
+        #: in a *schedulable* softirq context, never nested inside driver
+        #: execution).
+        self.driver_depth = 0
+        machine.intc.set_dispatcher(self._dispatch_irq)
+        machine.cpu.cycle_scale = self.costs.driver_cycle_scale
+
+    # -- accounting helpers ------------------------------------------------------
+
+    def charge_xen(self, cycles: int):
+        self.machine.account.charge("Xen", int(cycles))
+
+    # -- domain lifecycle ----------------------------------------------------------
+
+    def create_domain(self, name: str, is_dom0: bool = False) -> Domain:
+        domid = len(self.domains)
+        aspace = AddressSpace(name, self.machine.phys,
+                              self.machine.hypervisor_table)
+        domain = Domain(domid, name, aspace, is_dom0=is_dom0)
+        self.domains.append(domain)
+        self.grant_tables[domid] = GrantTable(domid)
+        if is_dom0:
+            if self.dom0 is not None:
+                raise ValueError("dom0 already exists")
+            self.dom0 = domain
+        if self.current is None:
+            self.current = domain
+            self.machine.cpu.address_space = aspace
+        return domain
+
+    # -- context switching -----------------------------------------------------------
+
+    def switch_to(self, domain: Domain):
+        """Synchronous domain switch; charges the big TLB/cache cost."""
+        if self.current is domain:
+            return
+        self.charge_xen(self.costs.domain_switch)
+        self.switches += 1
+        self.current = domain
+        self.machine.cpu.address_space = domain.aspace
+
+    def run_in_domain(self, domain: Domain, fn: Callable[[], object]):
+        """Switch to ``domain``, run ``fn`` under its accounting category,
+        switch back. Used for synchronous cross-domain work (upcalls,
+        backend processing)."""
+        previous = self.current
+        self.switch_to(domain)
+        self.machine.cpu.push_category(domain.category)
+        try:
+            return fn()
+        finally:
+            self.machine.cpu.pop_category()
+            self.switch_to(previous)
+
+    # -- hypercalls ----------------------------------------------------------------------
+
+    def hypercall(self, name: str) -> None:
+        """Account one hypercall entry from the current domain."""
+        self.hypercalls += 1
+        self.charge_xen(self.costs.hypercall)
+
+    # -- event channels --------------------------------------------------------------------
+
+    def send_event(self, domain: Domain, port: int, synchronous: bool = False):
+        """Signal ``port`` in ``domain``.
+
+        ``synchronous=True`` models the paper's 'synchronous virtual
+        interrupt' used by upcalls: delivery happens immediately, in the
+        target domain's context. Asynchronous events are queued and
+        delivered when the domain is next scheduled."""
+        self.charge_xen(self.costs.event_channel_send)
+        if synchronous:
+            self._deliver_event(domain, port)
+        else:
+            domain.pending_ports.append(port)
+
+    def _deliver_event(self, domain: Domain, port: int):
+        if not domain.virq_enabled:
+            domain.pending_ports.append(port)
+            return
+        handler = domain.event_handlers.get(port)
+        if handler is None:
+            raise KeyError(f"domain {domain.name} has no handler on port {port}")
+        self.charge_xen(self.costs.virq_delivery)
+        self.run_in_domain(domain, lambda: handler(port))
+
+    def schedule_domain(self, domain: Domain):
+        """Deliver a domain's pending events (models the domain being
+        scheduled and seeing its event-channel bitmap)."""
+        while domain.pending_ports and domain.virq_enabled:
+            port = domain.pending_ports.pop(0)
+            handler = domain.event_handlers.get(port)
+            if handler is None:
+                continue
+            self.charge_xen(self.costs.virq_delivery)
+            self.run_in_domain(domain, lambda p=port: handler(p))
+
+    # -- physical interrupts ---------------------------------------------------------------------
+
+    def register_irq_handler(self, irq: int, handler: Callable[[int], None]):
+        self._irq_handlers[irq] = handler
+
+    def _dispatch_irq(self, irq: int):
+        self.charge_xen(self.costs.interrupt_virtualization)
+        handler = self._irq_handlers.get(irq)
+        if handler is not None:
+            handler(irq)
+
+    # -- softirqs ------------------------------------------------------------------------------------
+
+    def raise_softirq(self, fn: Callable[[], None]):
+        self.charge_xen(self.costs.softirq_schedule)
+        self._softirqs.append(fn)
+
+    def run_softirqs(self):
+        while self._softirqs:
+            fn = self._softirqs.pop(0)
+            fn()
+
+    # -- grant operations (charged wrappers) ------------------------------------------------------------
+
+    def grant_map(self, granter: Domain, ref: int, grantee: Domain) -> int:
+        self.charge_xen(self.costs.grant_map)
+        return self.grant_tables[granter.domid].map(ref, grantee.domid)
+
+    def grant_unmap(self, granter: Domain, ref: int, grantee: Domain):
+        self.charge_xen(self.costs.grant_unmap)
+        self.grant_tables[granter.domid].unmap(ref, grantee.domid)
+
+    def grant_copy_packet(self, granter: Domain, ref: int, grantee: Domain) -> int:
+        self.charge_xen(self.costs.grant_copy_per_packet)
+        return self.grant_tables[granter.domid].copy_frame(ref, grantee.domid)

@@ -1,0 +1,183 @@
+"""Hypervisor loader details and the upcall mechanism in isolation."""
+
+import pytest
+
+from repro.core import DriverAborted, ParavirtNetDevice, TwinDriverManager, \
+    UpcallManager
+from repro.core.svm import SvmProtectionFault
+from repro.machine import Machine
+from repro.osmodel import Kernel
+from repro.xen import HYP_STACK_BASE, Hypervisor
+
+
+def make_twin():
+    m = Machine()
+    xen = Hypervisor(m)
+    dom0 = xen.create_domain("dom0", is_dom0=True)
+    k0 = Kernel(m, dom0, costs=xen.costs, paravirtual=True)
+    twin = TwinDriverManager(xen, k0)
+    nic = m.add_nic()
+    twin.attach_nic(nic)
+    return m, xen, k0, twin, nic
+
+
+class TestLoader:
+    def test_fast_path_bound_to_hypervisor_natives(self):
+        m, xen, k0, twin, nic = make_twin()
+        hyp = twin.hyp_driver.loaded
+        # direct calls to dma_map_single resolve to the hyp.* native
+        hyp_native = twin.hyp_support.addresses["dma_map_single"]
+        program = hyp.program
+        for i, ins in enumerate(program.instructions):
+            if (ins.is_call and not ins.indirect
+                    and i in hyp.targets
+                    and hyp.targets[i] == hyp_native):
+                return
+        pytest.fail("no call bound to the hypervisor dma_map_single")
+
+    def test_config_routines_bound_to_upcall_stubs(self):
+        m, xen, k0, twin, nic = make_twin()
+        hyp = twin.hyp_driver.loaded
+        stub_addrs = {
+            addr for name, addr in m.natives.by_name.items()
+            if name.startswith("upcall.")
+        }
+        bound = set(hyp.targets.values())
+        assert stub_addrs & bound      # e.g. kmalloc, register_netdev, ...
+
+    def test_one_stub_per_unimplemented_routine(self):
+        m, xen, k0, twin, nic = make_twin()
+        stub_names = {name.split(".", 1)[1]
+                      for name in m.natives.by_name
+                      if name.startswith("upcall.")}
+        expected = (set(twin.rewritten.imports())
+                    - set(twin.hyp_support.addresses)
+                    - {"__svm_slow_path", "__svm_translate",
+                       "__stlb_call_xlate"})
+        assert stub_names == expected
+
+    def test_code_translation_of_native_pointers(self):
+        # a dom0 support-routine address stored in shared data translates
+        # to the hypervisor binding
+        m, xen, k0, twin, nic = make_twin()
+        dom0_addr = twin.vm_module.import_map["netif_rx"]
+        hyp_addr = twin.hyp_support.addresses["netif_rx"]
+        assert twin.hyp_runtime.translate_code(dom0_addr) == hyp_addr
+
+    def test_code_translation_of_vm_code(self):
+        m, xen, k0, twin, nic = make_twin()
+        vm_addr = twin.vm_module.symbol("e1000_clean_rx")
+        assert twin.hyp_runtime.translate_code(vm_addr) == \
+            vm_addr + twin.hyp_driver.code_offset
+
+    def test_code_translation_rejects_foreign(self):
+        m, xen, k0, twin, nic = make_twin()
+        with pytest.raises(SvmProtectionFault):
+            twin.hyp_runtime.translate_code(0x12345678)
+
+    def test_xlate_cache_hits(self):
+        m, xen, k0, twin, nic = make_twin()
+        guest = xen.create_domain("guest")
+        kg = Kernel(m, guest, costs=xen.costs, paravirtual=True)
+        dev = ParavirtNetDevice(twin, kg, mac=b"\x00\x16\x3e\x00\x00\x09")
+        xen.switch_to(guest)
+        for _ in range(6):
+            dev.transmit(500)
+        rt = twin.hyp_runtime
+        assert rt.call_xlate_misses >= 1
+        assert rt.call_xlate_hits > rt.call_xlate_misses
+
+    def test_stack_guard_page(self):
+        # the page below the hypervisor stack is unmapped
+        m, xen, k0, twin, nic = make_twin()
+        assert m.hypervisor_table.lookup((HYP_STACK_BASE - 0x1000) >> 12) \
+            is None
+
+    def test_identity_xlate_for_vm_instance(self):
+        m, xen, k0, twin, nic = make_twin()
+        vm_addr = twin.vm_module.symbol("e1000_clean_tx")
+        assert twin._identity_translate_code(vm_addr) == vm_addr
+        with pytest.raises(SvmProtectionFault):
+            twin._identity_translate_code(0x00001000)
+
+
+class TestUpcallManager:
+    def make_env(self):
+        m = Machine()
+        xen = Hypervisor(m)
+        dom0 = xen.create_domain("dom0", is_dom0=True)
+        k0 = Kernel(m, dom0, costs=xen.costs)
+        guest = xen.create_domain("guest")
+        Kernel(m, guest, costs=xen.costs)
+        xen.switch_to(guest)
+        # Upcalls happen while the driver runs on the *hypervisor* stack,
+        # which is visible from every domain — that is what lets dom0 read
+        # the call parameters (paper §4.2). A per-domain stack would alias.
+        for i in range(2):
+            m.hypervisor_table.map((HYP_STACK_BASE >> 12) + i,
+                                   m.phys.allocate_frame())
+        self.stack_top = HYP_STACK_BASE + 2 * 0x1000
+        return m, xen, k0, guest
+
+    def test_stub_invokes_dom0_routine_with_same_args(self):
+        m, xen, k0, guest = self.make_env()
+        upcalls = UpcallManager(xen, k0)
+        seen = []
+
+        def dom0_routine(cpu):
+            seen.append((cpu.read_stack_arg(0), cpu.read_stack_arg(1)))
+            return 99
+
+        addr = m.register_native("dom0.fake_routine", dom0_routine)
+        stub = upcalls.make_stub("fake_routine", addr)
+        result = m.cpu.call_function(stub, [11, 22],
+                                     stack_top=self.stack_top)
+        assert result == 99
+        assert seen == [(11, 22)]
+        assert upcalls.upcalls == 1
+
+    def test_dom0_context_during_upcall(self):
+        m, xen, k0, guest = self.make_env()
+        upcalls = UpcallManager(xen, k0)
+        contexts = []
+
+        def dom0_routine(cpu):
+            contexts.append(xen.current.name)
+            return 0
+
+        addr = m.register_native("dom0.ctx_probe", dom0_routine)
+        stub = upcalls.make_stub("ctx_probe", addr)
+        m.cpu.call_function(stub, [], stack_top=self.stack_top)
+        assert contexts == ["dom0"]
+        assert xen.current is guest
+
+    def test_first_upcall_extra_once_per_invocation(self):
+        m, xen, k0, guest = self.make_env()
+        upcalls = UpcallManager(xen, k0)
+        addr = m.register_native("dom0.nop_routine", lambda cpu: 0)
+        stub = upcalls.make_stub("nop_routine", addr)
+
+        def one_invocation(n_calls):
+            upcalls.new_invocation()
+            snap = m.account.snapshot()
+            for _ in range(n_calls):
+                m.cpu.call_function(stub, [],
+                                    stack_top=self.stack_top)
+            return sum(m.account.delta_since(snap).values())
+
+        two = one_invocation(2)
+        one = one_invocation(1)
+        assert two < 2 * one            # the extra is paid once
+
+    def test_round_trip_cost_near_calibration(self):
+        m, xen, k0, guest = self.make_env()
+        upcalls = UpcallManager(xen, k0)
+        addr = m.register_native("dom0.nop2", lambda cpu: 0)
+        stub = upcalls.make_stub("nop2", addr)
+        upcalls.new_invocation()
+        m.cpu.call_function(stub, [], stack_top=self.stack_top)
+        snap = m.account.snapshot()
+        m.cpu.call_function(stub, [], stack_top=self.stack_top)
+        cost = sum(m.account.delta_since(snap).values())
+        assert abs(cost - xen.costs.upcall_round_trip) < \
+            0.15 * xen.costs.upcall_round_trip

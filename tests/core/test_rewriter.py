@@ -1,0 +1,223 @@
+"""Rewriter: structure of the emitted code and the §4.1 statistics."""
+
+import pytest
+
+from repro.core import (
+    CALL_XLATE_SYMBOL,
+    RUNTIME_IMPORTS,
+    SLOW_PATH_SYMBOL,
+    STLB_SYMBOL,
+    UnsupportedInstruction,
+    rewrite_driver,
+)
+from repro.drivers import build_e1000_program
+from repro.isa import Label, Mem, assemble
+
+
+def rw(text, constants=None):
+    return rewrite_driver(assemble(text, constants=constants))
+
+
+class TestSequenceStructure:
+    def test_fast_path_is_ten_instructions(self):
+        # "replaces one memory instruction ... with ten instructions".
+        # The function saves %esi in its prologue so three scratch
+        # registers are free (no spill), as in typical compiled code.
+        out, stats = rw(".globl f\nf: pushl %esi\nmovl (%ebx), %eax\n"
+                        "popl %esi\nret")
+        body = out.instructions[1:]      # skip the prologue push
+        mnems = [i.mnemonic for i in body[:10]]
+        assert mnems == ["lea", "mov", "and", "mov", "and", "shr", "cmp",
+                         "jne", "xor", "mov"]
+        assert stats.spills == 0
+
+    def test_masks_match_paper(self):
+        out, _ = rw(".globl f\nf: movl (%ebx), %eax\nret")
+        ands = [i for i in out.instructions if i.mnemonic == "and"]
+        values = {i.operands[0].value & 0xFFFFFFFF for i in ands}
+        assert 0xFFFFF000 in values
+        assert 0x00FFF000 in values
+        shr = next(i for i in out.instructions if i.mnemonic == "shr")
+        assert shr.operands[0].value == 9
+
+    def test_stlb_referenced(self):
+        out, _ = rw(".globl f\nf: movl (%ebx), %eax\nret")
+        symbols = {op.symbol for i in out.instructions
+                   for op in i.operands if isinstance(op, Mem)}
+        assert STLB_SYMBOL in symbols
+
+    def test_slow_path_block_appended(self):
+        out, _ = rw(".globl f\nf: movl (%ebx), %eax\nret")
+        calls = [i for i in out.instructions
+                 if i.is_call and i.operands
+                 and isinstance(i.operands[0], Label)
+                 and i.operands[0].name == SLOW_PATH_SYMBOL]
+        assert len(calls) == 1
+        # the slow block is after the ret (appended at the end)
+        ret_pos = next(i for i, ins in enumerate(out.instructions)
+                       if ins.is_return)
+        slow_pos = out.instructions.index(calls[0])
+        assert slow_pos > ret_pos
+
+    def test_runtime_imports_declared(self):
+        out, _ = rw(".globl f\nf: movl (%ebx), %eax\nrep movsl\n"
+                    "call *%ecx\nret")
+        for sym in RUNTIME_IMPORTS:
+            assert sym in out.imports()
+
+
+class TestWhatGetsRewritten:
+    def test_stack_relative_left_alone(self):
+        out, stats = rw(".globl f\nf: movl 8(%esp), %eax\n"
+                        "movl -4(%ebp), %ecx\nret")
+        assert stats.memory_rewritten == 0
+        assert len(out.instructions) == 3
+
+    def test_lea_left_alone(self):
+        out, stats = rw(".globl f\nf: leal 8(%ebx), %eax\nret")
+        assert stats.memory_rewritten == 0
+
+    def test_register_only_left_alone(self):
+        out, stats = rw(".globl f\nf: addl %eax, %ebx\nret")
+        assert stats.memory_rewritten == 0
+
+    def test_absolute_symbol_rewritten(self):
+        out, stats = rw(".comm counter, 4\n.globl f\nf: incl counter\nret")
+        assert stats.memory_rewritten == 1
+
+    def test_push_mem_rewritten(self):
+        out, stats = rw(".globl f\nf: pushl 4(%ebx)\nret")
+        assert stats.memory_rewritten == 1
+
+    def test_string_rewritten(self):
+        out, stats = rw(".globl f\nf: rep movsl\nret")
+        assert stats.string_rewritten == 1
+        # chunk loop present: translate calls for both pointers
+        calls = [i.operands[0].name for i in out.instructions
+                 if i.is_call and isinstance(i.operands[0], Label)]
+        assert calls.count("__svm_translate") == 2
+
+    def test_indirect_call_rewritten(self):
+        out, stats = rw(".globl f\nf: call *%eax\nret")
+        assert stats.indirect_rewritten == 1
+        names = [i.operands[0].name for i in out.instructions
+                 if i.is_call and isinstance(i.operands[0], Label)]
+        assert CALL_XLATE_SYMBOL in names
+
+    def test_indirect_jmp_rewritten(self):
+        out, stats = rw(".globl f\nf: jmp *%eax\nret")
+        assert stats.indirect_rewritten == 1
+
+    def test_indirect_call_through_memory(self):
+        out, stats = rw(".globl f\nf: call *8(%edi)\nret")
+        assert stats.indirect_rewritten == 1
+        # the pointer load itself goes through SVM: an stlb cmp exists
+        assert any(isinstance(op, Mem) and op.symbol == STLB_SYMBOL
+                   for i in out.instructions for op in i.operands)
+
+    def test_std_rejected(self):
+        with pytest.raises(UnsupportedInstruction):
+            rw(".globl f\nf: std\nret")
+
+    def test_labels_remap_to_same_instructions(self):
+        src = """
+.globl f
+f:
+    movl (%ebx), %eax
+loop:
+    decl %eax
+    jne loop
+    ret
+"""
+        out, _ = rw(src)
+        # label 'loop' still points at the decl
+        assert out.instructions[out.labels["loop"]].mnemonic == "dec"
+        assert out.instructions[out.labels["f"]].mnemonic in ("lea", "mov",
+                                                              "pushf")
+
+
+class TestFlagsPreservation:
+    def test_flags_live_across_wraps_pushf(self):
+        src = """
+.globl f
+f:
+    cmpl $1, %eax
+    movl (%ebx), %ecx
+    je yes
+    ret
+yes:
+    ret
+"""
+        out, stats = rw(src)
+        assert stats.flag_saves == 1
+        mnems = [i.mnemonic for i in out.instructions]
+        assert "pushf" in mnems and "popf" in mnems
+
+    def test_no_pushf_when_flags_dead(self):
+        out, stats = rw(".globl f\nf: movl (%ebx), %eax\n"
+                        "cmpl $1, %eax\nje t\nt: ret")
+        assert stats.flag_saves == 0
+
+    def test_no_pushf_when_op_writes_flags(self):
+        out, stats = rw(".globl f\nf: cmpl $3, (%ebx)\nje t\nt: ret")
+        assert stats.flag_saves == 0
+
+
+class TestSpills:
+    def test_spill_when_registers_live(self):
+        # all allocatable registers carry live values across the access
+        src = """
+.globl f
+f:
+    movl $1, %eax
+    movl $2, %ecx
+    movl $3, %edx
+    movl $4, %esi
+    movl $5, %edi
+    movl (%ebx), %ebx
+    addl %ecx, %eax
+    addl %edx, %eax
+    addl %esi, %eax
+    addl %edi, %eax
+    addl %ebx, %eax
+    ret
+"""
+        out, stats = rw(src)
+        assert stats.spills >= 1
+        assert any(isinstance(op, Mem) and op.symbol
+                   and op.symbol.startswith("__svm_spill")
+                   for i in out.instructions for op in i.operands)
+
+    def test_no_spill_when_registers_free(self):
+        out, stats = rw(".globl f\nf: pushl %esi\nmovl (%ebx), %eax\n"
+                        "popl %esi\nret")
+        assert stats.spills == 0
+
+    def test_spill_without_prologue_save(self):
+        # with no prologue, callee-saved registers stay live to the ret,
+        # leaving only two free scratch registers -> one spill
+        out, stats = rw(".globl f\nf: movl (%ebx), %eax\nret")
+        assert stats.spills == 1
+
+
+class TestDriverStats:
+    def test_e1000_memory_fraction_near_paper(self):
+        # the paper measured ~25% of driver instructions reference memory
+        _, stats = rewrite_driver(build_e1000_program())
+        assert 0.15 <= stats.memory_fraction <= 0.40
+
+    def test_e1000_expansion_bounded(self):
+        _, stats = rewrite_driver(build_e1000_program())
+        assert 2.0 <= stats.expansion_factor <= 8.0
+
+    def test_globals_and_comm_preserved(self):
+        program = build_e1000_program()
+        out, _ = rewrite_driver(program)
+        assert out.globals_ == program.globals_
+        assert out.comm == program.comm
+
+    def test_rewriting_is_deterministic(self):
+        a, _ = rewrite_driver(build_e1000_program())
+        b, _ = rewrite_driver(build_e1000_program())
+        assert [i.format() for i in a.instructions] == \
+               [i.format() for i in b.instructions]

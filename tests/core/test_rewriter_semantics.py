@@ -1,0 +1,425 @@
+"""Semantic equivalence: the rewritten program, run over an identity stlb
+(exactly how the VM instance runs in dom0 — paper §5.1.2), must behave
+identically to the original program.
+
+This is the strongest correctness property of the whole rewriter: it
+covers scratch-register selection, spills, flags preservation, string
+chunking across page boundaries, and indirect-call translation. Checked
+on hand-written kernels for each rewrite category and on random
+hypothesis-generated programs.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import SvmManager, SvmRuntime, allocate_runtime_symbols, \
+    rewrite_driver
+from repro.core.rewriter import STLB_SYMBOL
+from repro.core.svm import SvmProtectionFault
+from repro.isa import assemble
+from repro.machine import Machine
+from repro.osmodel import Kernel
+from repro.xen import Hypervisor
+
+DATA_PAGES = 4
+DATA_BYTES = DATA_PAGES * 4096
+
+
+class TwinHarness:
+    """Loads an original program and its rewrite (identity stlb) into one
+    dom0 kernel and runs both over identical initial memory."""
+
+    def __init__(self, source, constants=None):
+        self.machine = Machine()
+        self.xen = Hypervisor(self.machine)
+        dom0 = self.xen.create_domain("dom0", is_dom0=True)
+        self.kernel = Kernel(self.machine, dom0, costs=self.xen.costs)
+        program = assemble(source, constants=constants, name="orig")
+        rewritten, self.stats = rewrite_driver(program)
+
+        self.original = self.kernel.load_driver(program)
+        symbols = allocate_runtime_symbols(self.kernel.alloc_module_data)
+        self.svm = SvmManager(self.machine, symbols[STLB_SYMBOL],
+                              dom0.aspace, identity=True, name="ident")
+        runtime = SvmRuntime(
+            self.machine, "ident", self.svm, symbols,
+            translate_code=self._translate_code,
+            data_space=dom0.aspace,
+        )
+        self.twin = self.kernel.load_driver(
+            rewritten, extra_symbols=symbols,
+            extra_imports=runtime.imports,
+        )
+        self.data = self.kernel.alloc_module_data(DATA_BYTES)
+
+    def _translate_code(self, addr):
+        return addr
+
+    def _init_memory(self, seed: int):
+        import random
+        rng = random.Random(seed)
+        payload = bytes(rng.randrange(256) for _ in range(DATA_BYTES))
+        self.kernel.memory_view().write_bytes(self.data, payload)
+
+    def _run(self, module, entry, args, seed):
+        self._init_memory(seed)
+        # deterministic register state: generated code may read registers
+        # it never wrote
+        for reg in ("eax", "ecx", "edx", "ebx", "esi", "edi", "ebp"):
+            self.machine.cpu.regs[reg] = 0
+        result = self.kernel.call_driver(module.symbol(entry),
+                                         [self.data] + list(args))
+        memory = self.kernel.memory_view().read_bytes(self.data, DATA_BYTES)
+        return result, memory
+
+    def check(self, entry="f", args=(), seed=1234):
+        self.svm.flush()
+        r_orig, m_orig = self._run(self.original, entry, args, seed)
+        r_twin, m_twin = self._run(self.twin, entry, args, seed)
+        assert r_orig == r_twin, (
+            f"return differs: {r_orig:#x} vs {r_twin:#x}")
+        if m_orig != m_twin:
+            for i, (a, b) in enumerate(zip(m_orig, m_twin)):
+                if a != b:
+                    raise AssertionError(
+                        f"memory differs first at +{i:#x}: {a:#x} vs {b:#x}")
+        return r_orig
+
+
+# arg0 (the data base) arrives at 4(%esp); every kernel starts by loading
+# it into %ebx.
+PROLOGUE = """
+.globl f
+f:
+    pushl %ebp
+    movl %esp, %ebp
+    pushl %ebx
+    pushl %esi
+    pushl %edi
+    movl 8(%ebp), %ebx
+"""
+EPILOGUE = """
+    popl %edi
+    popl %esi
+    popl %ebx
+    movl %ebp, %esp
+    popl %ebp
+    ret
+"""
+
+
+def check(body, args=(), constants=None, seeds=(1, 99)):
+    harness = TwinHarness(PROLOGUE + body + EPILOGUE, constants=constants)
+    for seed in seeds:
+        harness.check(args=args, seed=seed)
+    return harness
+
+
+class TestBasicAccesses:
+    def test_load(self):
+        check("movl 16(%ebx), %eax")
+
+    def test_store(self):
+        check("movl $0x11223344, %eax\nmovl %eax, 32(%ebx)")
+
+    def test_read_modify_write(self):
+        check("addl $7, 64(%ebx)\nmovl 64(%ebx), %eax")
+
+    def test_byte_and_word(self):
+        check("movzbl 3(%ebx), %eax\nmovzwl 9(%ebx), %ecx\n"
+              "addl %ecx, %eax\nmovb %al, 100(%ebx)\nmovw %cx, 102(%ebx)")
+
+    def test_indexed_addressing(self):
+        check("movl $5, %ecx\nmovl 8(%ebx,%ecx,4), %eax\n"
+              "movl %eax, (%ebx,%ecx,8)")
+
+    def test_push_from_memory(self):
+        check("pushl 12(%ebx)\npopl %eax")
+
+    def test_pop_to_memory(self):
+        check("pushl $0x5A5A5A5A\npopl 48(%ebx)\nmovl 48(%ebx), %eax")
+
+    def test_cross_page_unaligned(self):
+        # 4-byte access straddling the first page boundary
+        check("movl 4094(%ebx), %eax\nmovl %eax, 8190(%ebx)")
+
+    def test_xchg_with_memory(self):
+        check("movl $1, %eax\nxchgl %eax, 20(%ebx)\naddl 20(%ebx), %eax")
+
+    def test_incl_decl_memory(self):
+        check("incl 40(%ebx)\nincl 40(%ebx)\ndecl 44(%ebx)\n"
+              "movl 40(%ebx), %eax\naddl 44(%ebx), %eax")
+
+
+class TestControlFlowAndFlags:
+    def test_loop_summing(self):
+        check("""
+    xorl %eax, %eax
+    xorl %ecx, %ecx
+sum_loop:
+    addl (%ebx,%ecx,4), %eax
+    incl %ecx
+    cmpl $16, %ecx
+    jb sum_loop
+""")
+
+    def test_flags_live_across_rewritten_mov(self):
+        # cmp ... mov-from-memory ... jcc : the rewrite must preserve flags
+        check("""
+    movl 0(%ebx), %eax
+    cmpl 4(%ebx), %eax
+    movl 8(%ebx), %ecx
+    jbe lower
+    movl $1, 200(%ebx)
+    jmp done
+lower:
+    movl $2, 200(%ebx)
+done:
+    movl %ecx, 204(%ebx)
+""")
+
+    def test_flag_chain_through_two_accesses(self):
+        check("""
+    cmpl $0x80, 0(%ebx)
+    movl 4(%ebx), %eax
+    movl 8(%ebx), %ecx
+    je eq
+    movl $7, 300(%ebx)
+eq:
+    addl %ecx, %eax
+""")
+
+    def test_spill_heavy_sequence(self):
+        check("""
+    movl 0(%ebx), %eax
+    movl 4(%ebx), %ecx
+    movl 8(%ebx), %edx
+    movl 12(%ebx), %esi
+    movl 16(%ebx), %edi
+    addl 20(%ebx), %eax
+    addl %ecx, %eax
+    addl %edx, %eax
+    addl %esi, %eax
+    addl %edi, %eax
+    movl %eax, 24(%ebx)
+""")
+
+
+class TestStringOps:
+    def test_small_copy(self):
+        check("""
+    leal 0(%ebx), %esi
+    leal 512(%ebx), %edi
+    movl $32, %ecx
+    rep movsl
+    movl 512(%ebx), %eax
+""")
+
+    def test_copy_across_page_boundaries(self):
+        # 6000 bytes starting near the end of page 0: spans 3 pages
+        check("""
+    leal 4000(%ebx), %esi
+    leal 10000(%ebx), %edi
+    movl $1500, %ecx
+    rep movsl
+    movl 10000(%ebx), %eax
+    addl 13000(%ebx), %eax
+""")
+
+    def test_movsb_unaligned(self):
+        check("""
+    leal 3(%ebx), %esi
+    leal 4093(%ebx), %edi
+    movl $100, %ecx
+    rep movsb
+    movzbl 4093(%ebx), %eax
+""")
+
+    def test_stos_fill(self):
+        check("""
+    leal 4090(%ebx), %edi
+    movl $0x41424344, %eax
+    movl $20, %ecx
+    rep stosl
+    movl 4090(%ebx), %eax
+""")
+
+    def test_single_movs_no_prefix(self):
+        check("""
+    leal 0(%ebx), %esi
+    leal 100(%ebx), %edi
+    movsl
+    movsl
+    movl 100(%ebx), %eax
+    addl %esi, %eax
+    subl %edi, %eax
+""")
+
+    def test_lods_chain(self):
+        check("""
+    leal 8(%ebx), %esi
+    lodsl
+    movl %eax, %ecx
+    lodsl
+    addl %ecx, %eax
+""")
+
+    def test_repe_cmps_equal_and_unequal(self):
+        check("""
+    leal 0(%ebx), %esi
+    leal 512(%ebx), %edi
+    movl $64, %ecx
+    rep movsl
+    leal 0(%ebx), %esi
+    leal 512(%ebx), %edi
+    movl $64, %ecx
+    repe cmpsl
+    je same
+    movl $0xBAD, 2000(%ebx)
+    jmp out
+same:
+    movl $0x600D, 2000(%ebx)
+out:
+    movl %ecx, %eax
+""")
+
+    def test_repe_cmps_mismatch_position(self):
+        check("""
+    leal 0(%ebx), %esi
+    leal 512(%ebx), %edi
+    movl $16, %ecx
+    rep movsb
+    movb $0x7F, 520(%ebx)       # force a mismatch at index 8
+    leal 0(%ebx), %esi
+    leal 512(%ebx), %edi
+    movl $16, %ecx
+    repe cmpsb
+    movl %ecx, %eax             # where it stopped
+    movl %esi, 3000(%ebx)
+""")
+
+    def test_repne_scas(self):
+        check("""
+    movb $0x55, 40(%ebx)
+    leal 0(%ebx), %edi
+    movl $0x55, %eax
+    movl $4096, %ecx
+    repne scasb
+    movl %ecx, %eax
+""")
+
+    def test_zero_count_rep(self):
+        check("""
+    leal 0(%ebx), %esi
+    leal 100(%ebx), %edi
+    xorl %ecx, %ecx
+    rep movsl
+    movl 100(%ebx), %eax
+""")
+
+
+class TestIndirectCalls:
+    def test_call_through_register(self):
+        check("""
+    movl $helper, %eax
+    call *%eax
+    addl $1, %eax
+    jmp fin
+helper:
+    movl 8(%ebx), %eax
+    ret
+fin:
+""")
+
+    def test_call_through_memory_pointer(self):
+        check("""
+    movl $helper, %ecx
+    movl %ecx, 96(%ebx)
+    call *96(%ebx)
+    movl $0, 96(%ebx)           # code addresses differ between instances
+    jmp fin
+helper:
+    movl $1234, %eax
+    ret
+fin:
+""")
+
+    def test_function_pointer_table_dispatch(self):
+        check("""
+    movl $fn_a, 0(%ebx)
+    movl $fn_b, 4(%ebx)
+    movl 8(%ebx), %ecx
+    andl $1, %ecx
+    call *(%ebx,%ecx,4)
+    movl $0, 0(%ebx)            # code addresses differ between instances
+    movl $0, 4(%ebx)
+    jmp fin
+fn_a:
+    movl $100, %eax
+    ret
+fn_b:
+    movl $200, %eax
+    ret
+fin:
+""")
+
+
+# ---------------------------------------------------------------------------
+# hypothesis: random straight-line programs
+# ---------------------------------------------------------------------------
+
+_OFFSETS = st.integers(0, DATA_BYTES - 8)
+_SMALL = st.integers(-1000, 1000)
+_REGS = st.sampled_from(["eax", "ecx", "edx", "esi", "edi"])
+_ALU = st.sampled_from(["addl", "subl", "andl", "orl", "xorl"])
+
+
+@st.composite
+def straight_line_ops(draw):
+    kind = draw(st.sampled_from(
+        ["load", "store", "alu_mr", "alu_rm", "imm_m", "inc", "byte",
+         "cmp_branch"]))
+    off = draw(_OFFSETS)
+    reg = draw(_REGS)
+    if kind == "load":
+        return f"movl {off}(%ebx), %{reg}"
+    if kind == "store":
+        return f"movl %{reg}, {off}(%ebx)"
+    if kind == "alu_mr":
+        return f"{draw(_ALU)} {off}(%ebx), %{reg}"
+    if kind == "alu_rm":
+        return f"{draw(_ALU)} %{reg}, {off}(%ebx)"
+    if kind == "imm_m":
+        return f"{draw(_ALU)} ${draw(_SMALL)}, {off}(%ebx)"
+    if kind == "inc":
+        return draw(st.sampled_from(["incl", "decl"])) + f" {off}(%ebx)"
+    if kind == "byte":
+        return f"movzbl {off}(%ebx), %{reg}"
+    # cmp + rewritten load + branch materialising the flags into memory
+    marker = draw(_OFFSETS)
+    n = draw(st.integers(0, 10**6))
+    return (f"cmpl ${draw(_SMALL)}, {off}(%ebx)\n"
+            f"    movl {draw(_OFFSETS)}(%ebx), %{reg}\n"
+            f"    jle .Lskip{n}_{marker}\n"
+            f"    incl {marker}(%ebx)\n"
+            f".Lskip{n}_{marker}:")
+
+
+class TestRandomPrograms:
+    @given(st.lists(straight_line_ops(), min_size=1, max_size=12),
+           st.integers(0, 2**16))
+    @settings(max_examples=30, deadline=None)
+    def test_equivalence(self, ops, seed):
+        # de-duplicate labels that hypothesis may repeat
+        seen, body_lines = set(), []
+        for op in ops:
+            if ".Lskip" in op:
+                label = op.split(".Lskip")[-1].split(":")[0]
+                if label in seen:
+                    continue
+                seen.add(label)
+            body_lines.append("    " + op)
+        body = "\n".join(body_lines) + "\n    movl 0(%ebx), %eax\n"
+        harness = TwinHarness(PROLOGUE + body + EPILOGUE)
+        harness.check(seed=seed)

@@ -1,0 +1,218 @@
+"""SVM: stlb hashing, miss handling, collisions, pair mapping, protection."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    STLB_ENTRIES,
+    SvmManager,
+    SvmProtectionFault,
+    SvmView,
+    stlb_index,
+)
+from repro.machine import AddressSpace, HYPERVISOR_BASE, Machine, PAGE_SIZE
+
+
+def make_env(identity=False):
+    m = Machine()
+    dom0 = AddressSpace("dom0", m.phys, m.hypervisor_table)
+    dom0.map_new_pages(0xC0000000, 8)
+    if identity:
+        table_addr = 0xC0000000          # table inside dom0 itself
+        dom0.map_new_pages(0xC0100000, 8)  # extra data space
+        svm = SvmManager(m, table_addr, dom0, identity=True, name="ident")
+    else:
+        # hypervisor data pages for the table
+        table_addr = 0xF0300000
+        for i in range(8):
+            m.hypervisor_table.map((table_addr >> 12) + i,
+                                   m.phys.allocate_frame())
+        svm = SvmManager(m, table_addr, dom0, identity=False,
+                         map_base=0xF4000000, name="hyp")
+    return m, dom0, svm
+
+
+class TestHashing:
+    def test_index_uses_low_page_bits(self):
+        assert stlb_index(0xC0001234) == 0x001
+        assert stlb_index(0xC0FFF000) == 0xFFF
+        assert stlb_index(0xC1001000) == 0x001   # collides with 0xC0001000
+
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=100)
+    def test_index_in_range(self, vaddr):
+        assert 0 <= stlb_index(vaddr) < STLB_ENTRIES
+
+
+class TestMissHandling:
+    def test_miss_fills_entry(self):
+        m, dom0, svm = make_env()
+        svm.handle_miss(0xC0000123)
+        tag, xormap = svm.read_entry(stlb_index(0xC0000123))
+        assert tag == 0xC0000000
+        assert (0xC0000000 ^ xormap) >= HYPERVISOR_BASE
+
+    def test_translation_preserves_offset(self):
+        m, dom0, svm = make_env()
+        mapped = svm.translate(0xC0000ABC)
+        assert mapped & 0xFFF == 0xABC
+
+    def test_mapped_page_aliases_same_frame(self):
+        m, dom0, svm = make_env()
+        dom0.write_u32(0xC0000040, 0xFEEDFACE)
+        mapped = svm.translate(0xC0000040)
+        view = AddressSpace("check", m.phys, m.hypervisor_table)
+        assert view.read_u32(mapped) == 0xFEEDFACE
+
+    def test_pair_mapping_contiguous(self):
+        # footnote 2: two consecutive pages are mapped per miss, so
+        # straddling accesses work through one translation
+        m, dom0, svm = make_env()
+        dom0.write(0xC0000FFE, 4, 0x31415926)
+        mapped = svm.translate(0xC0000FFE)
+        view = AddressSpace("check", m.phys, m.hypervisor_table)
+        assert view.read(mapped, 4) == 0x31415926
+
+    def test_pair_skips_unmapped_neighbour(self):
+        m, dom0, svm = make_env()
+        # page 7 is the last mapped dom0 page: its neighbour is absent
+        svm.handle_miss(0xC0007000)
+        assert 0xC0007000 in svm.mappings
+
+    def test_miss_idempotent_via_chain(self):
+        m, dom0, svm = make_env()
+        a = svm.translate(0xC0000100)
+        svm.handle_miss(0xC0000200)    # same page, same index
+        assert svm.translate(0xC0000100) == a
+        assert len(svm.mappings) == 1
+
+    def test_stats(self):
+        m, dom0, svm = make_env()
+        svm.translate(0xC0000000)
+        svm.translate(0xC0000010)      # chain hit, no new miss
+        assert svm.misses == 1
+
+
+class TestCollisions:
+    def test_colliding_pages_chain(self):
+        m, dom0, svm = make_env()
+        dom0.map_new_pages(0xC1001000, 1)      # index collides with C0001000
+        a = svm.translate(0xC0001000)
+        b = svm.translate(0xC1001000)          # evicts the table entry
+        assert a != b
+        # table now holds the second page
+        tag, _ = svm.read_entry(stlb_index(0xC0001000))
+        assert tag == 0xC1001000
+        # the fast path misses on the first page again; the slow path walks
+        # the chain (a collision) and refills the entry
+        assert svm.lookup_fast(0xC0001000) is None
+        svm.handle_miss(0xC0001000)
+        assert svm.collisions == 1
+        tag, _ = svm.read_entry(stlb_index(0xC0001000))
+        assert tag == 0xC0001000
+        assert svm.translate(0xC0001000) == a
+
+    def test_fast_lookup_miss_on_eviction(self):
+        m, dom0, svm = make_env()
+        dom0.map_new_pages(0xC1001000, 1)
+        svm.translate(0xC0001000)
+        svm.translate(0xC1001000)
+        assert svm.lookup_fast(0xC0001000) is None
+        assert svm.lookup_fast(0xC1001500) is not None
+
+
+class TestProtection:
+    def test_hypervisor_address_rejected(self):
+        m, dom0, svm = make_env()
+        with pytest.raises(SvmProtectionFault):
+            svm.handle_miss(0xF0300000)
+        assert svm.protection_faults == 1
+
+    def test_unmapped_dom0_address_rejected(self):
+        m, dom0, svm = make_env()
+        with pytest.raises(SvmProtectionFault):
+            svm.handle_miss(0xA0000000)
+
+    def test_null_rejected(self):
+        m, dom0, svm = make_env()
+        with pytest.raises(SvmProtectionFault):
+            svm.handle_miss(0x00000044)
+
+    def test_flush_invalidates_table_keeps_mappings(self):
+        m, dom0, svm = make_env()
+        a = svm.translate(0xC0000000)
+        svm.flush()
+        assert svm.lookup_fast(0xC0000000) is None
+        assert svm.translate(0xC0000000) == a
+
+
+class TestIdentityMode:
+    def test_identity_translation(self):
+        m, dom0, svm = make_env(identity=True)
+        assert svm.translate(0xC0100123) == 0xC0100123
+        tag, xormap = svm.read_entry(stlb_index(0xC0100123))
+        assert tag == 0xC0100000
+        assert xormap == 0
+
+    def test_identity_still_protects(self):
+        m, dom0, svm = make_env(identity=True)
+        with pytest.raises(SvmProtectionFault):
+            svm.handle_miss(0xF0000000)
+
+    def test_identity_creates_no_mappings(self):
+        m, dom0, svm = make_env(identity=True)
+        svm.translate(0xC0100000)
+        assert svm.mappings == {}
+
+
+class TestSvmView:
+    def test_view_reads_dom0_data(self):
+        m, dom0, svm = make_env()
+        dom0.write_u32(0xC0000500, 777)
+        view = SvmView(svm)
+        assert view.read_u32(0xC0000500) == 777
+
+    def test_view_writes_visible_in_dom0(self):
+        m, dom0, svm = make_env()
+        view = SvmView(svm)
+        view.write_u32(0xC0000600, 888)
+        assert dom0.read_u32(0xC0000600) == 888
+
+    def test_view_bulk_across_pages(self):
+        m, dom0, svm = make_env()
+        view = SvmView(svm)
+        payload = bytes(range(256)) * 20
+        view.write_bytes(0xC0000E00, payload)
+        assert dom0.read_bytes(0xC0000E00, len(payload)) == payload
+        assert view.read_bytes(0xC0000E00, len(payload)) == payload
+
+    def test_view_straddling_u32(self):
+        m, dom0, svm = make_env()
+        view = SvmView(svm)
+        view.write(0xC0001FFE, 4, 0xA1B2C3D4)
+        assert dom0.read(0xC0001FFE, 4) == 0xA1B2C3D4
+
+    def test_view_protection(self):
+        m, dom0, svm = make_env()
+        view = SvmView(svm)
+        with pytest.raises(SvmProtectionFault):
+            view.read_u32(0xF0300000)
+
+    def test_identity_view(self):
+        m, dom0, svm = make_env(identity=True)
+        view = SvmView(svm)
+        dom0.write_u32(0xC0100020, 1337)
+        assert view.read_u32(0xC0100020) == 1337
+
+
+class TestPropertyTranslation:
+    @given(st.integers(0, 8 * PAGE_SIZE - 4))
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip_any_offset(self, offset):
+        m, dom0, svm = make_env()
+        vaddr = 0xC0000000 + offset
+        dom0.write(vaddr, 4, offset & 0xFFFFFFFF)
+        mapped = svm.translate(vaddr)
+        view = AddressSpace("check", m.phys, m.hypervisor_table)
+        assert view.read(mapped, 4) == offset & 0xFFFFFFFF

@@ -1,0 +1,201 @@
+"""The RTL8139-style driver and device: native lifecycle and fast path."""
+
+import pytest
+
+from repro.drivers import build_rtl8139_program
+from repro.drivers.rtl8139 import (
+    RTL_HW,
+    RTL_RXOFF,
+    RTL_RXRING,
+    RTL_TXBUF0,
+    RTL_TXNEXT,
+)
+from repro.machine import Machine
+from repro.machine.rtl8139 import (
+    CR_RE,
+    CR_TE,
+    ISR_ROK,
+    ISR_TOK,
+    R_CR,
+    R_IMR,
+    R_RBSTART,
+    R_TSAD0,
+    R_TSD0,
+    RX_RING_BYTES,
+    RX_WRAP_THRESHOLD,
+    Rtl8139Device,
+    TSD_TOK,
+)
+from repro.osmodel import Kernel, layout as L
+from repro.xen import Hypervisor
+
+
+@pytest.fixture
+def env():
+    m = Machine()
+    xen = Hypervisor(m)
+    dom0 = xen.create_domain("dom0", is_dom0=True)
+    kernel = Kernel(m, dom0, costs=xen.costs)
+    nic = m.add_nic(model="rtl8139")
+    module = kernel.load_driver(build_rtl8139_program())
+    ndev = kernel.create_netdev_for_nic(nic)
+    dom0.aspace.write_u32(ndev.addr + L.NDEV_MEM, nic.mmio.start)
+    m.intc.set_dispatcher(lambda irq: kernel.handle_irq(irq))
+    return m, kernel, nic, module, ndev
+
+
+def probe_open(kernel, module, ndev):
+    assert kernel.call_driver(module.symbol("rtl8139_probe"),
+                              [ndev.addr]) == 0
+    assert kernel.call_driver(module.symbol("rtl8139_open"),
+                              [ndev.addr]) == 0
+
+
+class TestDeviceModel:
+    def test_tx_slot_roundtrip(self):
+        m = Machine()
+        nic = m.add_nic(model="rtl8139")
+        assert isinstance(nic, Rtl8139Device)
+        buf = m.phys.allocate_frame() << 12
+        m.phys.write_bytes(buf, b"rtl-packet")
+        nic.regs[R_CR] = CR_TE
+        nic.regs[R_TSAD0] = buf
+        m.wire.keep_payloads = True
+        nic.mmio_write(R_TSD0, 4, 10)
+        assert m.wire.transmitted == [b"rtl-packet"]
+        assert nic.regs[R_TSD0] & TSD_TOK
+
+    def test_rx_ring_records(self):
+        m = Machine()
+        nic = m.add_nic(model="rtl8139")
+        ring = m.phys.allocate_frames(4)[0] << 12
+        nic.regs[R_RBSTART] = ring
+        nic.regs[R_CR] = CR_RE
+        assert nic.receive(b"abcdef")
+        header = m.phys.read_u32(ring)
+        assert header >> 16 == 6
+        assert m.phys.read_bytes(ring + 4, 6) == b"abcdef"
+        # record advances 4-byte aligned
+        assert nic.regs[0x3C] == (4 + 6 + 3) & ~3
+
+    def test_rx_wraps_near_end(self):
+        m = Machine()
+        nic = m.add_nic(model="rtl8139")
+        ring = m.phys.allocate_frames(4)[0] << 12
+        nic.regs[R_RBSTART] = ring
+        nic.regs[R_CR] = CR_RE
+        nic.regs[0x3C] = RX_WRAP_THRESHOLD - 100   # CBR near the threshold
+        nic.regs[0x38] = RX_WRAP_THRESHOLD - 100   # CAPR (ring empty)
+        assert nic.receive(b"x" * 200)
+        assert nic.regs[0x3C] == 0                  # wrapped
+
+    def test_rx_drop_when_full(self):
+        m = Machine()
+        nic = m.add_nic(model="rtl8139")
+        ring = m.phys.allocate_frames(4)[0] << 12
+        nic.regs[R_RBSTART] = ring
+        nic.regs[R_CR] = CR_RE
+        sent = 0
+        while nic.receive(b"y" * 1000):
+            sent += 1
+        assert sent > 5
+        assert nic.stats.rx_dropped_no_desc == 1
+
+    def test_bufe_bit(self):
+        m = Machine()
+        nic = m.add_nic(model="rtl8139")
+        nic.regs[R_RBSTART] = m.phys.allocate_frames(4)[0] << 12
+        nic.regs[R_CR] = CR_RE
+        assert nic.mmio_read(R_CR, 4) & 0x1        # empty
+        nic.receive(b"z" * 50)
+        assert not nic.mmio_read(R_CR, 4) & 0x1    # data pending
+
+    def test_isr_write_one_to_clear(self):
+        m = Machine()
+        nic = m.add_nic(model="rtl8139")
+        nic.regs[0x44] = ISR_TOK | ISR_ROK
+        nic.mmio_write(0x44, 4, ISR_TOK)
+        assert nic.regs[0x44] == ISR_ROK
+
+
+class TestDriverLifecycle:
+    def test_probe_allocates_ring_and_buffers(self, env):
+        m, kernel, nic, module, ndev = env
+        kernel.call_driver(module.symbol("rtl8139_probe"), [ndev.addr])
+        mem = kernel.memory_view()
+        adapter = ndev.priv
+        assert mem.read_u32(adapter + RTL_RXRING) != 0
+        for i in range(4):
+            assert mem.read_u32(adapter + RTL_TXBUF0 + 4 * i) != 0
+        assert ndev.hard_start_xmit == module.symbol("rtl8139_xmit")
+
+    def test_open_programs_device(self, env):
+        m, kernel, nic, module, ndev = env
+        probe_open(kernel, module, ndev)
+        assert nic.regs[R_CR] & (CR_TE | CR_RE) == CR_TE | CR_RE
+        assert nic.regs[R_IMR] == ISR_TOK | ISR_ROK
+        assert nic.regs[R_RBSTART] != 0
+        for i in range(4):
+            assert nic.regs[R_TSAD0 + 4 * i] != 0
+
+    def test_transmit_copies_and_sends(self, env):
+        m, kernel, nic, module, ndev = env
+        probe_open(kernel, module, ndev)
+        m.wire.keep_payloads = True
+        payload = bytes(range(200)) * 5
+        assert kernel.tcp_transmit(ndev.addr, len(payload), payload=payload)
+        frame = m.wire.transmitted[0]
+        assert frame[14:] == payload
+        assert frame[6:12] == nic.mac
+
+    def test_transmit_frees_skb_immediately(self, env):
+        m, kernel, nic, module, ndev = env
+        probe_open(kernel, module, ndev)
+        held = kernel.heap.allocated_bytes
+        for _ in range(12):
+            assert kernel.tcp_transmit(ndev.addr, 800)
+        # copying driver: no skbs parked on the hardware
+        assert kernel.heap.allocated_bytes == held
+
+    def test_tx_slots_rotate(self, env):
+        m, kernel, nic, module, ndev = env
+        probe_open(kernel, module, ndev)
+        for _ in range(9):
+            kernel.tcp_transmit(ndev.addr, 100)
+        assert kernel.memory_view().read_u32(ndev.priv + RTL_TXNEXT) == 9
+
+    def test_receive_delivers(self, env):
+        m, kernel, nic, module, ndev = env
+        probe_open(kernel, module, ndev)
+        frame = bytes(nic.mac) + b"\x00" * 6 + b"\x08\x00" + b"w" * 700
+        for _ in range(5):
+            assert m.wire.inject(nic, frame)
+        assert kernel.rx_delivered == 5
+        assert kernel.rx_bytes == 5 * 700
+
+    def test_receive_many_wraps_ring(self, env):
+        m, kernel, nic, module, ndev = env
+        probe_open(kernel, module, ndev)
+        frame = bytes(nic.mac) + b"\x00" * 6 + b"\x08\x00" + bytes(1400)
+        for _ in range(40):                 # > 16KB of records: wraps
+            assert m.wire.inject(nic, frame)
+        assert kernel.rx_delivered == 40
+        assert kernel.memory_view().read_u32(ndev.priv + RTL_RXOFF) \
+            < RX_RING_BYTES
+
+    def test_get_stats(self, env):
+        m, kernel, nic, module, ndev = env
+        probe_open(kernel, module, ndev)
+        kernel.tcp_transmit(ndev.addr, 400)
+        kernel.call_driver(module.symbol("rtl8139_get_stats"), [ndev.addr])
+        assert ndev.tx_packets == 1
+        assert ndev.tx_bytes == 414
+
+    def test_close(self, env):
+        m, kernel, nic, module, ndev = env
+        probe_open(kernel, module, ndev)
+        assert kernel.call_driver(module.symbol("rtl8139_close"),
+                                  [ndev.addr]) == 0
+        assert nic.regs[R_CR] == 0
+        assert nic.regs[R_IMR] == 0
+        assert nic.irq not in kernel.irq_handlers

@@ -1,0 +1,46 @@
+"""Smoke tests: the example scripts run cleanly end to end."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name, *args, timeout=300):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True, text=True, timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "frames accepted" in out
+        assert "upcalls made: 0" in out
+
+    def test_rewriting_tour(self):
+        out = run_example("rewriting_tour.py")
+        assert "__stlb" in out
+        assert "memory fraction" in out
+
+    def test_fault_injection(self):
+        out = run_example("fault_injection.py")
+        assert "driver aborted" in out
+        assert "secret leaked to the wire: False" in out
+        assert "driver healthy (aborted=False)" in out
+
+    def test_second_driver(self):
+        out = run_example("second_driver.py")
+        assert "e1000" in out and "rtl8139" in out
+        assert "payloads intact" in out
+
+    def test_webserver_workload(self):
+        out = run_example("webserver_workload.py")
+        assert "peak" in out
+        assert "twin vs domU peak" in out

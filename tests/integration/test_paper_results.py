@@ -1,0 +1,195 @@
+"""The reproduction gate: every headline number of the paper, in bands.
+
+These tests pin the *shape* of the paper's results — who wins, by what
+factor, where the numbers sit — against the calibrated simulation. If a
+code change breaks one of the paper's claims, this file fails.
+"""
+
+import pytest
+
+from repro.configs import build
+from repro.osmodel.support import FAST_PATH_ROUTINES
+from repro.workloads import (
+    figure10_upcall_sweep,
+    figure9_curves,
+    profile_config,
+    run_netperf,
+    run_table1,
+)
+
+PACKETS = 256
+
+
+@pytest.fixture(scope="module")
+def tx_results():
+    return {name: run_netperf(name, "tx", packets=PACKETS)
+            for name in ("linux", "dom0", "domU", "domU-twin")}
+
+
+@pytest.fixture(scope="module")
+def rx_results():
+    return {name: run_netperf(name, "rx", packets=PACKETS)
+            for name in ("linux", "dom0", "domU", "domU-twin")}
+
+
+def within(value, target, tolerance=0.15):
+    assert abs(value - target) <= tolerance * target, \
+        f"{value:.0f} not within {tolerance:.0%} of {target}"
+
+
+class TestFigure5Transmit:
+    def test_absolute_throughputs(self, tx_results):
+        within(tx_results["domU"].throughput_mbps, 1619)
+        within(tx_results["domU-twin"].throughput_mbps, 3902)
+        within(tx_results["dom0"].throughput_mbps, 4683, 0.05)
+        within(tx_results["linux"].throughput_mbps, 4690, 0.05)
+
+    def test_linux_is_line_limited_with_headroom(self, tx_results):
+        # paper: 4690 Mb/s at 76.9% CPU
+        assert tx_results["linux"].cpu_utilization < 0.9
+        within(tx_results["linux"].cpu_utilization, 0.769, 0.10)
+
+    def test_headline_factor_2_4(self, tx_results):
+        factor = (tx_results["domU-twin"].cpu_scaled_mbps
+                  / tx_results["domU"].cpu_scaled_mbps)
+        within(factor, 2.41, 0.15)
+
+    def test_twin_fraction_of_linux(self, tx_results):
+        frac = (tx_results["domU-twin"].cpu_scaled_mbps
+                / tx_results["linux"].cpu_scaled_mbps)
+        within(frac, 0.64, 0.15)
+
+    def test_ordering(self, tx_results):
+        assert (tx_results["domU"].cpu_scaled_mbps
+                < tx_results["domU-twin"].cpu_scaled_mbps
+                < tx_results["dom0"].cpu_scaled_mbps
+                < tx_results["linux"].cpu_scaled_mbps)
+
+
+class TestFigure6Receive:
+    def test_absolute_throughputs(self, rx_results):
+        within(rx_results["domU"].throughput_mbps, 928)
+        within(rx_results["domU-twin"].throughput_mbps, 2022)
+        within(rx_results["dom0"].throughput_mbps, 2839)
+        within(rx_results["linux"].throughput_mbps, 3010)
+
+    def test_headline_factor_2_1(self, rx_results):
+        factor = (rx_results["domU-twin"].cpu_scaled_mbps
+                  / rx_results["domU"].cpu_scaled_mbps)
+        within(factor, 2.17, 0.15)
+
+    def test_twin_fraction_of_linux(self, rx_results):
+        frac = (rx_results["domU-twin"].cpu_scaled_mbps
+                / rx_results["linux"].cpu_scaled_mbps)
+        within(frac, 0.67, 0.15)
+
+    def test_all_cpu_bound(self, rx_results):
+        for r in rx_results.values():
+            assert r.cpu_utilization == pytest.approx(1.0)
+
+
+class TestFigure7TransmitProfile:
+    @pytest.fixture(scope="class")
+    def profiles(self):
+        return {name: profile_config(name, "tx", packets=PACKETS)
+                for name in ("linux", "dom0", "domU", "domU-twin")}
+
+    def test_totals(self, profiles):
+        within(profiles["domU"].total_per_packet, 21159)
+        within(profiles["domU-twin"].total_per_packet, 9972)
+        within(profiles["dom0"].total_per_packet, 8310)
+        within(profiles["linux"].total_per_packet, 7130)
+
+    def test_domU_dominated_by_dom0_invocation(self, profiles):
+        # paper: 8394 of domU's cycles go to dom0 work
+        within(profiles["domU"].per_packet["dom0"], 8394, 0.20)
+
+    def test_rewritten_driver_slowdown_2_to_3x(self, profiles):
+        native = profiles["linux"].per_packet["e1000"]
+        rewritten = profiles["domU-twin"].per_packet["e1000"]
+        assert 2.0 <= rewritten / native <= 3.5
+
+    def test_twin_avoids_dom0_entirely(self, profiles):
+        assert profiles["domU-twin"].per_packet["dom0"] == 0
+
+
+class TestFigure8ReceiveProfile:
+    @pytest.fixture(scope="class")
+    def profiles(self):
+        return {name: profile_config(name, "rx", packets=PACKETS)
+                for name in ("linux", "dom0", "domU", "domU-twin")}
+
+    def test_totals(self, profiles):
+        within(profiles["domU"].total_per_packet, 35905)
+        within(profiles["domU-twin"].total_per_packet, 20089)
+        within(profiles["dom0"].total_per_packet, 14308)
+        within(profiles["linux"].total_per_packet, 11166)
+
+    def test_twin_xen_share_includes_copy(self, profiles):
+        # paper: 6514 cycles in the hypervisor, 3525 of them copying
+        within(profiles["domU-twin"].per_packet["Xen"], 6514 + 3140, 0.25)
+
+    def test_domU_double_of_twin(self, profiles):
+        ratio = (profiles["domU"].total_per_packet
+                 / profiles["domU-twin"].total_per_packet)
+        within(ratio, 35905 / 20089, 0.15)
+
+
+class TestFigure9WebServer:
+    @pytest.fixture(scope="class")
+    def curves(self):
+        return {c.config: c for c in
+                figure9_curves(rates=range(1000, 20001, 1000))}
+
+    def test_peaks(self, curves):
+        within(curves["linux"].peak_mbps, 855, 0.10)
+        within(curves["dom0"].peak_mbps, 712, 0.10)
+        within(curves["domU-twin"].peak_mbps, 572, 0.10)
+        within(curves["domU"].peak_mbps, 269, 0.20)
+
+    def test_twin_more_than_2x_domU(self, curves):
+        assert curves["domU-twin"].peak_mbps > 2 * curves["domU"].peak_mbps
+
+    def test_curves_rise_then_flatten(self, curves):
+        for curve in curves.values():
+            rising = [p.throughput_mbps for p in curve.points[:3]]
+            assert rising == sorted(rising)
+            # past saturation the curve must not keep rising
+            tail = [p.throughput_mbps for p in curve.points[-3:]]
+            assert max(tail) <= curve.peak_mbps + 1e-6
+
+
+class TestFigure10Upcalls:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        return figure10_upcall_sweep(max_upcalls=9, packets=128)
+
+    def test_zero_upcalls_full_speed(self, sweep):
+        within(sweep[0].throughput_mbps, 3902, 0.15)
+
+    def test_one_upcall_collapses_throughput(self, sweep):
+        # paper: 3902 -> 1638 Mb/s with a single upcall per invocation
+        within(sweep[1].throughput_mbps, 1638, 0.15)
+
+    def test_monotone_decline(self, sweep):
+        tputs = [p.throughput_mbps for p in sweep]
+        assert all(a >= b - 1 for a, b in zip(tputs, tputs[1:]))
+
+    def test_final_point_collapsed(self, sweep):
+        # paper: 359 Mb/s with everything but netif_rx upcalled
+        assert sweep[-1].throughput_mbps < 0.15 * sweep[0].throughput_mbps
+
+
+class TestTable1:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_table1(packets=128)
+
+    def test_exactly_ten_routines(self, result):
+        assert len(result.fast_path) == 10
+
+    def test_exact_set_matches_paper(self, result):
+        assert result.fast_path == set(FAST_PATH_ROUTINES)
+
+    def test_fast_path_small_fraction_of_surface(self, result):
+        assert len(result.all_routines) >= 3 * len(result.fast_path)

@@ -1,0 +1,180 @@
+"""Control-flow graph construction and register liveness analysis."""
+
+import pytest
+
+from repro.isa import ControlFlowGraph, LivenessAnalysis, assemble
+
+
+class TestCfg:
+    def test_straight_line_single_block(self):
+        p = assemble("movl $1, %eax\naddl $2, %eax\nret")
+        cfg = ControlFlowGraph(p)
+        assert len(cfg.blocks) == 1
+        assert cfg.blocks[0].end == 3
+
+    def test_branch_splits_blocks(self):
+        p = assemble("""
+            cmpl $0, %eax
+            je skip
+            incl %ebx
+        skip:
+            ret
+        """)
+        cfg = ControlFlowGraph(p)
+        assert sorted(cfg.blocks) == [0, 2, 3]
+        assert cfg.blocks[0].successors == [2, 3]
+        assert cfg.blocks[2].successors == [3]
+        assert cfg.blocks[3].successors == []
+
+    def test_loop_back_edge(self):
+        p = assemble("""
+        top:
+            decl %ecx
+            jne top
+            ret
+        """)
+        cfg = ControlFlowGraph(p)
+        assert 0 in cfg.blocks[0].successors or 0 in cfg.blocks[
+            cfg.block_of(1).start].successors
+
+    def test_ret_has_no_successors(self):
+        p = assemble("ret\nnop")
+        cfg = ControlFlowGraph(p)
+        assert cfg.blocks[0].successors == []
+
+    def test_call_falls_through(self):
+        # a call does not end a basic block: the ret after it is in the
+        # same block, which then has no successors
+        p = assemble("call f\nret\nf: ret")
+        cfg = ControlFlowGraph(p)
+        assert cfg.block_of(0).end == 2
+        assert cfg.block_of(0).successors == []
+
+    def test_indirect_jump_conservative(self):
+        p = assemble("""
+        a:  nop
+            jmp *%eax
+        b:  ret
+        """)
+        cfg = ControlFlowGraph(p)
+        block = cfg.block_of(1)
+        # all label targets are possible successors
+        assert set(block.successors) >= {0, 2}
+
+    def test_block_of_lookup(self):
+        p = assemble("nop\nnop\nje t\nnop\nt: ret")
+        cfg = ControlFlowGraph(p)
+        assert cfg.block_of(1).start == 0
+        assert cfg.block_of(3).start == 3
+        with pytest.raises(KeyError):
+            cfg.block_of(99)
+
+    def test_reverse_postorder_starts_at_entry(self):
+        p = assemble("je t\nnop\nt: ret")
+        cfg = ControlFlowGraph(p)
+        order = cfg.reverse_postorder()
+        assert order[0] == 0
+        assert set(order) == set(cfg.blocks)
+
+    def test_predecessors(self):
+        p = assemble("je t\nnop\nt: ret")
+        cfg = ControlFlowGraph(p)
+        target = cfg.block_of(2)
+        assert sorted(target.predecessors) == [0, 1]
+
+
+class TestLiveness:
+    def test_dead_after_overwrite(self):
+        p = assemble("""
+            movl $1, %eax
+            movl $2, %eax
+            movl %eax, %ebx
+            ret
+        """)
+        la = LivenessAnalysis(p)
+        # eax written at 0 is dead (overwritten at 1 without a read)
+        assert "eax" not in la.live_out[0] or "eax" in la.live_in[1]
+        # between 1 and 2, eax is live
+        assert "eax" in la.live_out[1]
+
+    def test_live_through_branch(self):
+        p = assemble("""
+            movl $5, %ecx
+            cmpl $0, %eax
+            je use
+            nop
+        use:
+            movl %ecx, %edx
+            ret
+        """)
+        la = LivenessAnalysis(p)
+        assert "ecx" in la.live_out[0]
+        assert "ecx" in la.live_in[3]     # through the fallthrough block
+
+    def test_loop_keeps_counter_live(self):
+        p = assemble("""
+        top:
+            addl %ecx, %eax
+            decl %ecx
+            jne top
+            ret
+        """)
+        la = LivenessAnalysis(p)
+        assert "ecx" in la.live_in[0]
+        assert "ecx" in la.live_out[2]    # back edge
+
+    def test_free_registers_exclude_live(self):
+        p = assemble("""
+            movl $1, %esi
+            movl (%ebx), %eax
+            addl %esi, %eax
+            ret
+        """)
+        la = LivenessAnalysis(p)
+        free = la.free_registers_at(1)
+        assert "esi" not in free          # live across
+        assert "ebx" not in free          # used by the instruction
+        assert "eax" not in free          # written by the instruction
+
+    def test_free_registers_at_dead_point(self):
+        p = assemble("""
+            movl (%ebx), %eax
+            ret
+        """)
+        la = LivenessAnalysis(p)
+        free = la.free_registers_at(0)
+        # ecx and edx are caller-saved, not used, dead at ret
+        assert "ecx" in free
+        assert "edx" in free
+
+    def test_callee_saved_live_at_ret(self):
+        p = assemble("movl $0, %eax\nret")
+        la = LivenessAnalysis(p)
+        # conservative: callee-saved registers must survive to ret
+        assert "ebx" in la.live_out[0]
+        assert "esi" in la.live_out[0]
+
+    def test_call_keeps_callee_saved_live_through(self):
+        p = assemble("""
+            movl $1, %ebx
+            call helper
+            movl %ebx, %eax
+            ret
+        """)
+        la = LivenessAnalysis(p)
+        assert "ebx" in la.live_in[1]
+
+    def test_indirect_jump_all_live(self):
+        p = assemble("""
+        a:  nop
+            jmp *%eax
+        b:  ret
+        """)
+        la = LivenessAnalysis(p)
+        assert la.free_registers_at(0) == ()
+
+    def test_mem_base_register_not_free(self):
+        p = assemble("movl %eax, 8(%edi)\nret")
+        la = LivenessAnalysis(p)
+        assert "edi" not in la.free_registers_at(0)
+        assert "eax" not in la.free_registers_at(0)

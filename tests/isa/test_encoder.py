@@ -1,0 +1,158 @@
+"""Binary encoding: round trips (hand-written and property-based),
+instruction lengths, address layout."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa import (
+    Imm,
+    Instruction,
+    Label,
+    Mem,
+    Reg,
+    assemble,
+    code_size,
+    decode_instruction,
+    decode_program,
+    encode_instruction,
+    encode_program,
+    instruction_length,
+    layout,
+)
+
+# ---------------------------------------------------------------------------
+# hypothesis strategies for random (valid) instructions
+# ---------------------------------------------------------------------------
+
+regs = st.sampled_from(["eax", "ecx", "edx", "ebx", "esp", "ebp", "esi",
+                        "edi"])
+imm32 = st.integers(min_value=-(2**31), max_value=2**31 - 1)
+symbols = st.one_of(st.none(), st.sampled_from(["sym_a", "data_b", "__stlb"]))
+
+
+@st.composite
+def mem_operands(draw):
+    return Mem(
+        disp=draw(imm32),
+        base=draw(st.one_of(st.none(), regs)),
+        index=draw(st.one_of(st.none(), regs)),
+        scale=draw(st.sampled_from([1, 2, 4, 8])),
+        symbol=draw(symbols),
+    )
+
+
+@st.composite
+def random_instructions(draw):
+    kind = draw(st.sampled_from(["alu", "mov", "push", "string", "flow"]))
+    if kind == "alu":
+        mnem = draw(st.sampled_from(["add", "sub", "and", "or", "xor",
+                                     "cmp", "test"]))
+        src = draw(st.one_of(st.builds(Imm, imm32), st.builds(Reg, regs),
+                             mem_operands()))
+        dst = st.builds(Reg, regs) if isinstance(src, Mem) else \
+            draw(st.sampled_from([st.builds(Reg, regs), mem_operands()]))
+        dst = draw(dst) if not isinstance(dst, (Reg, Mem)) else dst
+        return Instruction(mnem, (src, dst), size=draw(
+            st.sampled_from([1, 2, 4])))
+    if kind == "mov":
+        return Instruction("mov", (draw(st.builds(Reg, regs)),
+                                   draw(mem_operands())),
+                           size=draw(st.sampled_from([1, 2, 4])))
+    if kind == "push":
+        return Instruction("push", (draw(st.one_of(
+            st.builds(Imm, imm32), st.builds(Reg, regs), mem_operands()
+        )),))
+    if kind == "string":
+        return Instruction(
+            draw(st.sampled_from(["movs", "stos", "lods", "cmps", "scas"])),
+            (), size=draw(st.sampled_from([1, 2, 4])),
+            prefix=draw(st.sampled_from([None, "rep", "repe", "repne"])),
+        )
+    return Instruction(
+        draw(st.sampled_from(["jmp", "call", "je", "jne"])),
+        (Label(draw(st.sampled_from(["t1", "t2", "far_target"]))),),
+    )
+
+
+class TestInstructionRoundTrip:
+    @given(random_instructions())
+    @settings(max_examples=300)
+    def test_roundtrip(self, instr):
+        data = encode_instruction(instr)
+        decoded, consumed = decode_instruction(data)
+        assert consumed == len(data)
+        assert decoded.mnemonic == instr.mnemonic
+        assert decoded.size == instr.size
+        assert decoded.prefix == instr.prefix
+        assert decoded.operands == instr.operands
+
+    def test_length_matches_encoding(self):
+        instr = Instruction("mov", (Imm(7), Reg("eax")))
+        assert instruction_length(instr) == len(encode_instruction(instr))
+
+    def test_symbolic_mem_encodes_symbol(self):
+        instr = Instruction("mov", (Mem(symbol="counter", disp=4), Reg("eax")))
+        decoded, _ = decode_instruction(encode_instruction(instr))
+        assert decoded.operands[0].symbol == "counter"
+        assert decoded.operands[0].disp == 4
+
+    def test_indirect_flag_preserved(self):
+        instr = Instruction("call", (Reg("eax"),), indirect=True)
+        decoded, _ = decode_instruction(encode_instruction(instr))
+        assert decoded.indirect
+
+    def test_high_address_displacement(self):
+        # addresses above 2**31 must survive (canonicalised two's-complement)
+        instr = Instruction("mov", (Mem(disp=0xC9000000), Reg("eax")))
+        decoded, _ = decode_instruction(encode_instruction(instr))
+        assert decoded.operands[0].disp & 0xFFFFFFFF == 0xC9000000
+
+
+class TestProgramRoundTrip:
+    SOURCE = """
+.globl f
+f:
+    pushl %ebp
+    movl %esp, %ebp
+    movl 8(%ebp), %eax
+    addl $4, %eax
+    cmpl $100, %eax
+    jae big
+    rep stosl
+big:
+    popl %ebp
+    ret
+"""
+
+    def test_program_roundtrip(self):
+        program = assemble(self.SOURCE)
+        data = encode_program(program)
+        again = decode_program(data, labels=program.labels)
+        assert [i.format() for i in again.instructions] == \
+               [i.format() for i in program.instructions]
+
+    def test_code_size_consistent(self):
+        program = assemble(self.SOURCE)
+        assert code_size(program) == len(encode_program(program))
+
+    def test_layout_monotonic_and_disjoint(self):
+        program = assemble(self.SOURCE)
+        addrs = layout(program, 0x1000)
+        assert addrs[0] == 0x1000
+        for i in range(1, len(addrs)):
+            expected = addrs[i - 1] + instruction_length(
+                program.instructions[i - 1])
+            assert addrs[i] == expected
+
+    def test_layout_base_shifts_uniformly(self):
+        # the constant-offset property §5.1.2 relies on
+        program = assemble(self.SOURCE)
+        a = layout(program, 0x1000)
+        b = layout(program, 0x90000)
+        assert all(y - x == 0x8F000 for x, y in zip(a, b))
+
+    def test_variable_length_encoding(self):
+        program = assemble("nop\nmovl $1, %eax\nmovl counter, %eax")
+        lengths = [instruction_length(i) for i in program.instructions]
+        assert len(set(lengths)) > 1

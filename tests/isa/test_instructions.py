@@ -1,0 +1,150 @@
+"""Static instruction classification: register usage, flags, memory kind."""
+
+import pytest
+
+from repro.isa import Imm, Instruction, Label, Mem, Reg, assemble
+
+
+def ins(text):
+    return assemble(text + ("\nt: ret" if "t" in text else "")
+                    ).instructions[0]
+
+
+class TestRegisterUsage:
+    def test_mov_reg_reg(self):
+        i = ins("movl %eax, %ebx")
+        assert i.registers_read() == {"eax"}
+        assert i.registers_written() == {"ebx"}
+
+    def test_mov_mem_uses_address_regs(self):
+        i = ins("movl 4(%esi,%ecx,2), %eax")
+        assert i.registers_read() == {"esi", "ecx"}
+        assert i.registers_written() == {"eax"}
+
+    def test_store_reads_value_and_address(self):
+        i = ins("movl %eax, (%ebx)")
+        assert i.registers_read() == {"eax", "ebx"}
+        assert i.registers_written() == set()
+
+    def test_alu_reads_both(self):
+        i = ins("addl %ecx, %edx")
+        assert i.registers_read() == {"ecx", "edx"}
+        assert i.registers_written() == {"edx"}
+
+    def test_cmp_writes_nothing(self):
+        i = ins("cmpl %eax, %ebx")
+        assert i.registers_written() == set()
+
+    def test_lea_reads_address_only(self):
+        i = ins("leal 8(%eax,%ebx,4), %ecx")
+        assert i.registers_read() == {"eax", "ebx"}
+        assert i.registers_written() == {"ecx"}
+
+    def test_push_reads_esp(self):
+        i = ins("pushl %eax")
+        assert "esp" in i.registers_read()
+        assert "esp" in i.registers_written()
+
+    def test_pop_writes_target_and_esp(self):
+        i = ins("popl %edx")
+        assert i.registers_written() == {"edx", "esp"}
+
+    def test_call_clobbers_caller_saved(self):
+        i = assemble("call f\nf: ret").instructions[0]
+        assert {"eax", "ecx", "edx"} <= i.registers_written()
+
+    def test_subregister_maps_to_parent(self):
+        i = ins("movb %al, (%ebx)")
+        assert "eax" in i.registers_read()
+
+    def test_partial_width_reg_write_reads_parent(self):
+        # writing %al preserves the rest of %eax -> counts as a read
+        i = ins("movb $1, %al")
+        assert "eax" in i.registers_read()
+
+    def test_string_movs_implicit(self):
+        i = ins("rep movsl")
+        assert i.registers_read() == {"esi", "edi", "ecx"}
+        assert i.registers_written() == {"esi", "edi", "ecx"}
+
+    def test_string_stos_implicit(self):
+        i = ins("stosb")
+        assert i.registers_read() == {"edi", "eax"}
+        assert i.registers_written() == {"edi"}
+
+    def test_string_lods_writes_eax(self):
+        i = ins("lodsl")
+        assert "eax" in i.registers_written()
+
+    def test_xchg_reads_and_writes_both(self):
+        i = ins("xchgl %eax, %ebx")
+        assert i.registers_read() == {"eax", "ebx"}
+        assert i.registers_written() == {"eax", "ebx"}
+
+
+class TestFlags:
+    @pytest.mark.parametrize("text,writes", [
+        ("addl $1, %eax", True),
+        ("cmpl $1, %eax", True),
+        ("testl %eax, %eax", True),
+        ("incl %eax", True),
+        ("shrl $2, %eax", True),
+        ("movl $1, %eax", False),
+        ("leal 4(%eax), %ebx", False),
+        ("pushl %eax", False),
+    ])
+    def test_writes_flags(self, text, writes):
+        assert ins(text).writes_flags is writes
+
+    def test_jcc_reads_flags(self):
+        i = assemble("je t\nt: nop").instructions[0]
+        assert i.reads_flags
+
+    def test_mov_does_not_read_flags(self):
+        assert not ins("movl %eax, %ebx").reads_flags
+
+
+class TestMemoryAccessKind:
+    @pytest.mark.parametrize("text,kind", [
+        ("movl (%eax), %ebx", "read"),
+        ("movl %ebx, (%eax)", "write"),
+        ("addl %ebx, (%eax)", "rw"),
+        ("addl (%eax), %ebx", "read"),
+        ("cmpl (%eax), %ebx", "read"),
+        ("incl (%eax)", "rw"),
+        ("pushl (%eax)", "read"),
+        ("popl (%eax)", "write"),
+        ("leal (%eax), %ebx", None),
+        ("movl %eax, %ebx", None),
+    ])
+    def test_kinds(self, text, kind):
+        assert ins(text).memory_access_kind() == kind
+
+    def test_stack_relative_detection(self):
+        assert Mem(disp=8, base="esp").is_stack_relative
+        assert Mem(disp=-4, base="ebp").is_stack_relative
+        assert not Mem(disp=8, base="eax").is_stack_relative
+        assert not Mem(symbol="counter").is_stack_relative
+
+
+class TestControlFlow:
+    def test_classification(self):
+        program = assemble("jmp t\ncall t\nje t\nret\nt: nop")
+        jmp, call, je, ret, nop = program.instructions
+        assert jmp.is_jump and not jmp.is_conditional
+        assert call.is_call and call.is_control_flow
+        assert je.is_conditional and je.is_jump
+        assert ret.is_return
+        assert not nop.is_control_flow
+
+    def test_format_roundtrip_operand_order(self):
+        i = ins("movl 8(%eax,%ecx,4), %ebx")
+        assert i.format() == "movl 8(%eax,%ecx,4), %ebx"
+
+    def test_invalid_mnemonic_rejected(self):
+        with pytest.raises(ValueError):
+            Instruction("bogus", ())
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ValueError):
+            Instruction("mov", (Imm(1), Reg("eax")), size=3)

@@ -1,0 +1,465 @@
+"""CPU interpreter: instruction semantics, flags, calls, natives, faults."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa import assemble
+from repro.machine import (
+    AddressSpace,
+    CpuBudgetExceeded,
+    ExecutionFault,
+    Machine,
+    PAGE_SIZE,
+)
+
+DATA = 0xC0000000
+STACK_TOP = 0xC0104000
+
+
+def make_machine():
+    m = Machine()
+    space = AddressSpace("test", m.phys, m.hypervisor_table)
+    space.map_new_pages(DATA, 4)
+    space.map_new_pages(0xC0100000, 4)
+    m.cpu.address_space = space
+    return m, space
+
+
+def run(source, args=(), setup=None, constants=None):
+    m, space = make_machine()
+    program = assemble(".globl f\n" + source, constants=constants)
+    loaded = m.load_linked_program(program, 0x08000000)
+    if setup:
+        setup(m, space)
+    result = m.cpu.call_function(loaded.symbol("f"), list(args),
+                                 stack_top=STACK_TOP)
+    return result, m, space
+
+
+class TestArithmetic:
+    def test_mov_add_sub(self):
+        r, *_ = run("f: movl $10, %eax\naddl $5, %eax\nsubl $3, %eax\nret")
+        assert r == 12
+
+    def test_wraparound(self):
+        r, *_ = run("f: movl $0xffffffff, %eax\naddl $2, %eax\nret")
+        assert r == 1
+
+    def test_logic_ops(self):
+        r, *_ = run("f: movl $0xf0f0, %eax\nandl $0xff00, %eax\n"
+                    "orl $0x1, %eax\nxorl $0xf000, %eax\nret")
+        assert r == (0xF0F0 & 0xFF00 | 0x1) ^ 0xF000
+
+    def test_imul(self):
+        r, *_ = run("f: movl $7, %eax\nmovl $6, %ecx\nimull %ecx, %eax\nret")
+        assert r == 42
+
+    def test_neg_not(self):
+        r, *_ = run("f: movl $5, %eax\nnegl %eax\nnotl %eax\nret")
+        assert r == 4     # ~(-5) = 4
+
+    def test_inc_dec(self):
+        r, *_ = run("f: movl $10, %eax\nincl %eax\nincl %eax\ndecl %eax\nret")
+        assert r == 11
+
+    def test_shifts(self):
+        r, *_ = run("f: movl $1, %eax\nshll $4, %eax\nshrl $1, %eax\nret")
+        assert r == 8
+
+    def test_sar_sign_extends(self):
+        r, *_ = run("f: movl $0x80000000, %eax\nsarl $4, %eax\nret")
+        assert r == 0xF8000000
+
+    def test_lea_math(self):
+        r, *_ = run("f: movl $10, %eax\nmovl $3, %ecx\n"
+                    "leal 5(%eax,%ecx,4), %eax\nret")
+        assert r == 10 + 3 * 4 + 5
+
+    def test_xchg(self):
+        r, *_ = run("f: movl $1, %eax\nmovl $2, %ecx\nxchgl %eax, %ecx\n"
+                    "addl %ecx, %eax\nret")
+        assert r == 3
+
+    @given(st.integers(0, 2**32 - 1), st.integers(0, 2**32 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_add_matches_python(self, a, b):
+        r, *_ = run(f"f: movl ${a & 0x7FFFFFFF}, %eax\n"
+                    f"addl ${b & 0x7FFFFFFF}, %eax\nret")
+        assert r == ((a & 0x7FFFFFFF) + (b & 0x7FFFFFFF)) & 0xFFFFFFFF
+
+
+class TestConditions:
+    @pytest.mark.parametrize("a,b,cc,taken", [
+        (1, 1, "je", True), (1, 2, "je", False),
+        (1, 2, "jne", True),
+        (1, 2, "jl", True), (2, 1, "jl", False),
+        (-1 & 0xFFFFFFFF, 1, "jl", True),      # signed
+        (1, 2, "jb", True),
+        (0xFFFFFFFF, 1, "jb", False),           # unsigned: big not below 1
+        (2, 2, "jae", True), (2, 2, "jbe", True),
+        (3, 2, "jg", True), (2, 3, "jge", False),
+        (3, 2, "ja", True),
+    ])
+    def test_cmp_jcc(self, a, b, cc, taken):
+        r, *_ = run(f"""
+f:  movl ${a}, %eax
+    cmpl ${b}, %eax
+    {cc} yes
+    movl $0, %eax
+    ret
+yes:
+    movl $1, %eax
+    ret
+""")
+        assert r == (1 if taken else 0)
+
+    def test_test_sets_zf(self):
+        r, *_ = run("f: movl $0, %eax\ntestl %eax, %eax\nje z\n"
+                    "movl $7, %eax\nret\nz: movl $3, %eax\nret")
+        assert r == 3
+
+    def test_js_jns(self):
+        r, *_ = run("f: movl $0x80000000, %eax\ntestl %eax, %eax\njs neg\n"
+                    "movl $0, %eax\nret\nneg: movl $1, %eax\nret")
+        assert r == 1
+
+    def test_inc_preserves_cf(self):
+        # cmp sets CF; inc must not clobber it
+        r, *_ = run("""
+f:  movl $1, %eax
+    cmpl $2, %eax
+    incl %eax
+    jb below
+    movl $0, %eax
+    ret
+below:
+    movl $1, %eax
+    ret
+""")
+        assert r == 1
+
+    def test_pushf_popf_roundtrip(self):
+        r, *_ = run("""
+f:  movl $1, %eax
+    cmpl $1, %eax
+    pushf
+    cmpl $99, %eax
+    popf
+    je equal
+    movl $0, %eax
+    ret
+equal:
+    movl $1, %eax
+    ret
+""")
+        assert r == 1
+
+
+class TestMemoryAndStack:
+    def test_load_store(self):
+        def setup(m, space):
+            space.write_u32(DATA + 16, 1234)
+        r, m, space = run(
+            f"f: movl ${DATA}, %ecx\nmovl 16(%ecx), %eax\n"
+            f"movl %eax, 20(%ecx)\nret", setup=setup)
+        assert r == 1234
+        assert space.read_u32(DATA + 20) == 1234
+
+    def test_byte_and_word_access(self):
+        def setup(m, space):
+            space.write_bytes(DATA, b"\x11\x22\x33\x44")
+        r, m, space = run(
+            f"f: movl ${DATA}, %ecx\nmovzbl (%ecx), %eax\n"
+            f"movzwl 1(%ecx), %edx\naddl %edx, %eax\nret", setup=setup)
+        assert r == 0x11 + 0x3322
+
+    def test_movb_partial_store(self):
+        def setup(m, space):
+            space.write_u32(DATA, 0xAABBCCDD)
+        r, m, space = run(
+            f"f: movl ${DATA}, %ecx\nmovb $0x99, (%ecx)\n"
+            f"movl (%ecx), %eax\nret", setup=setup)
+        assert r == 0xAABBCC99
+
+    def test_push_pop(self):
+        r, *_ = run("f: movl $5, %eax\npushl %eax\nmovl $9, %eax\n"
+                    "popl %ecx\nmovl %ecx, %eax\nret")
+        assert r == 5
+
+    def test_stack_args(self):
+        r, *_ = run("f: movl 4(%esp), %eax\naddl 8(%esp), %eax\nret",
+                    args=[30, 12])
+        assert r == 42
+
+    def test_call_and_frame(self):
+        r, *_ = run("""
+f:  pushl $21
+    call double
+    addl $4, %esp
+    ret
+double:
+    pushl %ebp
+    movl %esp, %ebp
+    movl 8(%ebp), %eax
+    addl %eax, %eax
+    popl %ebp
+    ret
+""")
+        assert r == 42
+
+    def test_recursion(self):
+        # factorial(5) via the stack
+        r, *_ = run("""
+f:  pushl $5
+    call fact
+    addl $4, %esp
+    ret
+fact:
+    pushl %ebp
+    movl %esp, %ebp
+    movl 8(%ebp), %eax
+    cmpl $1, %eax
+    jle base
+    decl %eax
+    pushl %eax
+    call fact
+    addl $4, %esp
+    movl 8(%ebp), %ecx
+    imull %ecx, %eax
+    popl %ebp
+    ret
+base:
+    movl $1, %eax
+    popl %ebp
+    ret
+""")
+        assert r == 120
+
+    def test_indirect_call_through_register(self):
+        r, *_ = run("""
+f:  movl $target, %eax
+    call *%eax
+    ret
+target:
+    movl $77, %eax
+    ret
+""")
+        assert r == 77
+
+    def test_indirect_call_through_memory(self):
+        def setup(m, space):
+            pass
+        r, m, space = run(f"""
+f:  movl $target, %ecx
+    movl ${DATA}, %edx
+    movl %ecx, (%edx)
+    call *(%edx)
+    ret
+target:
+    movl $88, %eax
+    ret
+""", setup=setup)
+        assert r == 88
+
+    def test_indirect_jmp(self):
+        r, *_ = run("""
+f:  movl $out, %eax
+    jmp *%eax
+    movl $0, %eax
+    ret
+out:
+    movl $55, %eax
+    ret
+""")
+        assert r == 55
+
+
+class TestStringOps:
+    def test_rep_movsl(self):
+        def setup(m, space):
+            space.write_bytes(DATA, bytes(range(40)))
+        r, m, space = run(f"""
+f:  movl ${DATA}, %esi
+    movl ${DATA + 0x100}, %edi
+    movl $10, %ecx
+    rep movsl
+    ret
+""", setup=setup)
+        assert space.read_bytes(DATA + 0x100, 40) == bytes(range(40))
+        assert m.cpu.regs["ecx"] == 0
+
+    def test_rep_stosb(self):
+        r, m, space = run(f"""
+f:  movl ${DATA}, %edi
+    movl $0x41, %eax
+    movl $16, %ecx
+    rep stosb
+    ret
+""")
+        assert space.read_bytes(DATA, 16) == b"A" * 16
+
+    def test_lodsl(self):
+        def setup(m, space):
+            space.write_u32(DATA, 0xCAFEBABE)
+        r, m, space = run(
+            f"f: movl ${DATA}, %esi\nlodsl\nret", setup=setup)
+        assert r == 0xCAFEBABE
+        assert m.cpu.regs["esi"] == DATA + 4
+
+    def test_repe_cmpsb_equal(self):
+        def setup(m, space):
+            space.write_bytes(DATA, b"hello")
+            space.write_bytes(DATA + 0x100, b"hello")
+        r, m, space = run(f"""
+f:  movl ${DATA}, %esi
+    movl ${DATA + 0x100}, %edi
+    movl $5, %ecx
+    repe cmpsb
+    je same
+    movl $0, %eax
+    ret
+same:
+    movl $1, %eax
+    ret
+""", setup=setup)
+        assert r == 1
+
+    def test_repe_cmpsb_differs_stops_early(self):
+        def setup(m, space):
+            space.write_bytes(DATA, b"heXlo")
+            space.write_bytes(DATA + 0x100, b"hello")
+        r, m, space = run(f"""
+f:  movl ${DATA}, %esi
+    movl ${DATA + 0x100}, %edi
+    movl $5, %ecx
+    repe cmpsb
+    movl %ecx, %eax
+    ret
+""", setup=setup)
+        assert r == 2     # stopped at index 2, ecx = 5 - 3
+
+    def test_repne_scasb_finds_byte(self):
+        def setup(m, space):
+            space.write_bytes(DATA, b"abcdef")
+        r, m, space = run(f"""
+f:  movl ${DATA}, %edi
+    movl $0x64, %eax      # 'd'
+    movl $6, %ecx
+    repne scasb
+    movl %edi, %eax
+    ret
+""", setup=setup)
+        assert r == DATA + 4   # one past the match
+
+
+class TestNativesAndFaults:
+    def test_native_call(self):
+        m, space = make_machine()
+        calls = []
+
+        def fn(cpu):
+            calls.append(cpu.read_stack_arg(0))
+            return cpu.read_stack_arg(0) * 2
+
+        m.register_native("double_it", fn)
+        program = assemble(".globl f\nf: pushl $21\ncall double_it\n"
+                           "addl $4, %esp\nret")
+        loaded = m.load_program(program, 0x08000000,
+                                extern={"double_it":
+                                        m.natives.address_of("double_it")})
+        r = m.cpu.call_function(loaded.symbol("f"), [], stack_top=STACK_TOP)
+        assert r == 42
+        assert calls == [21]
+
+    def test_native_none_preserves_eax(self):
+        m, space = make_machine()
+        m.register_native("noop", lambda cpu: None)
+        program = assemble(".globl f\nf: movl $7, %eax\ncall noop\nret")
+        loaded = m.load_program(program, 0x08000000,
+                                extern={"noop": m.natives.address_of("noop")})
+        assert m.cpu.call_function(loaded.symbol("f"), [],
+                                   stack_top=STACK_TOP) == 7
+
+    def test_nested_call_function_from_native(self):
+        m, space = make_machine()
+        program = assemble(".globl f\n.globl helper\n"
+                           "f: call trampoline\nret\n"
+                           "helper: movl $13, %eax\nret")
+        addr_holder = {}
+
+        def trampoline(cpu):
+            return cpu.call_function(addr_holder["helper"], [],
+                                     stack_top=STACK_TOP - 0x800)
+
+        m.register_native("trampoline", trampoline)
+        loaded = m.load_program(
+            program, 0x08000000,
+            extern={"trampoline": m.natives.address_of("trampoline")})
+        addr_holder["helper"] = loaded.symbol("helper")
+        assert m.cpu.call_function(loaded.symbol("f"), [],
+                                   stack_top=STACK_TOP) == 13
+
+    def test_budget_exceeded_on_infinite_loop(self):
+        m, space = make_machine()
+        program = assemble(".globl f\nf: jmp f")
+        loaded = m.load_program(program, 0x08000000)
+        m.cpu.max_steps_per_call = 1000
+        with pytest.raises(CpuBudgetExceeded):
+            m.cpu.call_function(loaded.symbol("f"), [], stack_top=STACK_TOP)
+
+    def test_execute_unmapped_address(self):
+        m, space = make_machine()
+        program = assemble(".globl f\nf: movl $0x12345678, %eax\ncall *%eax\nret")
+        loaded = m.load_program(program, 0x08000000)
+        with pytest.raises(ExecutionFault):
+            m.cpu.call_function(loaded.symbol("f"), [], stack_top=STACK_TOP)
+
+    def test_jump_mid_instruction(self):
+        m, space = make_machine()
+        program = assemble(".globl f\nf: movl $1, %eax\nret")
+        loaded = m.load_program(program, 0x08000000)
+        with pytest.raises(ExecutionFault):
+            m.cpu.call_function(loaded.base + 1, [], stack_top=STACK_TOP)
+
+    def test_ud2_faults(self):
+        m, space = make_machine()
+        program = assemble(".globl f\nf: ud2")
+        loaded = m.load_program(program, 0x08000000)
+        with pytest.raises(ExecutionFault):
+            m.cpu.call_function(loaded.symbol("f"), [], stack_top=STACK_TOP)
+
+    def test_esp_restored_after_call_function(self):
+        m, space = make_machine()
+        program = assemble(".globl f\nf: movl $1, %eax\nret")
+        loaded = m.load_program(program, 0x08000000)
+        m.cpu.regs["esp"] = 0x1234
+        m.cpu.call_function(loaded.symbol("f"), [5, 6], stack_top=STACK_TOP)
+        assert m.cpu.regs["esp"] == 0x1234
+
+    def test_cycles_charged(self):
+        m, space = make_machine()
+        program = assemble(".globl f\nf: movl $1, %eax\nret")
+        loaded = m.load_program(program, 0x08000000)
+        before = m.account.total
+        m.cpu.call_function(loaded.symbol("f"), [], stack_top=STACK_TOP)
+        assert m.account.total > before
+
+    def test_category_attribution(self):
+        m, space = make_machine()
+        program = assemble(".globl f\nf: movl $1, %eax\nret")
+        loaded = m.load_program(program, 0x08000000)
+        m.cpu.call_function(loaded.symbol("f"), [], stack_top=STACK_TOP,
+                            category="e1000")
+        assert m.account.cycles["e1000"] > 0
+
+    def test_hot_range_cheaper(self):
+        m, space = make_machine()
+        program = assemble(f".globl f\nf: movl {DATA}, %eax\nret")
+        loaded = m.load_program(program, 0x08000000)
+        m.cpu.call_function(loaded.symbol("f"), [], stack_top=STACK_TOP)
+        cold = m.account.total
+        m.account.reset()
+        m.cpu.add_hot_range(DATA, DATA + PAGE_SIZE)
+        m.cpu.call_function(loaded.symbol("f"), [], stack_top=STACK_TOP)
+        assert m.account.total < cold

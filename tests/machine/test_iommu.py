@@ -1,0 +1,122 @@
+"""IOMMU DMA protection (paper §4.5 extension): windows, faults, and the
+end-to-end behaviour with the real driver and the TwinDrivers path."""
+
+import pytest
+
+from repro.configs import build
+from repro.machine import Iommu, IommuFault, Machine
+from repro.machine.nic import (
+    DESC_EOP,
+    DESC_SIZE,
+    REG_TCTL,
+    REG_TDBAL,
+    REG_TDLEN,
+    REG_TDT,
+    TCTL_EN,
+)
+
+
+class TestIommuUnit:
+    def test_access_without_window_faults(self):
+        iommu = Iommu()
+        with pytest.raises(IommuFault):
+            iommu.check("eth0", 0x1000, 4, write=False)
+        assert iommu.faults == 1
+
+    def test_window_allows_exact_range(self):
+        iommu = Iommu()
+        iommu.map_window("eth0", 0x1000, 0x100)
+        iommu.check("eth0", 0x1000, 0x100, write=True)
+        iommu.check("eth0", 0x1080, 4, write=False)
+        with pytest.raises(IommuFault):
+            iommu.check("eth0", 0x10FE, 4, write=False)   # straddles out
+
+    def test_wildcard_domain(self):
+        iommu = Iommu()
+        iommu.map_window("*", 0x2000, 0x1000)
+        iommu.check("eth3", 0x2800, 8, write=True)
+
+    def test_per_device_isolation(self):
+        iommu = Iommu()
+        iommu.map_window("eth0", 0x1000, 0x100)
+        with pytest.raises(IommuFault):
+            iommu.check("eth1", 0x1000, 4, write=False)
+
+    def test_unmap_revokes(self):
+        iommu = Iommu()
+        iommu.map_window("eth0", 0x1000, 0x100)
+        assert iommu.unmap_window("eth0", 0x1000, 0x100)
+        with pytest.raises(IommuFault):
+            iommu.check("eth0", 0x1000, 4, write=False)
+
+    def test_unmap_unknown_returns_false(self):
+        iommu = Iommu()
+        assert not iommu.unmap_window("eth0", 0x9999, 4)
+
+    def test_reset_device(self):
+        iommu = Iommu()
+        iommu.map_window("eth0", 0x1000, 0x100)
+        iommu.reset_device("eth0")
+        assert iommu.windows_of("eth0") == ()
+
+
+class TestDeviceEnforcement:
+    def test_rogue_descriptor_blocked(self):
+        """A wild bus address written into a tx descriptor must not leak
+        memory contents onto the wire."""
+        m = Machine()
+        nic = m.add_nic()
+        iommu = m.attach_iommu()
+        ring = m.phys.allocate_frame() << 12
+        secret = m.phys.allocate_frame() << 12
+        m.phys.write_bytes(secret, b"SECRETS!")
+        # only the ring itself is windowed; the secret frame is not
+        iommu.map_window("*", ring, 0x1000)
+        nic.mmio_write(REG_TDBAL, 4, ring)
+        nic.mmio_write(REG_TDLEN, 4, 8 * DESC_SIZE)
+        nic.mmio_write(REG_TCTL, 4, TCTL_EN)
+        m.phys.write_u32(ring + 0, secret)            # rogue address
+        m.phys.write_u32(ring + 8, 8)
+        m.phys.write_u32(ring + 12, DESC_EOP)
+        m.wire.keep_payloads = True
+        nic.mmio_write(REG_TDT, 4, 1)
+        assert m.wire.transmitted == []
+        assert nic.stats.dma_faults == 1
+
+    def test_rogue_rx_buffer_blocked(self):
+        m = Machine()
+        nic = m.add_nic()
+        iommu = m.attach_iommu()
+        ring = m.phys.allocate_frame() << 12
+        target = m.phys.allocate_frame() << 12
+        iommu.map_window("*", ring, 0x1000)
+        from repro.machine.nic import RCTL_EN, REG_RCTL, REG_RDBAL, \
+            REG_RDLEN, REG_RDT
+        nic.mmio_write(REG_RDBAL, 4, ring)
+        nic.mmio_write(REG_RDLEN, 4, 8 * DESC_SIZE)
+        nic.mmio_write(REG_RCTL, 4, RCTL_EN)
+        m.phys.write_u32(ring + 0, target)            # not windowed
+        nic.mmio_write(REG_RDT, 4, 1)
+        before = m.phys.read_bytes(target, 8)
+        assert not nic.receive(b"payload-x")
+        assert m.phys.read_bytes(target, 8) == before
+        assert nic.stats.dma_faults == 1
+
+
+class TestEndToEndWithIommu:
+    @pytest.mark.parametrize("name", ["linux", "dom0", "domU", "domU-twin"])
+    def test_traffic_flows_with_protection_on(self, name):
+        system = build(name, n_nics=1, iommu=True)
+        assert system.transmit_packets(32) == 32
+        assert system.receive_packets(32) == 32
+        assert all(nic.stats.dma_faults == 0 for nic in system.nics)
+        assert system.machine.iommu.checks > 0
+
+    def test_windows_balance_in_steady_state(self):
+        system = build("domU-twin", n_nics=1, iommu=True)
+        system.transmit_packets(64)
+        system.receive_packets(64)
+        windows = system.machine.iommu.windows_of("*")
+        # rings (2/NIC) + rx-ring buffers (~63) stay mapped; tx buffers
+        # come and go. Bound: no unbounded leak.
+        assert len(windows) < 80

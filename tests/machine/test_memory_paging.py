@@ -1,0 +1,194 @@
+"""Physical memory, MMIO dispatch, page tables, address spaces."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine import (
+    AddressSpace,
+    BusError,
+    HYPERVISOR_BASE,
+    PAGE_SIZE,
+    PageFault,
+    PageTable,
+    PhysicalMemory,
+    ProtectionFault,
+)
+
+
+class FakeDevice:
+    def __init__(self):
+        self.reads = []
+        self.writes = []
+
+    def mmio_read(self, offset, size):
+        self.reads.append((offset, size))
+        return 0xAB
+
+    def mmio_write(self, offset, size, value):
+        self.writes.append((offset, size, value))
+
+
+class TestPhysicalMemory:
+    def test_frame_allocation_monotonic_contiguous(self):
+        phys = PhysicalMemory()
+        frames = phys.allocate_frames(4)
+        assert frames == [frames[0] + i for i in range(4)]
+
+    def test_unallocated_access_is_bus_error(self):
+        phys = PhysicalMemory()
+        with pytest.raises(BusError):
+            phys.read(0x5000_000, 4)
+
+    def test_read_write_roundtrip(self):
+        phys = PhysicalMemory()
+        frame = phys.allocate_frame()
+        addr = frame << 12
+        phys.write(addr + 8, 4, 0xDEADBEEF)
+        assert phys.read(addr + 8, 4) == 0xDEADBEEF
+
+    def test_small_sizes(self):
+        phys = PhysicalMemory()
+        addr = phys.allocate_frame() << 12
+        phys.write(addr, 1, 0x12)
+        phys.write(addr + 1, 2, 0x3456)
+        assert phys.read(addr, 1) == 0x12
+        assert phys.read(addr + 1, 2) == 0x3456
+        assert phys.read(addr, 4) == 0x00345612
+
+    def test_write_masks_to_size(self):
+        phys = PhysicalMemory()
+        addr = phys.allocate_frame() << 12
+        phys.write(addr, 1, 0x1FF)
+        assert phys.read(addr, 1) == 0xFF
+
+    def test_bytes_across_frames(self):
+        phys = PhysicalMemory()
+        f0, f1 = phys.allocate_frames(2)
+        base = (f0 << 12) + PAGE_SIZE - 3
+        phys.write_bytes(base, b"abcdef")
+        assert phys.read_bytes(base, 6) == b"abcdef"
+
+    def test_frame_zero_reserved(self):
+        phys = PhysicalMemory()
+        with pytest.raises(BusError):
+            phys.read(0x10, 4)
+
+    def test_exhaustion(self):
+        phys = PhysicalMemory(frames=3)
+        phys.allocate_frames(2)    # frame 0 reserved
+        with pytest.raises(MemoryError):
+            phys.allocate_frame()
+
+    def test_mmio_dispatch(self):
+        phys = PhysicalMemory()
+        dev = FakeDevice()
+        phys.add_mmio_region(0xFEB00000, 0x1000, dev)
+        assert phys.read(0xFEB00010, 4) == 0xAB
+        phys.write(0xFEB00020, 4, 7)
+        assert dev.reads == [(0x10, 4)]
+        assert dev.writes == [(0x20, 4, 7)]
+
+    def test_mmio_overlap_rejected(self):
+        phys = PhysicalMemory()
+        phys.add_mmio_region(0x1000_0000, 0x1000, FakeDevice())
+        with pytest.raises(ValueError):
+            phys.add_mmio_region(0x1000_0800, 0x1000, FakeDevice())
+
+    @given(st.integers(0, PAGE_SIZE - 4), st.integers(0, 2**32 - 1))
+    @settings(max_examples=50)
+    def test_u32_roundtrip_property(self, offset, value):
+        phys = PhysicalMemory()
+        addr = (phys.allocate_frame() << 12) + offset
+        phys.write_u32(addr, value)
+        assert phys.read_u32(addr) == value
+
+
+class TestAddressSpace:
+    def make(self):
+        phys = PhysicalMemory()
+        hyp = PageTable()
+        return phys, hyp, AddressSpace("dom", phys, hyp)
+
+    def test_translate_unmapped_faults(self):
+        _, _, space = self.make()
+        with pytest.raises(PageFault):
+            space.translate(0xC0000000)
+
+    def test_map_and_translate(self):
+        phys, _, space = self.make()
+        frame = phys.allocate_frame()
+        space.map_page(0xC0000000, frame)
+        assert space.translate(0xC0000123) == (frame << 12) | 0x123
+
+    def test_unaligned_map_rejected(self):
+        phys, _, space = self.make()
+        with pytest.raises(ValueError):
+            space.map_page(0xC0000010, 1)
+
+    def test_readonly_write_faults(self):
+        phys, _, space = self.make()
+        frame = phys.allocate_frame()
+        space.map_page(0xC0000000, frame, writable=False)
+        assert space.translate(0xC0000000) == frame << 12
+        with pytest.raises(ProtectionFault):
+            space.translate(0xC0000000, write=True)
+
+    def test_hypervisor_region_shared(self):
+        phys = PhysicalMemory()
+        hyp = PageTable()
+        a = AddressSpace("a", phys, hyp)
+        b = AddressSpace("b", phys, hyp)
+        frame = phys.allocate_frame()
+        hyp.map(HYPERVISOR_BASE >> 12, frame)
+        assert a.translate(HYPERVISOR_BASE) == frame << 12
+        assert b.translate(HYPERVISOR_BASE) == frame << 12
+
+    def test_domain_cannot_shadow_hypervisor(self):
+        phys, _, space = self.make()
+        frame = phys.allocate_frame()
+        with pytest.raises(ValueError):
+            space.map_page(HYPERVISOR_BASE, frame)
+
+    def test_aliasing_allowed(self):
+        phys, _, space = self.make()
+        frame = phys.allocate_frame()
+        space.map_page(0xC0000000, frame)
+        space.map_page(0xC0100000, frame)
+        space.write_u32(0xC0000000, 99)
+        assert space.read_u32(0xC0100000) == 99
+
+    def test_page_straddling_access(self):
+        phys, _, space = self.make()
+        f0, f1 = phys.allocate_frames(2)
+        space.map_page(0xC0000000, f0)
+        space.map_page(0xC0001000, f1)
+        addr = 0xC0000FFE
+        space.write(addr, 4, 0x11223344)
+        assert space.read(addr, 4) == 0x11223344
+
+    def test_straddle_into_unmapped_faults(self):
+        phys, _, space = self.make()
+        space.map_page(0xC0000000, phys.allocate_frame())
+        with pytest.raises(PageFault):
+            space.write(0xC0000FFE, 4, 1)
+
+    def test_map_new_pages(self):
+        phys, _, space = self.make()
+        space.map_new_pages(0xC0000000, 3)
+        for i in range(3):
+            assert space.is_mapped(0xC0000000 + i * PAGE_SIZE)
+        assert not space.is_mapped(0xC0003000)
+
+    def test_unmap(self):
+        phys, _, space = self.make()
+        space.map_new_pages(0xC0000000, 1)
+        space.unmap_page(0xC0000000)
+        assert not space.is_mapped(0xC0000000)
+
+    def test_read_write_bytes(self):
+        phys, _, space = self.make()
+        space.map_new_pages(0xC0000000, 3)
+        payload = bytes(range(200)) * 30
+        space.write_bytes(0xC0000F00, payload)
+        assert space.read_bytes(0xC0000F00, len(payload)) == payload

@@ -1,0 +1,252 @@
+"""e1000 device model: rings, DMA, interrupts, coalescing."""
+
+import pytest
+
+from repro.machine import Machine
+from repro.machine.nic import (
+    DESC_DD,
+    DESC_EOP,
+    DESC_SIZE,
+    ICR_RXT0,
+    ICR_TXDW,
+    RCTL_EN,
+    REG_ICR,
+    REG_IMS,
+    REG_RCTL,
+    REG_RDBAL,
+    REG_RDH,
+    REG_RDLEN,
+    REG_RDT,
+    REG_TCTL,
+    REG_TDBAL,
+    REG_TDH,
+    REG_TDLEN,
+    REG_TDT,
+    TCTL_EN,
+    CTRL_RST,
+    REG_CTRL,
+)
+
+
+def make_nic():
+    m = Machine()
+    nic = m.add_nic()
+    return m, nic
+
+
+def write_desc(phys, base, index, addr, length, flags):
+    d = base + index * DESC_SIZE
+    phys.write_u32(d + 0, addr)
+    phys.write_u32(d + 8, length)
+    phys.write_u32(d + 12, flags)
+
+
+class TestTransmit:
+    def setup_ring(self, m, nic, entries=8):
+        frames = m.phys.allocate_frames(1)
+        ring = frames[0] << 12
+        nic.mmio_write(REG_TDBAL, 4, ring)
+        nic.mmio_write(REG_TDLEN, 4, entries * DESC_SIZE)
+        nic.mmio_write(REG_TCTL, 4, TCTL_EN)
+        return ring
+
+    def test_single_packet(self):
+        m, nic = make_nic()
+        ring = self.setup_ring(m, nic)
+        buf = m.phys.allocate_frame() << 12
+        m.phys.write_bytes(buf, b"packet-data!")
+        write_desc(m.phys, ring, 0, buf, 12, DESC_EOP)
+        m.wire.keep_payloads = True
+        nic.mmio_write(REG_TDT, 4, 1)
+        assert m.wire.transmitted == [b"packet-data!"]
+        assert nic.regs[REG_TDH] == 1
+        assert m.phys.read_u32(ring + 12) & DESC_DD
+
+    def test_multi_descriptor_packet(self):
+        m, nic = make_nic()
+        ring = self.setup_ring(m, nic)
+        b0 = m.phys.allocate_frame() << 12
+        b1 = m.phys.allocate_frame() << 12
+        m.phys.write_bytes(b0, b"head-")
+        m.phys.write_bytes(b1, b"tail")
+        write_desc(m.phys, ring, 0, b0, 5, 0)
+        write_desc(m.phys, ring, 1, b1, 4, DESC_EOP)
+        m.wire.keep_payloads = True
+        nic.mmio_write(REG_TDT, 4, 2)
+        assert m.wire.transmitted == [b"head-tail"]
+        assert nic.stats.tx_packets == 1
+
+    def test_no_tx_when_disabled(self):
+        m, nic = make_nic()
+        ring = self.setup_ring(m, nic)
+        nic.mmio_write(REG_TCTL, 4, 0)
+        write_desc(m.phys, ring, 0, m.phys.allocate_frame() << 12, 4,
+                   DESC_EOP)
+        nic.mmio_write(REG_TDT, 4, 1)
+        assert m.wire.tx_count == 0
+
+    def test_txdw_interrupt_when_unmasked(self):
+        m, nic = make_nic()
+        ring = self.setup_ring(m, nic)
+        nic.mmio_write(REG_IMS, 4, ICR_TXDW)
+        fired = []
+        m.intc.set_dispatcher(fired.append)
+        write_desc(m.phys, ring, 0, m.phys.allocate_frame() << 12, 4,
+                   DESC_EOP)
+        nic.mmio_write(REG_TDT, 4, 1)
+        assert fired == [nic.irq]
+
+    def test_no_interrupt_when_masked(self):
+        m, nic = make_nic()
+        ring = self.setup_ring(m, nic)
+        fired = []
+        m.intc.set_dispatcher(fired.append)
+        write_desc(m.phys, ring, 0, m.phys.allocate_frame() << 12, 4,
+                   DESC_EOP)
+        nic.mmio_write(REG_TDT, 4, 1)
+        assert fired == []
+        assert nic.regs[REG_ICR] & ICR_TXDW     # cause latched
+
+    def test_ring_wraps(self):
+        m, nic = make_nic()
+        ring = self.setup_ring(m, nic, entries=4)
+        buf = m.phys.allocate_frame() << 12
+        for i in range(4):
+            write_desc(m.phys, ring, i, buf, 4, DESC_EOP)
+        nic.mmio_write(REG_TDT, 4, 3)
+        assert nic.regs[REG_TDH] == 3
+        write_desc(m.phys, ring, 3, buf, 4, DESC_EOP)
+        nic.mmio_write(REG_TDT, 4, 0)     # wrap
+        assert nic.regs[REG_TDH] == 0
+        assert nic.stats.tx_packets == 4
+
+
+class TestReceive:
+    def setup_rx(self, m, nic, entries=8, fill=4):
+        ring = m.phys.allocate_frame() << 12
+        nic.mmio_write(REG_RDBAL, 4, ring)
+        nic.mmio_write(REG_RDLEN, 4, entries * DESC_SIZE)
+        nic.mmio_write(REG_RCTL, 4, RCTL_EN)
+        bufs = []
+        for i in range(fill):
+            buf = m.phys.allocate_frame() << 12
+            write_desc(m.phys, ring, i, buf, 0, 0)
+            bufs.append(buf)
+        nic.mmio_write(REG_RDT, 4, fill)
+        return ring, bufs
+
+    def test_receive_writes_buffer_and_descriptor(self):
+        m, nic = make_nic()
+        ring, bufs = self.setup_rx(m, nic)
+        assert nic.receive(b"hello-wire")
+        assert m.phys.read_bytes(bufs[0], 10) == b"hello-wire"
+        flags = m.phys.read_u32(ring + 12)
+        assert flags & DESC_DD and flags & DESC_EOP
+        assert m.phys.read_u32(ring + 8) == 10
+        assert nic.regs[REG_RDH] == 1
+
+    def test_drop_when_ring_empty(self):
+        m, nic = make_nic()
+        self.setup_rx(m, nic, fill=1)
+        assert nic.receive(b"a" * 10)
+        assert not nic.receive(b"b" * 10)
+        assert nic.stats.rx_dropped_no_desc == 1
+
+    def test_drop_when_disabled(self):
+        m, nic = make_nic()
+        self.setup_rx(m, nic)
+        nic.mmio_write(REG_RCTL, 4, 0)
+        assert not nic.receive(b"x")
+
+    def test_rx_interrupt(self):
+        m, nic = make_nic()
+        self.setup_rx(m, nic)
+        nic.mmio_write(REG_IMS, 4, ICR_RXT0)
+        fired = []
+        m.intc.set_dispatcher(fired.append)
+        nic.receive(b"pkt")
+        assert fired == [nic.irq]
+
+    def test_slots_free_accounting(self):
+        m, nic = make_nic()
+        self.setup_rx(m, nic, fill=3)
+        assert nic.rx_slots_free() == 3
+        nic.receive(b"1")
+        assert nic.rx_slots_free() == 2
+
+
+class TestIcrSemantics:
+    def test_icr_read_to_clear(self):
+        m, nic = make_nic()
+        nic.regs[REG_ICR] = ICR_TXDW
+        assert nic.mmio_read(REG_ICR, 4) == ICR_TXDW
+        assert nic.mmio_read(REG_ICR, 4) == 0
+
+    def test_ims_accumulates_imc_clears(self):
+        m, nic = make_nic()
+        nic.mmio_write(REG_IMS, 4, ICR_TXDW)
+        nic.mmio_write(REG_IMS, 4, ICR_RXT0)
+        assert nic.regs[REG_IMS] == ICR_TXDW | ICR_RXT0
+        nic.mmio_write(0xD8, 4, ICR_TXDW)      # IMC
+        assert nic.regs[REG_IMS] == ICR_RXT0
+
+    def test_reset(self):
+        m, nic = make_nic()
+        nic.mmio_write(REG_TDT, 4, 5)
+        nic.mmio_write(REG_CTRL, 4, CTRL_RST)
+        assert nic.regs[REG_TDT] == 0
+
+
+class TestCoalescing:
+    def test_batched_interrupts(self):
+        m, nic = make_nic()
+        ring = m.phys.allocate_frame() << 12
+        nic.mmio_write(REG_RDBAL, 4, ring)
+        nic.mmio_write(REG_RDLEN, 4, 16 * DESC_SIZE)
+        nic.mmio_write(REG_RCTL, 4, RCTL_EN)
+        for i in range(15):
+            write_desc(m.phys, ring, i, m.phys.allocate_frame() << 12, 0, 0)
+        nic.mmio_write(REG_RDT, 4, 15)
+        nic.mmio_write(REG_IMS, 4, ICR_RXT0)
+        nic.interrupt_batch = 4
+        fired = []
+        m.intc.set_dispatcher(fired.append)
+        for _ in range(9):
+            nic.receive(b"p")
+        assert len(fired) == 2            # at the 4th and 8th
+        nic.flush_interrupts()
+        assert len(fired) == 3
+
+    def test_flush_noop_when_no_cause(self):
+        m, nic = make_nic()
+        fired = []
+        m.intc.set_dispatcher(fired.append)
+        nic.flush_interrupts()
+        assert fired == []
+
+
+class TestInterruptController:
+    def test_mask_defers_until_unmask(self):
+        m, _ = make_nic()
+        fired = []
+        m.intc.set_dispatcher(fired.append)
+        m.intc.mask(5)
+        m.intc.raise_irq(5)
+        assert fired == []
+        m.intc.unmask(5)
+        assert fired == [5]
+
+    def test_no_reentrant_dispatch(self):
+        m, _ = make_nic()
+        order = []
+
+        def dispatcher(irq):
+            order.append(("enter", irq))
+            if irq == 1:
+                m.intc.raise_irq(2)    # raised during handling: queued
+            order.append(("exit", irq))
+
+        m.intc.set_dispatcher(dispatcher)
+        m.intc.raise_irq(1)
+        assert order == [("enter", 1), ("exit", 1), ("enter", 2),
+                         ("exit", 2)]

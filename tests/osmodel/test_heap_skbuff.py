@@ -1,0 +1,183 @@
+"""Kernel heap allocator and sk_buff structure manipulation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine import AddressSpace, Machine, PAGE_SIZE
+from repro.osmodel import HeapError, KernelHeap, SkBuff, init_skb, layout as L
+
+
+def make_space():
+    m = Machine()
+    space = AddressSpace("k", m.phys, m.hypervisor_table)
+    return m, space
+
+
+class TestHeap:
+    def test_alloc_returns_mapped_zeroed(self):
+        m, space = make_space()
+        heap = KernelHeap(space)
+        addr = heap.alloc(64)
+        assert space.read_bytes(addr, 64) == b"\x00" * 64
+
+    def test_size_class_alignment(self):
+        m, space = make_space()
+        heap = KernelHeap(space)
+        for size in (1, 32, 100, 1000, 2048):
+            addr = heap.alloc(size)
+            cls = 32
+            while cls < size:
+                cls <<= 1
+            assert addr % cls == 0
+
+    def test_small_alloc_never_crosses_page(self):
+        m, space = make_space()
+        heap = KernelHeap(space)
+        for _ in range(50):
+            addr = heap.alloc(2048)
+            assert (addr % PAGE_SIZE) + 2048 <= PAGE_SIZE
+
+    def test_free_and_reuse(self):
+        m, space = make_space()
+        heap = KernelHeap(space)
+        a = heap.alloc(128)
+        heap.free(a)
+        b = heap.alloc(128)
+        assert b == a
+
+    def test_double_free_detected(self):
+        m, space = make_space()
+        heap = KernelHeap(space)
+        a = heap.alloc(128)
+        heap.free(a)
+        with pytest.raises(HeapError):
+            heap.free(a)
+
+    def test_free_unknown_rejected(self):
+        m, space = make_space()
+        heap = KernelHeap(space)
+        with pytest.raises(HeapError):
+            heap.free(0xC1000123)
+
+    def test_zero_size_rejected(self):
+        m, space = make_space()
+        heap = KernelHeap(space)
+        with pytest.raises(HeapError):
+            heap.alloc(0)
+
+    def test_alloc_pages_physically_contiguous(self):
+        m, space = make_space()
+        heap = KernelHeap(space)
+        vaddr = heap.alloc_pages(4)
+        base = space.translate(vaddr)
+        for i in range(4):
+            assert space.translate(vaddr + i * PAGE_SIZE) == \
+                base + i * PAGE_SIZE
+
+    def test_exhaustion(self):
+        m, space = make_space()
+        heap = KernelHeap(space, base=0xC1000000, limit=0xC1002000)
+        heap.alloc_pages(2)
+        with pytest.raises(HeapError):
+            heap.alloc(64)
+
+    def test_accounting(self):
+        m, space = make_space()
+        heap = KernelHeap(space)
+        a = heap.alloc(100)      # class 128
+        assert heap.allocated_bytes == 128
+        heap.free(a)
+        assert heap.allocated_bytes == 0
+
+    @given(st.lists(st.integers(1, 4096), min_size=1, max_size=40))
+    @settings(max_examples=30, deadline=None)
+    def test_property_no_overlap(self, sizes):
+        m, space = make_space()
+        heap = KernelHeap(space)
+        ranges = []
+        for size in sizes:
+            addr = heap.alloc(size)
+            cls = 32
+            while cls < size:
+                cls <<= 1
+            for lo, hi in ranges:
+                assert addr + cls <= lo or addr >= hi
+            ranges.append((addr, addr + cls))
+
+
+class TestSkBuff:
+    def make_skb(self):
+        m, space = make_space()
+        heap = KernelHeap(space)
+        struct = heap.alloc(L.SKB_STRUCT_SIZE)
+        buf = heap.alloc(L.SKB_BUFFER_SIZE)
+        return init_skb(space, struct, buf), space
+
+    def test_init_state(self):
+        skb, _ = self.make_skb()
+        assert skb.len == 0
+        assert skb.data == skb.head == skb.tail
+        assert skb.end == skb.head + L.SKB_BUFFER_SIZE
+        assert skb.refcnt == 1
+        assert skb.nr_frags == 0
+
+    def test_reserve_put_pull(self):
+        skb, _ = self.make_skb()
+        skb.reserve(64)
+        assert skb.headroom() == 64
+        old_tail = skb.put(100)
+        assert old_tail == skb.head + 64
+        assert skb.len == 100
+        skb.pull(14)
+        assert skb.len == 86
+        assert skb.data == skb.head + 64 + 14
+
+    def test_put_overflow_rejected(self):
+        skb, _ = self.make_skb()
+        with pytest.raises(ValueError):
+            skb.put(L.SKB_BUFFER_SIZE + 1)
+
+    def test_payload_roundtrip(self):
+        skb, space = self.make_skb()
+        skb.put(16)
+        skb.write_payload(b"0123456789abcdef")
+        assert skb.read_payload() == b"0123456789abcdef"
+
+    def test_fragments(self):
+        skb, _ = self.make_skb()
+        skb.put(96)
+        skb.add_frag(page=0x5000, off=96, size=1000)
+        skb.add_frag(page=0x6000, off=0, size=300)
+        assert skb.nr_frags == 2
+        assert skb.len == 96 + 1000 + 300
+        assert skb.data_len == 1300
+        assert skb.linear_len == 96
+        assert skb.frag(0) == (0x5000, 96, 1000)
+        assert skb.frag(1) == (0x6000, 0, 300)
+
+    def test_too_many_frags_rejected(self):
+        skb, _ = self.make_skb()
+        for i in range(L.SKB_MAX_FRAGS):
+            skb.add_frag(0x1000 * i, 0, 10)
+        with pytest.raises(ValueError):
+            skb.add_frag(0x9000, 0, 10)
+
+    def test_protocol_u16(self):
+        skb, _ = self.make_skb()
+        skb.protocol = 0x0800
+        assert skb.protocol == 0x0800
+
+    def test_struct_offsets_do_not_overlap(self):
+        offsets = [
+            (L.SKB_NEXT, 4), (L.SKB_DEV, 4), (L.SKB_DATA, 4),
+            (L.SKB_LEN, 4), (L.SKB_HEAD, 4), (L.SKB_END, 4),
+            (L.SKB_TAIL, 4), (L.SKB_PROTOCOL, 2), (L.SKB_DATA_LEN, 2),
+            (L.SKB_NR_FRAGS, 4),
+            (L.SKB_FRAGS, L.SKB_MAX_FRAGS * L.SKB_FRAG_ENTRY),
+            (L.SKB_REFCNT, 4), (L.SKB_POOL, 4), (L.SKB_TRUESIZE, 4),
+        ]
+        spans = sorted((off, off + size) for off, size in offsets)
+        for (a0, a1), (b0, b1) in zip(spans, spans[1:]):
+            assert a1 <= b0
+        assert spans[-1][1] <= L.SKB_STRUCT_SIZE

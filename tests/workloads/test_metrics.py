@@ -1,0 +1,98 @@
+"""Cycle accounts and throughput arithmetic."""
+
+import pytest
+
+from repro.metrics import (
+    CycleAccount,
+    PacketProfile,
+    ThroughputResult,
+    improvement_factor,
+    throughput_from_cycles,
+)
+
+
+class TestCycleAccount:
+    def test_charge_and_total(self):
+        acct = CycleAccount()
+        acct.charge("Xen", 100)
+        acct.charge("e1000", 50)
+        assert acct.total == 150
+        assert acct.cycles["Xen"] == 100
+
+    def test_unknown_category_rejected(self):
+        with pytest.raises(KeyError):
+            CycleAccount().charge("userspace", 1)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            CycleAccount().charge("Xen", -1)
+
+    def test_snapshot_delta(self):
+        acct = CycleAccount()
+        acct.charge("dom0", 10)
+        snap = acct.snapshot()
+        acct.charge("dom0", 5)
+        acct.charge("domU", 7)
+        delta = acct.delta_since(snap)
+        assert delta == {"dom0": 5, "domU": 7, "Xen": 0, "e1000": 0}
+
+    def test_merge(self):
+        a, b = CycleAccount(), CycleAccount()
+        a.charge("Xen", 1)
+        b.charge("Xen", 2)
+        a.count("pkts", 3)
+        b.count("pkts", 4)
+        merged = a.merged(b)
+        assert merged.cycles["Xen"] == 3
+        assert merged.events["pkts"] == 7
+
+    def test_reset(self):
+        acct = CycleAccount()
+        acct.charge("Xen", 5)
+        acct.reset()
+        assert acct.total == 0
+
+
+class TestPacketProfile:
+    def test_per_packet(self):
+        p = PacketProfile(config="x", direction="tx", packets=10,
+                          cycles={"Xen": 1000, "e1000": 500})
+        assert p.per_packet["Xen"] == 100
+        assert p.total_per_packet == 150
+
+    def test_zero_packets(self):
+        p = PacketProfile(config="x", direction="tx", packets=0, cycles={})
+        assert p.total_per_packet == 0
+
+
+class TestThroughput:
+    def test_cpu_bound(self):
+        # 30000 cycles/packet @3GHz = 100k pps = 1200 Mb/s < line rate
+        r = throughput_from_cycles("t", "tx", 30_000)
+        assert r.throughput_mbps == pytest.approx(1200, rel=0.01)
+        assert r.cpu_utilization == 1.0
+
+    def test_line_bound(self):
+        # 1000 cycles/packet: CPU could do 36 Gb/s, line caps at 4690
+        r = throughput_from_cycles("t", "tx", 1000)
+        assert r.throughput_mbps == pytest.approx(4690, rel=0.01)
+        assert r.cpu_utilization < 0.2
+
+    def test_cpu_scaled_units(self):
+        r = throughput_from_cycles("t", "tx", 5903)
+        # the paper's native Linux case: line-limited at ~77% CPU
+        assert r.cpu_utilization == pytest.approx(0.769, abs=0.02)
+        assert r.cpu_scaled_mbps > r.throughput_mbps
+
+    def test_improvement_factor(self):
+        fast = throughput_from_cycles("a", "tx", 10_000)
+        slow = throughput_from_cycles("b", "tx", 24_000)
+        assert improvement_factor(fast, slow) == pytest.approx(2.4, rel=0.01)
+
+    def test_single_nic_cap(self):
+        r = throughput_from_cycles("t", "tx", 1000, nics=1)
+        assert r.throughput_mbps == pytest.approx(938, rel=0.01)
+
+    def test_invalid_cycles(self):
+        with pytest.raises(ValueError):
+            throughput_from_cycles("t", "tx", 0)

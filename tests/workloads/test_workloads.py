@@ -1,0 +1,162 @@
+"""Configurations, profiles, the web workload model, and the fileset."""
+
+import pytest
+
+from repro.configs import FRAME_PAYLOAD, build
+from repro.workloads import (
+    FileSet,
+    RequestShape,
+    capacity_for,
+    profile_direction,
+    run_webserver_curve,
+)
+from repro.workloads.webserver import delivered_rate
+
+
+@pytest.fixture(scope="module", params=["linux", "dom0", "domU",
+                                        "domU-twin"])
+def any_system(request):
+    return build(request.param, n_nics=1)
+
+
+class TestConfigs:
+    def test_transmit_moves_packets(self, any_system):
+        before = any_system.packets_on_wire
+        assert any_system.transmit_packets(16) == 16
+        assert any_system.packets_on_wire == before + 16
+
+    def test_receive_delivers(self, any_system):
+        before = any_system.packets_delivered
+        assert any_system.receive_packets(16) == 16
+        assert any_system.packets_delivered == before + 16
+
+    def test_unknown_config_rejected(self):
+        with pytest.raises(KeyError):
+            build("vmware")
+
+    def test_multi_nic_round_robin(self):
+        system = build("linux", n_nics=3)
+        system.transmit_packets(9)
+        for nic in system.nics:
+            assert nic.stats.tx_packets == 3
+
+
+class TestProfiles:
+    def test_linux_has_no_xen_cycles(self):
+        system = build("linux", n_nics=1)
+        prof = profile_direction(system, "tx", packets=64, warmup=32)
+        assert prof.per_packet["Xen"] == 0
+        assert prof.per_packet["domU"] == 0
+        assert prof.per_packet["e1000"] > 0
+
+    def test_twin_tx_has_no_dom0_cycles(self):
+        system = build("domU-twin", n_nics=1)
+        prof = profile_direction(system, "tx", packets=64, warmup=32)
+        assert prof.per_packet["dom0"] == 0
+        assert prof.per_packet["domU"] > 0
+        assert prof.per_packet["Xen"] > 0
+
+    def test_domU_pays_everywhere(self):
+        system = build("domU", n_nics=1)
+        prof = profile_direction(system, "tx", packets=64, warmup=32)
+        for category in ("dom0", "domU", "Xen", "e1000"):
+            assert prof.per_packet[category] > 0, category
+
+    def test_bad_direction_rejected(self):
+        system = build("linux", n_nics=1)
+        with pytest.raises(ValueError):
+            profile_direction(system, "sideways")
+
+    def test_steady_state_is_stable(self):
+        system = build("linux", n_nics=1)
+        a = profile_direction(system, "tx", packets=128, warmup=64)
+        b = profile_direction(system, "tx", packets=128, warmup=0)
+        assert abs(a.total_per_packet - b.total_per_packet) < \
+            0.02 * a.total_per_packet
+
+
+class TestFileSet:
+    def test_mean_size_matches_specweb99(self):
+        fs = FileSet()
+        assert 13_000 < fs.mean_size < 16_500
+
+    def test_36_files_in_four_classes(self):
+        fs = FileSet()
+        assert len(fs.files) == 36
+        sizes = {f.size for f in fs.files}
+        assert min(sizes) == 102
+        assert max(sizes) == 921_600
+
+    def test_sampling_reproducible(self):
+        fs = FileSet()
+        assert fs.sample_sizes(50, seed=3) == fs.sample_sizes(50, seed=3)
+
+    def test_sampled_mean_near_analytic(self):
+        fs = FileSet()
+        sizes = fs.sample_sizes(4000, seed=11)
+        mean = sum(sizes) / len(sizes)
+        assert abs(mean - fs.mean_size) < 0.25 * fs.mean_size
+
+
+class TestRequestShape:
+    def test_small_response_minimum_packets(self):
+        shape = RequestShape(100)
+        assert shape.data_packets == 1
+        assert shape.tx_packets == 4
+        assert shape.rx_packets == 4
+
+    def test_large_response_segments(self):
+        shape = RequestShape(14_480)
+        assert shape.data_packets == (14_480 + 290 + 1447) // 1448
+
+    def test_response_bits(self):
+        assert RequestShape(1000).response_bits == (1000 + 290) * 8
+
+
+class TestOverloadModel:
+    def test_below_capacity_linear(self):
+        assert delivered_rate(500, 1000, 0.8) == 500
+
+    def test_at_capacity(self):
+        assert delivered_rate(1000, 1000, 0.8) == 1000
+
+    def test_overload_degrades_toward_floor(self):
+        just_over = delivered_rate(1100, 1000, 0.8)
+        far_over = delivered_rate(100_000, 1000, 0.8)
+        assert just_over < 1000
+        assert far_over < just_over
+        assert far_over >= 0.8 * 1000 * 0.99
+
+    def test_monotone_in_offered_load_until_peak(self):
+        prev = 0
+        for rate in range(100, 1000, 100):
+            now = delivered_rate(rate, 1000, 0.8)
+            assert now >= prev
+            prev = now
+
+
+class TestWebServerModel:
+    def test_capacity_ordering(self):
+        costs = {"tx": 8000.0, "rx": 12000.0}
+        linux = capacity_for("linux", packet_costs=costs)
+        domU = capacity_for("domU", packet_costs=dict(
+            (k, v * 2.8) for k, v in costs.items()))
+        assert linux.requests_per_second > domU.requests_per_second
+
+    def test_curve_peaks_at_saturation(self):
+        costs = {"tx": 8000.0, "rx": 12000.0}
+        curve = run_webserver_curve("linux",
+                                    rates=range(1000, 20001, 1000),
+                                    packet_costs=costs)
+        cap = curve.capacity.requests_per_second
+        for point in curve.points:
+            assert point.delivered_rps <= cap + 1e-6
+        assert curve.peak_mbps == pytest.approx(
+            curve.capacity.saturation_mbps, rel=0.05)
+
+    def test_cpu_utilization_saturates(self):
+        costs = {"tx": 8000.0, "rx": 12000.0}
+        curve = run_webserver_curve("dom0", rates=[100, 50_000],
+                                    packet_costs=costs)
+        assert curve.points[0].cpu_utilization < 0.1
+        assert curve.points[1].cpu_utilization == 1.0

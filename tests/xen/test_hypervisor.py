@@ -1,0 +1,221 @@
+"""Hypervisor: domains, switches, events, virq flag, softirqs, grants."""
+
+import pytest
+
+from repro.machine import Machine
+from repro.xen import CostModel, GrantError, Hypervisor
+
+
+def make_xen():
+    m = Machine()
+    xen = Hypervisor(m)
+    dom0 = xen.create_domain("dom0", is_dom0=True)
+    guest = xen.create_domain("guest")
+    return m, xen, dom0, guest
+
+
+class TestDomains:
+    def test_dom0_unique(self):
+        m, xen, dom0, guest = make_xen()
+        with pytest.raises(ValueError):
+            xen.create_domain("dom0b", is_dom0=True)
+
+    def test_first_domain_is_current(self):
+        m, xen, dom0, guest = make_xen()
+        assert xen.current is dom0
+        assert m.cpu.address_space is dom0.aspace
+
+    def test_categories(self):
+        m, xen, dom0, guest = make_xen()
+        assert dom0.category == "dom0"
+        assert guest.category == "domU"
+
+
+class TestSwitching:
+    def test_switch_charges_once(self):
+        m, xen, dom0, guest = make_xen()
+        before = m.account.cycles["Xen"]
+        xen.switch_to(guest)
+        assert m.account.cycles["Xen"] - before == xen.costs.domain_switch
+        assert m.cpu.address_space is guest.aspace
+
+    def test_switch_to_self_free(self):
+        m, xen, dom0, guest = make_xen()
+        before = m.account.cycles["Xen"]
+        xen.switch_to(dom0)
+        assert m.account.cycles["Xen"] == before
+
+    def test_run_in_domain_restores(self):
+        m, xen, dom0, guest = make_xen()
+        xen.switch_to(guest)
+        seen = []
+        xen.run_in_domain(dom0, lambda: seen.append(xen.current.name))
+        assert seen == ["dom0"]
+        assert xen.current is guest
+        assert m.cpu.address_space is guest.aspace
+
+    def test_run_in_domain_charges_two_switches(self):
+        m, xen, dom0, guest = make_xen()
+        xen.switch_to(guest)
+        before = m.account.cycles["Xen"]
+        xen.run_in_domain(dom0, lambda: None)
+        assert (m.account.cycles["Xen"] - before
+                == 2 * xen.costs.domain_switch)
+
+    def test_run_in_domain_accounting_category(self):
+        m, xen, dom0, guest = make_xen()
+        xen.switch_to(guest)
+        before = m.account.cycles["dom0"]
+        xen.run_in_domain(dom0,
+                          lambda: m.cpu.charge_raw(100))
+        assert m.account.cycles["dom0"] - before == 100
+
+
+class TestEvents:
+    def test_synchronous_delivery(self):
+        m, xen, dom0, guest = make_xen()
+        got = []
+        port = dom0.bind_event_channel(lambda p: got.append(p))
+        xen.send_event(dom0, port, synchronous=True)
+        assert got == [port]
+
+    def test_async_queued_until_schedule(self):
+        m, xen, dom0, guest = make_xen()
+        got = []
+        port = guest.bind_event_channel(lambda p: got.append(p))
+        xen.send_event(guest, port)
+        assert got == []
+        xen.schedule_domain(guest)
+        assert got == [port]
+
+    def test_virq_flag_defers_synchronous(self):
+        m, xen, dom0, guest = make_xen()
+        got = []
+        port = dom0.bind_event_channel(lambda p: got.append(p))
+        dom0.disable_virq()
+        xen.send_event(dom0, port, synchronous=True)
+        assert got == []
+        dom0.enable_virq()
+        xen.schedule_domain(dom0)
+        assert got == [port]
+
+    def test_unknown_port_raises(self):
+        m, xen, dom0, guest = make_xen()
+        with pytest.raises(KeyError):
+            xen.send_event(dom0, 99, synchronous=True)
+
+    def test_hypercall_charges(self):
+        m, xen, dom0, guest = make_xen()
+        before = m.account.cycles["Xen"]
+        xen.hypercall("test")
+        assert m.account.cycles["Xen"] - before == xen.costs.hypercall
+        assert xen.hypercalls == 1
+
+
+class TestSoftirqs:
+    def test_softirq_runs_in_order(self):
+        m, xen, dom0, guest = make_xen()
+        order = []
+        xen.raise_softirq(lambda: order.append(1))
+        xen.raise_softirq(lambda: order.append(2))
+        assert order == []
+        xen.run_softirqs()
+        assert order == [1, 2]
+
+    def test_softirq_raised_during_run(self):
+        m, xen, dom0, guest = make_xen()
+        order = []
+
+        def first():
+            order.append(1)
+            xen.raise_softirq(lambda: order.append(2))
+
+        xen.raise_softirq(first)
+        xen.run_softirqs()
+        assert order == [1, 2]
+
+
+class TestIrqRouting:
+    def test_dispatch_charges_and_routes(self):
+        m, xen, dom0, guest = make_xen()
+        got = []
+        xen.register_irq_handler(16, got.append)
+        before = m.account.cycles["Xen"]
+        m.intc.raise_irq(16)
+        assert got == [16]
+        assert (m.account.cycles["Xen"] - before
+                == xen.costs.interrupt_virtualization)
+
+    def test_unhandled_irq_ignored(self):
+        m, xen, dom0, guest = make_xen()
+        m.intc.raise_irq(42)    # no handler: swallowed after charging
+
+
+class TestGrantOps:
+    def test_grant_lifecycle(self):
+        m, xen, dom0, guest = make_xen()
+        table = xen.grant_tables[guest.domid]
+        ref = table.issue(frame=7, grantee=dom0.domid)
+        frame = xen.grant_map(guest, ref, dom0)
+        assert frame == 7
+        xen.grant_unmap(guest, ref, dom0)
+        table.revoke(ref)
+
+    def test_map_wrong_grantee_rejected(self):
+        m, xen, dom0, guest = make_xen()
+        other = xen.create_domain("other")
+        table = xen.grant_tables[guest.domid]
+        ref = table.issue(frame=7, grantee=dom0.domid)
+        with pytest.raises(GrantError):
+            xen.grant_map(guest, ref, other)
+
+    def test_double_map_rejected(self):
+        m, xen, dom0, guest = make_xen()
+        table = xen.grant_tables[guest.domid]
+        ref = table.issue(frame=7, grantee=dom0.domid)
+        xen.grant_map(guest, ref, dom0)
+        with pytest.raises(GrantError):
+            xen.grant_map(guest, ref, dom0)
+
+    def test_revoke_while_mapped_rejected(self):
+        m, xen, dom0, guest = make_xen()
+        table = xen.grant_tables[guest.domid]
+        ref = table.issue(frame=7, grantee=dom0.domid)
+        xen.grant_map(guest, ref, dom0)
+        with pytest.raises(GrantError):
+            table.revoke(ref)
+
+    def test_grant_copy_checks_access(self):
+        m, xen, dom0, guest = make_xen()
+        table = xen.grant_tables[guest.domid]
+        ref = table.issue(frame=9, grantee=dom0.domid)
+        assert xen.grant_copy_packet(guest, ref, dom0) == 9
+        with pytest.raises(GrantError):
+            xen.grant_copy_packet(guest, 1234, dom0)
+
+    def test_ops_counted(self):
+        m, xen, dom0, guest = make_xen()
+        table = xen.grant_tables[guest.domid]
+        ref = table.issue(frame=1, grantee=dom0.domid)
+        xen.grant_map(guest, ref, dom0)
+        xen.grant_unmap(guest, ref, dom0)
+        table.revoke(ref)
+        assert table.ops == {"issue": 1, "map": 1, "unmap": 1, "copy": 0,
+                             "revoke": 1}
+
+
+class TestCostModel:
+    def test_copy_cost_linear(self):
+        c = CostModel()
+        assert c.copy_cost(0) == c.copy_setup
+        assert c.copy_cost(1000) == int(c.copy_setup + c.copy_per_byte * 1000)
+
+    def test_support_cost_default(self):
+        c = CostModel()
+        assert c.support_cost("netif_rx") > 0
+        assert c.support_cost("unknown_routine_xyz") == 200
+
+    def test_overrides_are_isolated(self):
+        c = CostModel(domain_switch=5)
+        assert c.domain_switch == 5
+        assert CostModel().domain_switch != 5
