@@ -48,6 +48,10 @@ def test_svm_overhead(benchmark):
     lines.append(compare_row("flag save/restores inserted", None,
                              stats.flag_saves, ""))
     lines.append("")
+    lines.append("  rewritten sites by category:")
+    for kind in sorted(stats.site_categories):
+        lines.append(f"    {kind}: {stats.site_categories[kind]}")
+    lines.append("")
     tx_slow = (twin_tx.per_packet["e1000"] / native_tx.per_packet["e1000"])
     rx_slow = (twin_rx.per_packet["e1000"] / native_rx.per_packet["e1000"])
     lines.append(compare_row("driver slowdown tx (paper ~2.3x)", 231,

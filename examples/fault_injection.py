@@ -140,6 +140,45 @@ def main():
     print(f"  rogue descriptor: dma_faults={nic.stats.dma_faults}, "
           f"secret leaked to the wire: {leaked}")
 
+    print("\n=== bug 5: a buggy rewriter misses a store "
+          "(caught before load) ===")
+    # The previous bugs were caught at *runtime*. The static verifier
+    # (repro.analysis) catches instrumentation gaps at *load time*: here the
+    # "rewriter" leaves one raw store uninstrumented and the hypervisor
+    # loader refuses the binary outright.
+    import dataclasses
+    import repro.core.twin as twin_mod
+    from repro.analysis import VerificationError, build_negative_corpus, \
+        verify_program
+    from repro.isa import Instruction, Mem, Reg
+
+    real_rewrite = twin_mod.rewrite_driver
+
+    def buggy_rewrite(program, **kwargs):
+        rewritten, stats = real_rewrite(program, **kwargs)
+        missed = Instruction("mov", (Reg("eax"), Mem(base="ebx")))
+        return dataclasses.replace(
+            rewritten,
+            instructions=list(rewritten.instructions)
+            + [missed, Instruction("ret", ())],
+        ), stats
+
+    twin_mod.rewrite_driver = buggy_rewrite
+    try:
+        build_buggy_twin(lambda asm: asm)
+    except VerificationError as exc:
+        print(f"  loader refused the binary: {exc}")
+    finally:
+        twin_mod.rewrite_driver = real_rewrite
+
+    print("  the negative corpus, one broken binary per violation class:")
+    for entry in build_negative_corpus():
+        report = verify_program(entry.program,
+                                protect_stack=entry.protect_stack)
+        finding = report.errors[0]
+        print(f"    {entry.name:>18}: rejected by [{finding.passname}] "
+              f"@{finding.index}")
+
     print("\n=== control: the unmodified driver ===")
     machine, xen, twin, device = build_buggy_twin(lambda asm: asm)
     for _ in range(25):

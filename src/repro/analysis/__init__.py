@@ -1,0 +1,36 @@
+"""Static driver-binary verification (load-time safety checks).
+
+The analysis package proves — without running it — that a rewritten
+driver binary upholds the SVM isolation contract: every memory access is
+mediated, control flow is contained, the stack is disciplined, and the
+instrumentation itself clobbers nothing live. The hypervisor loader
+refuses binaries that fail (``repro.core.loader``); the lint CLI
+(``python -m repro.analysis.lint``) runs the same checks standalone.
+"""
+
+from .corpus import CorpusEntry, build_negative_corpus
+from .patterns import (
+    SvmSite,
+    StackCheckSite,
+    TranslatePoint,
+    find_fastpath_sites,
+    find_stack_check_sites,
+    find_translate_points,
+)
+from .report import Finding, VerificationError, VerifyReport
+from .verifier import verify_program
+
+__all__ = [
+    "CorpusEntry",
+    "Finding",
+    "StackCheckSite",
+    "SvmSite",
+    "TranslatePoint",
+    "VerificationError",
+    "VerifyReport",
+    "build_negative_corpus",
+    "find_fastpath_sites",
+    "find_stack_check_sites",
+    "find_translate_points",
+    "verify_program",
+]

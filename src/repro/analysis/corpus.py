@@ -1,0 +1,224 @@
+"""Negative corpus: broken driver binaries the verifier must reject.
+
+Each entry is a small program that *looks* like rewriter output but
+violates exactly one safety property — the regression suite proves the
+verifier rejects every class, and the fault-injection example uses them
+to demonstrate load-time refusal. The entries are deliberately built
+through the normal assembler (or raw instructions where the assembler
+itself would refuse) so they exercise the verifier, not the parser.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..isa import Imm, Instruction, Label, Mem, Program, Reg, assemble
+
+#: shared tail for hand-written fast-path sites
+_SLOW_BLOCK = """
+{slow}:
+    push {r2}
+    call __svm_slow_path
+    addl $4, %esp
+    jmp {retry}
+"""
+
+
+def _fastpath(retry: str, slow: str, mem: str, r1: str, r2: str, r3: str,
+              access: str) -> str:
+    """A syntactically valid figure-4 fast-path site (text form)."""
+    return f"""
+{retry}:
+    leal {mem}, {r1}
+    movl {r1}, {r2}
+    andl $0xFFFFF000, {r1}
+    movl {r1}, {r3}
+    andl $0x00FFF000, {r1}
+    shrl $9, {r1}
+    cmpl __stlb({r1}), {r3}
+    jne {slow}
+    xorl __stlb+4({r1}), {r2}
+    {access}
+"""
+
+
+@dataclass(frozen=True)
+class CorpusEntry:
+    """One broken binary plus the pass expected to reject it."""
+
+    name: str
+    description: str
+    program: Program
+    expect_pass: str            # pass name that must produce the finding
+    protect_stack: bool = False
+
+
+def _uninstrumented_store() -> CorpusEntry:
+    program = assemble("""
+    .globl corpus_entry
+corpus_entry:
+    movl %eax, (%ebx)
+    ret
+""", name="corpus.uninstrumented_store")
+    return CorpusEntry(
+        name="uninstrumented_store",
+        description="a raw store that bypasses the stlb entirely",
+        program=program,
+        expect_pass="svm",
+    )
+
+
+def _unbalanced_stack() -> CorpusEntry:
+    program = assemble("""
+    .globl corpus_entry
+corpus_entry:
+    push %eax
+    push %ebx
+    pop %ebx
+    ret
+""", name="corpus.unbalanced_stack")
+    return CorpusEntry(
+        name="unbalanced_stack",
+        description="returns with 4 bytes still pushed on the frame",
+        program=program,
+        expect_pass="stack",
+    )
+
+
+def _raw_indirect_call() -> CorpusEntry:
+    program = assemble("""
+    .globl corpus_entry
+corpus_entry:
+    call *%eax
+    ret
+""", name="corpus.raw_indirect_call")
+    return CorpusEntry(
+        name="raw_indirect_call",
+        description="indirect call not routed through __stlb_call_xlate",
+        program=program,
+        expect_pass="flow",
+    )
+
+
+def _wrong_scratch() -> CorpusEntry:
+    # A well-formed fast-path site whose scratch register %esi carries a
+    # live value that the sequence clobbers and never restores.
+    text = """
+    .globl corpus_entry
+corpus_entry:
+    push %ebp
+    movl %esp, %ebp
+    movl $5, %esi
+""" + _fastpath("Lretry", "Lslow", "(%eax)", "%esi", "%ebx", "%ecx",
+                "movl (%ebx), %edx") + """
+    movl %esi, -4(%ebp)
+    movl $0, %ebx
+    pop %ebp
+    ret
+""" + _SLOW_BLOCK.format(slow="Lslow", r2="%ebx", retry="Lretry")
+    program = assemble(text, name="corpus.wrong_scratch")
+    return CorpusEntry(
+        name="wrong_scratch",
+        description="fast-path scratch register clobbers a live value",
+        program=program,
+        expect_pass="clobber",
+    )
+
+
+def _missing_flags_save() -> CorpusEntry:
+    # Condition codes set before the site are consumed after it, but the
+    # sequence (whose cmp overwrites them) is not pushf/popf-wrapped.
+    text = """
+    .globl corpus_entry
+corpus_entry:
+    cmpl $1, %edx
+""" + _fastpath("Lretry", "Lslow", "(%edi)", "%eax", "%ecx", "%ebx",
+                "movl (%ecx), %esi") + """
+    je Lequal
+    movl $0, %esi
+Lequal:
+    movl $0, %eax
+    movl $0, %ebx
+    movl $0, %esi
+    ret
+""" + _SLOW_BLOCK.format(slow="Lslow", r2="%ecx", retry="Lretry")
+    program = assemble(text, name="corpus.missing_flags_save")
+    return CorpusEntry(
+        name="missing_flags_save",
+        description="live condition codes cross an unwrapped SVM sequence",
+        program=program,
+        expect_pass="clobber",
+    )
+
+
+def _esp_escape() -> CorpusEntry:
+    # The translated access itself stores the stack pointer into
+    # driver-reachable memory — rejected when protect_stack is on.
+    text = """
+    .globl corpus_entry
+corpus_entry:
+""" + _fastpath("Lretry", "Lslow", "(%edi)", "%eax", "%ecx", "%ebx",
+                "movl %esp, (%ecx)") + """
+    movl $0, %eax
+    movl $0, %ebx
+    ret
+""" + _SLOW_BLOCK.format(slow="Lslow", r2="%ecx", retry="Lretry")
+    program = assemble(text, name="corpus.esp_escape")
+    return CorpusEntry(
+        name="esp_escape",
+        description="stores the stack pointer through a translated pointer",
+        program=program,
+        expect_pass="stack",
+        protect_stack=True,
+    )
+
+
+def _stlb_corruption() -> CorpusEntry:
+    program = assemble("""
+    .globl corpus_entry
+corpus_entry:
+    movl %eax, __stlb+4
+    ret
+""", name="corpus.stlb_corruption")
+    return CorpusEntry(
+        name="stlb_corruption",
+        description="writes the stlb outside a recognized SVM sequence",
+        program=program,
+        expect_pass="svm",
+    )
+
+
+def _branch_outside() -> CorpusEntry:
+    # The assembler refuses undefined branch targets, so this one is
+    # built from raw instructions — exactly what a hostile or corrupted
+    # binary handed to the loader could contain.
+    program = Program(
+        instructions=[
+            Instruction("jmp", (Label("nowhere"),)),
+            Instruction("ret", ()),
+        ],
+        labels={"corpus_entry": 0},
+        globals_=("corpus_entry",),
+        name="corpus.branch_outside",
+    )
+    return CorpusEntry(
+        name="branch_outside",
+        description="direct branch to a target outside the program",
+        program=program,
+        expect_pass="flow",
+    )
+
+
+def build_negative_corpus() -> List[CorpusEntry]:
+    """All violation classes, one entry each."""
+    return [
+        _uninstrumented_store(),
+        _unbalanced_stack(),
+        _raw_indirect_call(),
+        _wrong_scratch(),
+        _missing_flags_save(),
+        _esp_escape(),
+        _stlb_corruption(),
+        _branch_outside(),
+    ]

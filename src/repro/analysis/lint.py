@@ -1,0 +1,107 @@
+"""Lint CLI: rewrite a driver and statically verify the result.
+
+Usage::
+
+    PYTHONPATH=src python -m repro.analysis.lint e1000
+    PYTHONPATH=src python -m repro.analysis.lint rtl8139 --protect-stack
+    PYTHONPATH=src python -m repro.analysis.lint path/to/driver.s --hostile
+    PYTHONPATH=src python -m repro.analysis.lint --corpus
+
+Positional arguments name a shipped driver (``e1000``/``rtl8139``) or a
+``.s`` file to assemble. The binary is rewritten, then verified; the
+report prints to stdout and the exit status is non-zero when any binary
+is rejected. ``--corpus`` instead runs the negative corpus and checks
+that every broken binary is rejected by the expected pass.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List
+
+from ..core.rewriter import UnsupportedInstruction, rewrite_driver
+from ..drivers import DRIVER_SPECS
+from ..isa import assemble
+from ..isa.assembler import AssemblerError
+from .corpus import build_negative_corpus
+from .verifier import verify_program
+
+
+def _load_program(target: str):
+    spec = DRIVER_SPECS.get(target)
+    if spec is not None:
+        return spec.build_program()
+    try:
+        with open(target, "r", encoding="utf-8") as handle:
+            return assemble(handle.read(), name=target)
+    except AssemblerError as exc:
+        raise SystemExit(f"error: {target}: {exc}")
+    except OSError as exc:
+        drivers = ", ".join(sorted(DRIVER_SPECS))
+        raise SystemExit(
+            f"error: {target!r} is neither a shipped driver ({drivers}) "
+            f"nor a readable .s file ({exc})"
+        )
+
+
+def _lint_target(target: str, protect_stack: bool, hostile: bool) -> bool:
+    program = _load_program(target)
+    try:
+        rewritten, stats = rewrite_driver(program,
+                                          protect_stack=protect_stack)
+    except UnsupportedInstruction as exc:
+        print(f"verify {target}: REJECT (rewriter: {exc})")
+        return False
+    annotations = None if hostile else stats.annotations
+    report = verify_program(rewritten, annotations=annotations,
+                            protect_stack=protect_stack)
+    print(report.format())
+    return report.ok
+
+
+def _run_corpus() -> bool:
+    ok = True
+    for entry in build_negative_corpus():
+        report = verify_program(entry.program,
+                                protect_stack=entry.protect_stack)
+        rejected = any(f.passname == entry.expect_pass for f in report.errors)
+        verdict = "rejected" if rejected else "MISSED"
+        print(f"corpus {entry.name}: {verdict} "
+              f"(expected pass {entry.expect_pass!r}, "
+              f"{len(report.errors)} violation(s))")
+        for finding in report.errors:
+            print("  " + finding.format())
+        if not rejected:
+            ok = False
+    return ok
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.lint",
+        description="statically verify rewritten driver binaries",
+    )
+    parser.add_argument("targets", nargs="*",
+                        help="driver name (e1000, rtl8139) or .s file")
+    parser.add_argument("--protect-stack", action="store_true",
+                        help="rewrite and verify with §4.5.1 stack checks")
+    parser.add_argument("--hostile", action="store_true",
+                        help="verify without rewriter annotations")
+    parser.add_argument("--corpus", action="store_true",
+                        help="run the negative corpus instead of drivers")
+    args = parser.parse_args(argv)
+
+    if not args.targets and not args.corpus:
+        parser.error("give at least one target or --corpus")
+
+    ok = True
+    if args.corpus:
+        ok = _run_corpus() and ok
+    for target in args.targets:
+        ok = _lint_target(target, args.protect_stack, args.hostile) and ok
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

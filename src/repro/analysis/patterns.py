@@ -1,0 +1,365 @@
+"""Recognizers for the instruction idioms the rewriter emits.
+
+These matchers are the verifier's ground truth: a memory access is only
+accepted as "goes through the stlb" if it is literally the translated
+output of one of these sequences (paper figure 4 / §5.1), with the
+surrounding spill-slot saves and ``pushf``/``popf`` wrapping accounted
+for. They operate on the *rewritten* binary alone — no annotations, no
+trust in the rewriter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..core.rewriter import (
+    CALL_XLATE_SYMBOL,
+    RET_SLOT_SYMBOL,
+    SLOW_PATH_SYMBOL,
+    SPILL_SYMBOL,
+    STACK_FAULT_SYMBOL,
+    STACK_HI_SYMBOL,
+    STACK_LO_SYMBOL,
+    STLB_SYMBOL,
+    TRANSLATE_SYMBOL,
+)
+from ..isa.instructions import Instruction
+from ..isa.operands import Imm, Label, Mem, Reg
+from ..isa.program import Program
+from ..isa.registers import ALLOCATABLE
+
+PAGE_MASK = 0xFFFFF000
+
+#: spill-slot symbol prefix ("__svm_spill")
+_SPILL_PREFIX = SPILL_SYMBOL.format("")
+
+
+@dataclass(frozen=True)
+class SvmSite:
+    """A matched figure-4 fast-path site in the rewritten binary."""
+
+    start: int          # first instruction (spill saves / pushf included)
+    lea: int            # the `lea orig, r1` (the retry label points here)
+    access: int         # the translated instruction using (r2)
+    end: int            # last instruction (restores / popf included)
+    regs: Tuple[str, str, str]
+    mem: Mem            # the original (untranslated) memory operand
+    restored: frozenset
+    spilled: Tuple[str, ...]
+    flags_wrapped: bool
+    slow_label: str
+    retry_label: str
+
+
+@dataclass(frozen=True)
+class StackCheckSite:
+    """A matched §4.5.1 stack bounds-check site."""
+
+    start: int
+    lea: int
+    access: int
+    end: int
+    reg: str
+    mem: Mem
+    restored: frozenset
+    spilled: Tuple[str, ...]
+    flags_wrapped: bool
+    fault_label: str
+
+
+@dataclass(frozen=True)
+class TranslatePoint:
+    """A ``push p / call __svm_translate / add $4,%esp / mov __svm_ret,d``
+    quadruple: after ``index`` register ``dest`` holds a translated
+    (hypervisor-safe) copy of pointer ``source``."""
+
+    index: int          # index of the `mov __svm_ret, dest`
+    source: str
+    dest: str
+
+
+def _is_reg(op, name: Optional[str] = None) -> bool:
+    return isinstance(op, Reg) and (name is None or op.name == name)
+
+
+def _is_imm(op, value: Optional[int] = None) -> bool:
+    if not isinstance(op, Imm) or op.symbol is not None:
+        return False
+    return value is None or (op.value & 0xFFFFFFFF) == value
+
+
+def _is_mem(op, symbol=None, disp=None, base=None, no_index=True) -> bool:
+    if not isinstance(op, Mem):
+        return False
+    if symbol is not None and op.symbol != symbol:
+        return False
+    if symbol is None and op.symbol is not None:
+        return False
+    if disp is not None and op.disp != disp:
+        return False
+    if base is not None and op.base != base:
+        return False
+    if base is None and op.base is not None:
+        return False
+    return not (no_index and op.index is not None)
+
+
+def is_spill_save(ins: Instruction) -> bool:
+    """``mov %reg, __svm_spillN``"""
+    return (ins.mnemonic == "mov" and len(ins.operands) == 2
+            and _is_reg(ins.operands[0])
+            and isinstance(ins.operands[1], Mem)
+            and ins.operands[1].symbol is not None
+            and ins.operands[1].symbol.startswith(_SPILL_PREFIX)
+            and ins.operands[1].base is None)
+
+
+def is_spill_restore(ins: Instruction) -> bool:
+    """``mov __svm_spillN, %reg``"""
+    return (ins.mnemonic == "mov" and len(ins.operands) == 2
+            and isinstance(ins.operands[0], Mem)
+            and ins.operands[0].symbol is not None
+            and ins.operands[0].symbol.startswith(_SPILL_PREFIX)
+            and ins.operands[0].base is None
+            and _is_reg(ins.operands[1]))
+
+
+def _call_to(ins: Instruction, symbol: str) -> bool:
+    return (ins.is_call and not ins.indirect and ins.operands
+            and isinstance(ins.operands[0], Label)
+            and ins.operands[0].name == symbol)
+
+
+def _index_mask_ok(value: int) -> bool:
+    """``(entries-1) << 12`` for a power-of-two entry count."""
+    value &= 0xFFFFFFFF
+    if value == 0 or value & 0xFFF:
+        return False
+    entries = (value >> 12) + 1
+    return entries & (entries - 1) == 0
+
+
+def _wrap_extents(program: Program, first: int, last: int
+                  ) -> Tuple[int, int, Tuple[str, ...], frozenset, bool]:
+    """Extend a matched core [first, last] backwards over spill saves and
+    an optional ``pushf``, forwards over restores and the matching
+    ``popf``. Returns (start, end, spilled, restored, flags_wrapped)."""
+    ins = program.instructions
+    start = first
+    flags_wrapped = False
+    if start > 0 and ins[start - 1].mnemonic == "pushf":
+        flags_wrapped = True
+        start -= 1
+    spilled: List[str] = []
+    while start > 0 and is_spill_save(ins[start - 1]):
+        spilled.append(ins[start - 1].operands[0].name)
+        start -= 1
+    spilled.reverse()
+    end = last
+    restored = set()
+    while end + 1 < len(ins) and is_spill_restore(ins[end + 1]):
+        restored.add(ins[end + 1].operands[1].name)
+        end += 1
+    if flags_wrapped and end + 1 < len(ins) and ins[end + 1].mnemonic == "popf":
+        end += 1
+    return start, end, tuple(spilled), frozenset(restored), flags_wrapped
+
+
+def match_fastpath(program: Program, i: int) -> Optional[SvmSite]:
+    """Match the 10-instruction figure-4 sequence with its ``lea`` at
+    index ``i``; validates the slow-path block and the retry label."""
+    ins = program.instructions
+    if i + 9 >= len(ins):
+        return None
+    lea = ins[i]
+    if lea.mnemonic != "lea" or len(lea.operands) != 2:
+        return None
+    mem, r1op = lea.operands
+    if not isinstance(mem, Mem) or not isinstance(r1op, Reg):
+        return None
+    r1 = r1op.name
+    # mov r1, r2
+    if not (ins[i + 1].mnemonic == "mov" and _is_reg(ins[i + 1].operands[0], r1)
+            and _is_reg(ins[i + 1].operands[1])):
+        return None
+    r2 = ins[i + 1].operands[1].name
+    # and $0xFFFFF000, r1
+    if not (ins[i + 2].mnemonic == "and"
+            and _is_imm(ins[i + 2].operands[0], PAGE_MASK)
+            and _is_reg(ins[i + 2].operands[1], r1)):
+        return None
+    # mov r1, r3
+    if not (ins[i + 3].mnemonic == "mov" and _is_reg(ins[i + 3].operands[0], r1)
+            and _is_reg(ins[i + 3].operands[1])):
+        return None
+    r3 = ins[i + 3].operands[1].name
+    if len({r1, r2, r3}) != 3 or not {r1, r2, r3} <= set(ALLOCATABLE):
+        return None
+    # and $index_mask, r1
+    if not (ins[i + 4].mnemonic == "and"
+            and isinstance(ins[i + 4].operands[0], Imm)
+            and ins[i + 4].operands[0].symbol is None
+            and _index_mask_ok(ins[i + 4].operands[0].value)
+            and _is_reg(ins[i + 4].operands[1], r1)):
+        return None
+    # shr $9, r1
+    if not (ins[i + 5].mnemonic == "shr" and _is_imm(ins[i + 5].operands[0], 9)
+            and _is_reg(ins[i + 5].operands[1], r1)):
+        return None
+    # cmp __stlb(r1), r3
+    if not (ins[i + 6].mnemonic == "cmp"
+            and _is_mem(ins[i + 6].operands[0], symbol=STLB_SYMBOL, disp=0,
+                        base=r1)
+            and _is_reg(ins[i + 6].operands[1], r3)):
+        return None
+    # jne slow
+    if not (ins[i + 7].mnemonic == "jne"
+            and isinstance(ins[i + 7].operands[0], Label)):
+        return None
+    slow_label = ins[i + 7].operands[0].name
+    # xor __stlb+4(r1), r2
+    if not (ins[i + 8].mnemonic == "xor"
+            and _is_mem(ins[i + 8].operands[0], symbol=STLB_SYMBOL, disp=4,
+                        base=r1)
+            and _is_reg(ins[i + 8].operands[1], r2)):
+        return None
+    # the translated access through (r2)
+    access = ins[i + 9]
+    amem = access.memory_operand()
+    if (amem is None or access.memory_access_kind() is None
+            or not _is_mem(amem, disp=0, base=r2)):
+        return None
+    # slow-path block: push r2 / call __svm_slow_path / add $4,%esp /
+    # jmp retry, with the retry label on the lea.
+    s = program.labels.get(slow_label)
+    if s is None or s + 3 >= len(ins) + 1 or s + 3 > len(ins) - 1:
+        return None
+    if not (ins[s].mnemonic == "push" and _is_reg(ins[s].operands[0], r2)):
+        return None
+    if not _call_to(ins[s + 1], SLOW_PATH_SYMBOL):
+        return None
+    if not (ins[s + 2].mnemonic == "add" and _is_imm(ins[s + 2].operands[0], 4)
+            and _is_reg(ins[s + 2].operands[1], "esp")):
+        return None
+    if not (ins[s + 3].mnemonic == "jmp" and not ins[s + 3].indirect
+            and isinstance(ins[s + 3].operands[0], Label)):
+        return None
+    retry_label = ins[s + 3].operands[0].name
+    if program.labels.get(retry_label) != i:
+        return None
+    start, end, spilled, restored, flags_wrapped = _wrap_extents(
+        program, i, i + 9)
+    return SvmSite(start=start, lea=i, access=i + 9, end=end,
+                   regs=(r1, r2, r3), mem=mem, restored=restored,
+                   spilled=spilled, flags_wrapped=flags_wrapped,
+                   slow_label=slow_label, retry_label=retry_label)
+
+
+def match_stack_check(program: Program, i: int) -> Optional[StackCheckSite]:
+    """Match the §4.5.1 bounds-check sequence with its ``lea`` at ``i``."""
+    ins = program.instructions
+    if i + 5 >= len(ins):
+        return None
+    lea = ins[i]
+    if lea.mnemonic != "lea" or len(lea.operands) != 2:
+        return None
+    mem, r1op = lea.operands
+    if not isinstance(mem, Mem) or not isinstance(r1op, Reg):
+        return None
+    if not (mem.is_stack_relative and mem.index is not None):
+        return None
+    r1 = r1op.name
+    if r1 not in ALLOCATABLE:
+        return None
+    if not (ins[i + 1].mnemonic == "cmp"
+            and _is_mem(ins[i + 1].operands[0], symbol=STACK_LO_SYMBOL, disp=0)
+            and _is_reg(ins[i + 1].operands[1], r1)):
+        return None
+    if not (ins[i + 2].mnemonic == "jb"
+            and isinstance(ins[i + 2].operands[0], Label)):
+        return None
+    fault_label = ins[i + 2].operands[0].name
+    if not (ins[i + 3].mnemonic == "cmp"
+            and _is_mem(ins[i + 3].operands[0], symbol=STACK_HI_SYMBOL, disp=0)
+            and _is_reg(ins[i + 3].operands[1], r1)):
+        return None
+    if not (ins[i + 4].mnemonic == "jae"
+            and isinstance(ins[i + 4].operands[0], Label)
+            and ins[i + 4].operands[0].name == fault_label):
+        return None
+    access = ins[i + 5]
+    if access.memory_operand() != mem or access.memory_access_kind() is None:
+        return None
+    f = program.labels.get(fault_label)
+    if f is None or f >= len(ins) or not _call_to(ins[f], STACK_FAULT_SYMBOL):
+        return None
+    start, end, spilled, restored, flags_wrapped = _wrap_extents(
+        program, i, i + 5)
+    return StackCheckSite(start=start, lea=i, access=i + 5, end=end, reg=r1,
+                          mem=mem, restored=restored, spilled=spilled,
+                          flags_wrapped=flags_wrapped,
+                          fault_label=fault_label)
+
+
+def find_fastpath_sites(program: Program) -> List[SvmSite]:
+    sites = []
+    for i in range(len(program.instructions)):
+        site = match_fastpath(program, i)
+        if site is not None:
+            sites.append(site)
+    return sites
+
+
+def find_stack_check_sites(program: Program) -> List[StackCheckSite]:
+    sites = []
+    for i in range(len(program.instructions)):
+        site = match_stack_check(program, i)
+        if site is not None:
+            sites.append(site)
+    return sites
+
+
+def find_translate_points(program: Program) -> Dict[int, TranslatePoint]:
+    """All ``__svm_translate`` helper invocations, keyed by the index of
+    the ``mov __svm_ret, dest`` that publishes the result."""
+    ins = program.instructions
+    points: Dict[int, TranslatePoint] = {}
+    for i in range(len(ins) - 3):
+        if not (ins[i].mnemonic == "push" and len(ins[i].operands) == 1
+                and _is_reg(ins[i].operands[0])):
+            continue
+        if not _call_to(ins[i + 1], TRANSLATE_SYMBOL):
+            continue
+        if not (ins[i + 2].mnemonic == "add"
+                and _is_imm(ins[i + 2].operands[0], 4)
+                and _is_reg(ins[i + 2].operands[1], "esp")):
+            continue
+        if not (ins[i + 3].mnemonic == "mov"
+                and _is_mem(ins[i + 3].operands[0], symbol=RET_SLOT_SYMBOL,
+                            disp=0)
+                and _is_reg(ins[i + 3].operands[1])):
+            continue
+        points[i + 3] = TranslatePoint(
+            index=i + 3,
+            source=ins[i].operands[0].name,
+            dest=ins[i + 3].operands[1].name,
+        )
+    return points
+
+
+def is_routed_indirect(program: Program, i: int) -> bool:
+    """True when the indirect call/jmp at ``i`` is the rewriter's routed
+    form: target ``__svm_ret`` immediately after ``call __stlb_call_xlate;
+    add $4, %esp`` (§5.1.2)."""
+    ins = program.instructions
+    instr = ins[i]
+    if not instr.operands or not _is_mem(instr.operands[0],
+                                         symbol=RET_SLOT_SYMBOL, disp=0):
+        return False
+    if i < 2:
+        return False
+    if not (ins[i - 1].mnemonic == "add" and _is_imm(ins[i - 1].operands[0], 4)
+            and _is_reg(ins[i - 1].operands[1], "esp")):
+        return False
+    return _call_to(ins[i - 2], CALL_XLATE_SYMBOL)

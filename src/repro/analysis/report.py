@@ -1,0 +1,82 @@
+"""Verification findings and the per-binary :class:`VerifyReport`.
+
+The verifier never raises on a bad binary — it returns a report listing
+every violation with a precise instruction index, in the style of the eBPF
+verifier's log. :class:`VerificationError` is raised by the *loader* when
+it refuses to load a binary whose report is not clean.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One verification violation, anchored to an instruction index."""
+
+    passname: str       # 'svm' | 'stack' | 'flow' | 'clobber'
+    index: int          # instruction index in the verified program
+    message: str
+    severity: str = "error"      # 'error' rejects the binary; 'note' doesn't
+
+    def format(self) -> str:
+        return f"[{self.passname}] @{self.index}: {self.message}"
+
+
+@dataclass
+class VerifyReport:
+    """The outcome of statically verifying one rewritten driver binary."""
+
+    program_name: str
+    mode: str                               # 'annotated' | 'hostile'
+    findings: List[Finding] = field(default_factory=list)
+    #: per-pass statistics, e.g. stats['svm']['fast_path_sites']
+    stats: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    instructions: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """True when no error-severity finding survived: safe to load."""
+        return not any(f.severity == "error" for f in self.findings)
+
+    @property
+    def errors(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity == "error"]
+
+    def add(self, passname: str, index: int, message: str,
+            severity: str = "error"):
+        self.findings.append(Finding(passname, index, message, severity))
+
+    def pass_stats(self, passname: str) -> Dict[str, int]:
+        return self.stats.setdefault(passname, {})
+
+    def format(self) -> str:
+        verdict = "PASS" if self.ok else "REJECT"
+        lines = [
+            f"verify {self.program_name}: {verdict} "
+            f"({self.instructions} instructions, {self.mode} mode, "
+            f"{len(self.errors)} violation(s))"
+        ]
+        for passname in sorted(self.stats):
+            stats = self.stats[passname]
+            body = ", ".join(f"{k}={v}" for k, v in sorted(stats.items()))
+            lines.append(f"  {passname}: {body}")
+        for finding in sorted(self.findings, key=lambda f: f.index):
+            lines.append("  " + finding.format())
+        return "\n".join(lines)
+
+
+class VerificationError(Exception):
+    """The hypervisor refused to load a driver binary that failed (or
+    skipped) static verification."""
+
+    def __init__(self, report: VerifyReport):
+        first = report.errors[0].format() if report.errors else "no findings"
+        super().__init__(
+            f"driver binary {report.program_name!r} failed static "
+            f"verification ({len(report.errors)} violation(s); first: "
+            f"{first})"
+        )
+        self.report = report

@@ -29,6 +29,7 @@ from .rewriter import (
     TRANSLATE_SYMBOL,
     RewriteStats,
     Rewriter,
+    SiteAnnotation,
     UnsupportedInstruction,
     rewrite_driver,
 )
@@ -60,6 +61,7 @@ __all__ = [
     "Rewriter",
     "STLB_ENTRIES",
     "STLB_SYMBOL",
+    "SiteAnnotation",
     "StackProtectionFault",
     "SLOW_PATH_SYMBOL",
     "SkbPool",

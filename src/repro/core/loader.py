@@ -223,10 +223,32 @@ class HypervisorLoader:
              runtime: SvmRuntime,
              support_bindings: Dict[str, int],
              upcall_factory=None,
-             name: str = "hyp:e1000") -> HypervisorDriver:
+             name: str = "hyp:e1000",
+             verify: bool = True,
+             verify_report=None,
+             annotations=None,
+             protect_stack: bool = False) -> HypervisorDriver:
         """``support_bindings`` maps support-routine names to hypervisor
         native addresses; anything else becomes an upcall stub via
-        ``upcall_factory(name, dom0_native_addr)``."""
+        ``upcall_factory(name, dom0_native_addr)``.
+
+        By default the binary is statically verified before anything is
+        mapped: a caller-supplied ``verify_report`` is honoured, otherwise
+        the verifier runs here (in hostile mode unless rewriter
+        ``annotations`` are given). A binary with violations is refused
+        with :class:`~repro.analysis.report.VerificationError`; pass
+        ``verify=False`` to load unverified (tests/benchmarks only)."""
+        if verify:
+            # direct submodule import: safe during partial package init
+            from ..analysis.report import VerificationError
+            if verify_report is None:
+                from ..analysis.verifier import verify_program
+                verify_report = verify_program(
+                    rewritten, annotations=annotations,
+                    protect_stack=protect_stack, name=name,
+                )
+            if not verify_report.ok:
+                raise VerificationError(verify_report)
         machine = self.xen.machine
         data_symbols = dict(vm_module.data_symbols)
         # data symbols point into dom0; runtime symbols into hypervisor data

@@ -73,6 +73,34 @@ class UnsupportedInstruction(Exception):
     pass
 
 
+@dataclass(frozen=True)
+class SiteAnnotation:
+    """Machine-readable record of one rewritten site.
+
+    The static verifier (:mod:`repro.analysis`) consumes these to check the
+    rewriter's work *exactly* (which instruction range realises which input
+    instruction, with which scratch registers) rather than heuristically.
+    The verifier also runs without them ("hostile" mode); annotations only
+    add cross-checks.
+    """
+
+    #: 'memory' | 'string_single' | 'string_loop' | 'indirect' |
+    #: 'stack_checked'
+    kind: str
+    #: index of the source instruction in the input program
+    input_index: int
+    #: [start, end) instruction range in the output program's main body
+    #: (per-site slow-path tail blocks are located via their labels)
+    start: int
+    end: int
+    #: scratch registers picked by the liveness analysis (footnote 3)
+    scratch: Tuple[str, ...] = ()
+    #: scratch registers that had to be spilled to ``__svm_spillN`` slots
+    spilled: Tuple[str, ...] = ()
+    #: whether the site is wrapped in ``pushf``/``popf``
+    flags_wrapped: bool = False
+
+
 @dataclass
 class RewriteStats:
     """What the rewriter did — the §4.1 static numbers."""
@@ -88,6 +116,23 @@ class RewriteStats:
     stack_verified: int = 0
     #: §4.5.1: variable-offset stack accesses given runtime bounds checks
     stack_checked: int = 0
+    #: per-category site counts (the §4.1 ablation breakdown the static
+    #: verifier independently re-derives): keys are the SiteAnnotation
+    #: kinds plus 'flags_wrapped_sites' and 'spill_slot_sites'.
+    site_categories: Dict[str, int] = field(default_factory=dict)
+    #: machine-readable per-site records for the static verifier
+    annotations: List[SiteAnnotation] = field(default_factory=list)
+
+    def note_site(self, annotation: SiteAnnotation):
+        self.annotations.append(annotation)
+        self.site_categories[annotation.kind] = (
+            self.site_categories.get(annotation.kind, 0) + 1)
+        if annotation.flags_wrapped:
+            self.site_categories["flags_wrapped_sites"] = (
+                self.site_categories.get("flags_wrapped_sites", 0) + 1)
+        if annotation.spilled:
+            self.site_categories["spill_slot_sites"] = (
+                self.site_categories.get("spill_slot_sites", 0) + 1)
 
     @property
     def memory_fraction(self) -> float:
@@ -103,6 +148,11 @@ class RewriteStats:
         if self.input_instructions == 0:
             return 1.0
         return self.output_instructions / self.input_instructions
+
+
+def _spilled(saves: List[Instruction]) -> Tuple[str, ...]:
+    """The registers a list of spill-save instructions preserves."""
+    return tuple(s.operands[0].name for s in saves)
 
 
 def _flags_liveness(program: Program) -> List[bool]:
@@ -254,6 +304,7 @@ class Rewriter:
             out.emit(Instruction("popf", ()))
         out.tail_block(slow, self._slow_block(slow, retry, r2))
         stats.memory_rewritten += 1
+        return ("memory", tuple(regs), _spilled(saves), flags_live)
 
     # ------------------------------------------------------- stack checks
 
@@ -286,6 +337,7 @@ class Rewriter:
             Instruction("call", (Label(STACK_FAULT_SYMBOL),)),
         ])
         stats.stack_checked += 1
+        return ("stack_checked", tuple(regs), _spilled(saves), flags_live)
 
     # ------------------------------------------------------- indirect calls
 
@@ -294,6 +346,8 @@ class Rewriter:
                           out: "_Emitter", stats: RewriteStats):
         target = ins.operands[0]
         ret_slot = Mem(symbol=RET_SLOT_SYMBOL)
+        regs: Tuple[str, ...] = ()
+        saves = []
         if isinstance(target, Mem) and not target.is_stack_relative:
             # Load the function pointer through SVM first.
             regs, saves, restores = self._scratch(
@@ -318,6 +372,7 @@ class Rewriter:
         out.emit(Instruction("add", (Imm(4), Reg("esp"))))
         out.emit(ins.replaced(operands=(ret_slot,), indirect=True))
         stats.indirect_rewritten += 1
+        return ("indirect", tuple(regs), _spilled(saves), False)
 
     # ------------------------------------------------------- string ops
 
@@ -332,10 +387,10 @@ class Rewriter:
         sets_flags = ins.mnemonic in ("cmps", "scas")
 
         if ins.prefix is None:
-            self._rewrite_string_single(ins, index, liveness, flags_live,
-                                        out, stats, uses_esi, uses_edi, size,
-                                        sets_flags)
-            return
+            return self._rewrite_string_single(ins, index, liveness,
+                                               flags_live, out, stats,
+                                               uses_esi, uses_edi, size,
+                                               sets_flags)
 
         regs, saves, restores = self._scratch(liveness, index, ins, 3, stats)
         r1, r2, r3 = regs
@@ -440,6 +495,7 @@ class Rewriter:
             out.emit(Instruction("popf", ()))
         for restore in restores:
             out.emit(restore)
+        return ("string_loop", tuple(regs), _spilled(saves), wrap_flags)
 
     def _rewrite_string_single(self, ins, index, liveness, flags_live,
                                out, stats, uses_esi, uses_edi, size,
@@ -481,6 +537,7 @@ class Rewriter:
             out.emit(Instruction("popf", ()))
         for restore in restores:
             out.emit(restore)
+        return ("string_single", tuple(regs), _spilled(saves), wrap_flags)
 
     def _emit_translate(self, out: "_Emitter", pointer: str, dest: str):
         """Translate ``pointer`` through the stlb into ``dest`` via the
@@ -511,19 +568,21 @@ class Rewriter:
             for label in label_positions.get(index, ()):
                 out.label(label)
             mem = ins.memory_operand()
+            site_start = len(out.instructions)
+            site = None
             if ins.is_string:
-                self._rewrite_string(ins, index, liveness,
-                                     flags_live[index], out, stats)
+                site = self._rewrite_string(ins, index, liveness,
+                                            flags_live[index], out, stats)
             elif ins.indirect:
-                self._rewrite_indirect(ins, index, liveness,
-                                       flags_live[index], out, stats)
+                site = self._rewrite_indirect(ins, index, liveness,
+                                              flags_live[index], out, stats)
             elif (
                 mem is not None
                 and ins.mnemonic != "lea"
                 and not mem.is_stack_relative
             ):
-                self._rewrite_memory(ins, index, liveness,
-                                     flags_live[index], out, stats)
+                site = self._rewrite_memory(ins, index, liveness,
+                                            flags_live[index], out, stats)
             elif (
                 self.protect_stack
                 and mem is not None
@@ -535,11 +594,18 @@ class Rewriter:
                     stats.stack_verified += 1
                     out.emit(ins)
                 else:
-                    self._rewrite_stack_checked(ins, index, liveness,
-                                                flags_live[index], out,
-                                                stats)
+                    site = self._rewrite_stack_checked(ins, index, liveness,
+                                                       flags_live[index],
+                                                       out, stats)
             else:
                 out.emit(ins)
+            if site is not None:
+                kind, scratch, spilled, wrapped = site
+                stats.note_site(SiteAnnotation(
+                    kind=kind, input_index=index, start=site_start,
+                    end=len(out.instructions), scratch=scratch,
+                    spilled=spilled, flags_wrapped=wrapped,
+                ))
         for label in label_positions.get(len(program.instructions), ()):
             out.label(label)
         out.flush_tails()

@@ -55,13 +55,17 @@ class TwinDriverManager:
                  program=None,
                  protect_stack: bool = False,
                  stlb_entries: int = 4096,
-                 driver: Optional[DriverSpec] = None):
+                 driver: Optional[DriverSpec] = None,
+                 verify: bool = True):
         """``upcall_routines``: fast-path routine names to serve via
         upcalls instead of hypervisor implementations (figure 10).
         ``protect_stack`` enables the §4.5.1 extension (bounds checks on
         variable-offset stack accesses). ``stlb_entries`` sizes the stlb
         hash table (the paper's is 4096 entries / 16 MiB). ``driver``
-        selects which driver to twin (default: the e1000 spec)."""
+        selects which driver to twin (default: the e1000 spec).
+        ``verify`` statically verifies the rewritten binary (annotated
+        mode) before the hypervisor loads it; the report is kept on
+        ``self.verify_report`` next to ``self.rewrite_stats``."""
         self.xen = xen
         self.machine = xen.machine
         self.dom0_kernel = dom0_kernel
@@ -77,6 +81,15 @@ class TwinDriverManager:
         self.rewritten, self.rewrite_stats = rewrite_driver(
             self.program, protect_stack=protect_stack,
             stlb_entries=stlb_entries)
+        # verify-then-load: the hypervisor proves the rewritten binary
+        # safe before trusting it (annotated mode — the rewriter's site
+        # annotations are cross-checked, not believed).
+        self.verify_report = None
+        if verify:
+            from ..analysis.verifier import verify_program
+            self.verify_report = verify_program(
+                self.rewritten, annotations=self.rewrite_stats.annotations,
+                protect_stack=protect_stack)
 
         # 2. dom0 identity runtime + VM instance
         dom0_syms = allocate_runtime_symbols(dom0_kernel.alloc_module_data)
@@ -128,6 +141,8 @@ class TwinDriverManager:
         self.hyp_driver = loader.load(
             self.rewritten, self.vm_module, self.hyp_runtime,
             support_bindings, upcall_factory=self.upcalls.make_stub,
+            verify=verify, verify_report=self.verify_report,
+            protect_stack=protect_stack,
         )
 
         # guests & NICs

@@ -21,7 +21,14 @@ from .encoder import (
     instruction_length,
     layout,
 )
-from .instructions import Instruction
+from .instructions import (
+    JCC,
+    READS_FLAGS,
+    STRING,
+    WRITES_FLAGS,
+    DefUse,
+    Instruction,
+)
 from .liveness import LivenessAnalysis
 from .operands import Imm, Label, Mem, Reg
 from .program import Program
@@ -35,14 +42,19 @@ __all__ = [
     "CALLEE_SAVED",
     "CALLER_SAVED",
     "ControlFlowGraph",
+    "DefUse",
     "GPRS",
     "Imm",
     "Instruction",
+    "JCC",
     "Label",
     "LivenessAnalysis",
     "Mem",
     "Program",
+    "READS_FLAGS",
     "Reg",
+    "STRING",
+    "WRITES_FLAGS",
     "assemble",
     "code_size",
     "decode_instruction",

@@ -4,8 +4,12 @@ The rewriter's register-liveness analysis (paper §4.1, footnote 3) needs a
 CFG. Block leaders are: instruction 0, every label target, every direct
 branch target, and every instruction following a control transfer.
 
-Indirect jumps are treated conservatively (successors unknown -> all label
-targets); indirect calls fall through like direct calls.
+Indirect jumps are treated conservatively: the block's successor list is
+*all label targets*, and the block is additionally marked with
+``unknown_successors=True`` so downstream analyses (liveness, the static
+verifier) can distinguish a *conservative* CFG (the successor list is an
+over-approximation forced by an indirect jump) from a *complete* one (the
+successor list is exact). Indirect calls fall through like direct calls.
 """
 
 from __future__ import annotations
@@ -26,6 +30,11 @@ class BasicBlock:
     end: int                      # one past the last instruction index
     successors: List[int] = field(default_factory=list)   # block start indices
     predecessors: List[int] = field(default_factory=list)
+    #: True when the block ends in an indirect jump: ``successors`` is then
+    #: the conservative over-approximation "every label target", not an
+    #: exact edge list. Analyses that need exactness (e.g. the static
+    #: verifier's stack tracking) must treat such blocks specially.
+    unknown_successors: bool = False
 
     def instruction_indices(self):
         return range(self.start, self.end)
@@ -85,6 +94,7 @@ class ControlFlowGraph:
             elif last.mnemonic == "jmp":
                 if last.indirect:
                     succs.extend(all_label_blocks)  # conservative
+                    block.unknown_successors = True
                 else:
                     target = self._direct_target(last)
                     if target is not None and target < n:

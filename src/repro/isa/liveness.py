@@ -55,8 +55,8 @@ class LivenessAnalysis:
                         block_live_in: Dict[int, FrozenSet[str]]) -> FrozenSet[str]:
         block = self.cfg.blocks[block_start]
         last = self.program.instructions[block.end - 1]
-        if last.mnemonic == "jmp" and last.indirect:
-            return ALL_REGS  # unknown targets: be conservative
+        if block.unknown_successors:
+            return ALL_REGS  # conservative CFG: targets unknown
         out: FrozenSet[str] = frozenset()
         for succ in block.successors:
             out |= block_live_in.get(succ, frozenset())

@@ -1,0 +1,34 @@
+"""The ``python -m repro.analysis.lint`` entry point, run in-process."""
+
+import pytest
+
+from repro.analysis.lint import main
+
+
+class TestLintCli:
+    def test_shipped_drivers_pass(self, capsys):
+        assert main(["e1000", "rtl8139"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("PASS") == 2
+        assert "REJECT" not in out
+
+    def test_hostile_and_protect_stack_modes(self, capsys):
+        assert main(["e1000", "--hostile"]) == 0
+        assert "hostile mode" in capsys.readouterr().out
+        assert main(["rtl8139", "--protect-stack"]) == 0
+
+    def test_corpus_all_rejected(self, capsys):
+        assert main(["--corpus"]) == 0
+        out = capsys.readouterr().out
+        assert "MISSED" not in out
+        assert out.count("rejected") >= 4
+
+    def test_source_file_target(self, tmp_path, capsys):
+        src = tmp_path / "tiny.s"
+        src.write_text(".globl f\nf:\n    movl (%ebx), %eax\n    ret\n")
+        assert main([str(src)]) == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_no_arguments_is_an_error(self, capsys):
+        with pytest.raises(SystemExit):
+            main([])

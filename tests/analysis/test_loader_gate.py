@@ -1,0 +1,71 @@
+"""Verify-then-load: the hypervisor loader refuses binaries the static
+verifier rejects, and the TwinDriverManager publishes its report."""
+
+import dataclasses
+
+import pytest
+
+from repro.analysis import VerificationError
+from repro.core import TwinDriverManager
+from repro.isa import Instruction, Mem, Reg
+from repro.machine import Machine
+from repro.osmodel import Kernel
+from repro.xen import Hypervisor
+
+
+def make_parts():
+    m = Machine()
+    xen = Hypervisor(m)
+    dom0 = xen.create_domain("dom0", is_dom0=True)
+    k0 = Kernel(m, dom0, costs=xen.costs, paravirtual=True)
+    return m, xen, k0
+
+
+def tampering(real_rewrite):
+    """Wrap rewrite_driver so the 'rewriter' emits one raw store that the
+    instrumentation provably missed."""
+
+    def tampered(program, **kwargs):
+        rewritten, stats = real_rewrite(program, **kwargs)
+        evil = dataclasses.replace(
+            rewritten,
+            instructions=list(rewritten.instructions)
+            + [Instruction("mov", (Reg("eax"), Mem(base="ebx"))),
+               Instruction("ret", ())],
+        )
+        return evil, stats
+
+    return tampered
+
+
+class TestLoaderGate:
+    def test_clean_driver_loads_and_report_is_published(self):
+        m, xen, k0 = make_parts()
+        twin = TwinDriverManager(xen, k0)
+        assert twin.verify_report is not None
+        assert twin.verify_report.ok
+        assert twin.verify_report.mode == "annotated"
+
+    def test_tampered_rewrite_is_refused(self, monkeypatch):
+        import repro.core.twin as twin_mod
+
+        monkeypatch.setattr(twin_mod, "rewrite_driver",
+                            tampering(twin_mod.rewrite_driver))
+        m, xen, k0 = make_parts()
+        with pytest.raises(VerificationError) as exc:
+            TwinDriverManager(xen, k0)
+        report = exc.value.report
+        assert any(f.passname == "svm" for f in report.errors)
+        assert "REJECT" in report.format()
+
+    def test_verify_false_opts_out(self, monkeypatch):
+        # tests/benchmarks escape hatch: same tampered binary loads when
+        # verification is explicitly disabled
+        import repro.core.twin as twin_mod
+
+        monkeypatch.setattr(twin_mod, "rewrite_driver",
+                            tampering(twin_mod.rewrite_driver))
+        m, xen, k0 = make_parts()
+        twin = TwinDriverManager(xen, k0, verify=False)
+        assert twin.verify_report is None
+        assert twin.hyp_driver is not None

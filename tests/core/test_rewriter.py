@@ -221,3 +221,44 @@ class TestDriverStats:
         b, _ = rewrite_driver(build_e1000_program())
         assert [i.format() for i in a.instructions] == \
                [i.format() for i in b.instructions]
+
+
+class TestErrorPaths:
+    def test_stlb_entries_must_be_power_of_two(self):
+        from repro.core import Rewriter
+        with pytest.raises(ValueError, match="power of two"):
+            Rewriter(stlb_entries=3000)
+
+    def test_scratch_exhaustion_raises(self):
+        # _scratch can never satisfy more registers than there are spill
+        # slots; the rewriter refuses the instruction rather than emitting
+        # an unsound sequence
+        from repro.core import Rewriter
+        from repro.core.rewriter import N_SPILL_SLOTS, RewriteStats
+        from repro.isa import LivenessAnalysis
+        p = assemble(".globl f\nf: movl (%ebx), %eax\nret")
+        la = LivenessAnalysis(p)
+        ins = p.instructions[0]
+        stats = RewriteStats()
+        with pytest.raises(UnsupportedInstruction, match="scratch"):
+            Rewriter()._scratch(la, 0, ins, N_SPILL_SLOTS + 2, stats)
+
+    def test_std_message_names_the_instruction(self):
+        with pytest.raises(UnsupportedInstruction, match="std"):
+            rw(".globl f\nf: std\nrep movsl\ncld\nret")
+
+    def test_annotations_cover_every_rewritten_site(self):
+        out, stats = rw(".globl f\nf: pushl %esi\nmovl (%ebx), %eax\n"
+                        "movl %eax, (%ebx)\npopl %esi\nret")
+        assert len(stats.annotations) == 2
+        assert all(a.kind == "memory" for a in stats.annotations)
+        for ann in stats.annotations:
+            assert 0 <= ann.start < ann.end <= len(out.instructions)
+        assert stats.site_categories["memory"] == 2
+
+    def test_site_categories_track_flags_and_spills(self):
+        out, stats = rw(".globl f\nf: cmpl $1, %eax\nmovl (%ebx), %ecx\n"
+                        "je t\nt: ret")
+        assert stats.site_categories.get("flags_wrapped_sites", 0) == 1
+        out, stats = rw(".globl f\nf: movl (%ebx), %eax\nret")
+        assert stats.site_categories.get("spill_slot_sites", 0) == 1

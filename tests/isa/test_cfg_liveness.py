@@ -61,6 +61,22 @@ class TestCfg:
         # all label targets are possible successors
         assert set(block.successors) >= {0, 2}
 
+    def test_indirect_jump_sets_unknown_successors(self):
+        p = assemble("""
+        a:  nop
+            jmp *%eax
+        b:  ret
+        """)
+        cfg = ControlFlowGraph(p)
+        assert cfg.block_of(1).unknown_successors
+        # the flag marks the over-approximation, not ordinary blocks
+        assert not cfg.block_of(2).unknown_successors
+
+    def test_direct_control_flow_has_known_successors(self):
+        p = assemble("je t\ncall f\nt: ret\nf: ret")
+        cfg = ControlFlowGraph(p)
+        assert not any(b.unknown_successors for b in cfg.blocks.values())
+
     def test_block_of_lookup(self):
         p = assemble("nop\nnop\nje t\nnop\nt: ret")
         cfg = ControlFlowGraph(p)

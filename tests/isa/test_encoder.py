@@ -10,6 +10,7 @@ from repro.isa import (
     Instruction,
     Label,
     Mem,
+    Program,
     Reg,
     assemble,
     code_size,
@@ -156,3 +157,30 @@ big:
         program = assemble("nop\nmovl $1, %eax\nmovl counter, %eax")
         lengths = [instruction_length(i) for i in program.instructions]
         assert len(set(lengths)) > 1
+
+
+class TestRandomProgramRoundTrip:
+    """Whole-*program* round trips over randomly assembled instruction
+    streams — encode_program/decode_program must agree with the
+    per-instruction layout for arbitrary valid mixes, not just the
+    hand-written fixture above."""
+
+    @given(st.lists(random_instructions(), min_size=1, max_size=40))
+    @settings(max_examples=100, deadline=None)
+    def test_program_roundtrip(self, instrs):
+        program = Program(instructions=list(instrs), name="rand")
+        data = encode_program(program)
+        again = decode_program(data)
+        assert [i.format() for i in again.instructions] == \
+               [i.format() for i in program.instructions]
+
+    @given(st.lists(random_instructions(), min_size=1, max_size=40))
+    @settings(max_examples=100, deadline=None)
+    def test_code_size_and_layout_agree(self, instrs):
+        program = Program(instructions=list(instrs), name="rand")
+        data = encode_program(program)
+        assert code_size(program) == len(data)
+        addrs = layout(program, 0x4000)
+        assert len(addrs) == len(instrs)
+        sizes = [instruction_length(i) for i in instrs]
+        assert addrs[-1] + sizes[-1] - addrs[0] == len(data)
