@@ -46,6 +46,9 @@ def test_engineering_effort(benchmark):
     lines.append(f"  fast-path / full-surface ratio: {hyp / full:.2f} "
                  "(the point: implementing 10 routines is a fraction of "
                  "re-implementing the whole driver API)")
-    report("effort", lines)
+    report("effort", lines,
+           metrics={"hypsupport_loc": hyp, "upcall_loc": stubs,
+                    "full_support_loc": full,
+                    "fast_path_ratio": hyp / full})
 
     assert hyp < full

@@ -29,7 +29,13 @@ def test_figure10_upcalls(benchmark):
         lines.append(compare_row(
             f"{point.n_upcalls} upcall routine(s)", paper,
             point.throughput_mbps, "Mb/s"))
-    report("figure10_upcalls", lines)
+    report("figure10_upcalls", lines,
+           metrics={str(p.n_upcalls): {
+               "throughput_mbps": p.throughput_mbps,
+               "upcalls_per_packet": p.upcalls_per_packet,
+               "cycles_per_packet": p.cycles_per_packet,
+           } for p in sweep},
+           config={"max_upcalls": 9, "packets": PACKETS})
 
     tputs = [p.throughput_mbps for p in sweep]
     assert abs(tputs[0] - 3902) < 0.15 * 3902

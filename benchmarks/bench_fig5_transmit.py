@@ -38,7 +38,17 @@ def test_figure5_transmit(benchmark):
                              frac * 100, "%"))
     lines.append(compare_row("Linux CPU utilisation", 76.9,
                              results["linux"].cpu_utilization * 100, "%"))
-    report("figure5_transmit", lines)
+    metrics = {name: {"throughput_mbps": r.throughput_mbps,
+                      "cpu_utilization": r.cpu_utilization,
+                      "cpu_scaled_mbps": r.cpu_scaled_mbps,
+                      "cycles_per_packet": r.cycles_per_packet}
+               for name, r in results.items()}
+    metrics["twin_vs_domU_cpu_scaled"] = factor
+    metrics["twin_fraction_of_linux"] = frac
+    report("figure5_transmit", lines,
+           metrics=metrics,
+           config={"direction": "tx", "packets": PACKETS, "nics": 5},
+           obs={name: r.counters for name, r in results.items()})
 
     for name, target in PAPER.items():
         assert abs(results[name].throughput_mbps - target) < 0.15 * target

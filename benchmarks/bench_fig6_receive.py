@@ -34,7 +34,17 @@ def test_figure6_receive(benchmark):
     lines.append(compare_row("twin vs domU (CPU-scaled, x)", 2.17 * 100,
                              factor * 100, "%"))
     lines.append(compare_row("twin / native Linux", 67, frac * 100, "%"))
-    report("figure6_receive", lines)
+    metrics = {name: {"throughput_mbps": r.throughput_mbps,
+                      "cpu_utilization": r.cpu_utilization,
+                      "cpu_scaled_mbps": r.cpu_scaled_mbps,
+                      "cycles_per_packet": r.cycles_per_packet}
+               for name, r in results.items()}
+    metrics["twin_vs_domU_cpu_scaled"] = factor
+    metrics["twin_fraction_of_linux"] = frac
+    report("figure6_receive", lines,
+           metrics=metrics,
+           config={"direction": "rx", "packets": PACKETS, "nics": 5},
+           obs={name: r.counters for name, r in results.items()})
 
     for name, target in PAPER.items():
         assert abs(results[name].throughput_mbps - target) < 0.15 * target

@@ -45,7 +45,15 @@ def test_figure7_tx_profile(benchmark):
                              rewritten, "cyc"))
     lines.append(f"  rewritten/native slowdown: {rewritten / native:.2f}x "
                  "(paper: 'roughly 2 to 3')")
-    report("figure7_tx_profile", lines)
+    metrics = {name: {"total_per_packet": p.total_per_packet,
+                      "per_packet": p.per_packet}
+               for name, p in profiles.items()}
+    metrics["driver_native_cycles"] = native
+    metrics["driver_rewritten_cycles"] = rewritten
+    report("figure7_tx_profile", lines,
+           metrics=metrics,
+           config={"direction": "tx", "packets": PACKETS, "nics": 1},
+           obs={name: p.counters for name, p in profiles.items()})
 
     for name, target in PAPER_TOTALS.items():
         assert abs(profiles[name].total_per_packet - target) < 0.15 * target

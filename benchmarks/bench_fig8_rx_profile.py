@@ -38,7 +38,13 @@ def test_figure8_rx_profile(benchmark):
     lines.append("")
     lines.append(compare_row("domU dom0-share (paper 14384)", 14384,
                              profiles["domU"].per_packet["dom0"], "cyc"))
-    report("figure8_rx_profile", lines)
+    metrics = {name: {"total_per_packet": p.total_per_packet,
+                      "per_packet": p.per_packet}
+               for name, p in profiles.items()}
+    report("figure8_rx_profile", lines,
+           metrics=metrics,
+           config={"direction": "rx", "packets": PACKETS, "nics": 1},
+           obs={name: p.counters for name, p in profiles.items()})
 
     for name, target in PAPER_TOTALS.items():
         assert abs(profiles[name].total_per_packet - target) < 0.15 * target

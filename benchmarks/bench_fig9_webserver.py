@@ -39,7 +39,13 @@ def test_figure9_webserver(benchmark):
     lines.append("")
     lines.append(f"  twin vs domU peak: {twin_vs_domU:.2f}x "
                  "(paper: 'more than a factor of 2')")
-    report("figure9_webserver", lines)
+    metrics = {name: {"peak_mbps": c.peak_mbps,
+                      "curve": [p.throughput_mbps for p in c.points]}
+               for name, c in curves.items()}
+    metrics["twin_vs_domU_peak"] = twin_vs_domU
+    report("figure9_webserver", lines,
+           metrics=metrics,
+           config={"rates": list(RATES)})
 
     for name, target in PAPER_PEAKS.items():
         assert abs(curves[name].peak_mbps - target) < 0.20 * target

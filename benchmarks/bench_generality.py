@@ -96,7 +96,19 @@ def test_second_driver_generality(benchmark):
     lines.append("")
     lines.append("  the fast-path support set is *discovered per driver*: "
                  "the copying rtl8139 needs no per-packet DMA maps at all")
-    report("generality", lines)
+    metrics = {}
+    for label, res in (("e1000", e1000), ("rtl8139", rtl)):
+        metrics[label] = {
+            "input_instructions": res["stats"].input_instructions,
+            "output_instructions": res["stats"].output_instructions,
+            "fast_path": sorted(res["fast_path"]),
+            "upcalls": res["upcalls"],
+            "svm_misses": res["svm_misses"],
+            "driver_cycles_per_pair": res["driver_cycles_per_pair"],
+            "total_cycles_per_pair": res["total_cycles_per_pair"],
+        }
+    report("generality", lines, metrics=metrics,
+           config={"packets": PACKETS})
 
     assert len(e1000["fast_path"]) == 10
     assert len(rtl["fast_path"]) == 6

@@ -59,7 +59,14 @@ def test_rewriter_ablation(benchmark):
     lines.append(
         f"  stlb_call cache: {runtime.call_xlate_hits}/{total} hits "
         f"({runtime.call_xlate_hits / max(1, total):.1%}) — §5.1.2")
-    report("rewriter_ablation", lines)
+    report("rewriter_ablation", lines,
+           metrics={"spills_with_liveness": with_liveness.spills,
+                    "spills_without_liveness": without.spills,
+                    "output_with_liveness":
+                        with_liveness.output_instructions,
+                    "output_without_liveness": without.output_instructions,
+                    "call_xlate_hits": runtime.call_xlate_hits,
+                    "call_xlate_misses": runtime.call_xlate_misses})
 
     assert with_liveness.spills < without.spills
     assert runtime.call_xlate_hits > runtime.call_xlate_misses

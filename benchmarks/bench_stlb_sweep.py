@@ -40,19 +40,22 @@ def run_one(entries):
     for _ in range(64):
         m.wire.inject(nic, frame)
     svm = twin.svm
-    base = (svm.misses, svm.collisions, svm.evictions)
+    base = svm.counters_snapshot()
     snap = m.account.snapshot()
     for _ in range(PACKETS):
         dev.transmit(1400)
         m.wire.inject(nic, frame)
     nic.flush_interrupts()
     delta = m.account.delta_since(snap)
+    moved = {k: v - base[k] for k, v in svm.counters_snapshot().items()}
     return {
         "entries": entries,
         "working_set": len(svm.chains),
-        "misses": svm.misses - base[0],
-        "collisions": svm.collisions - base[1],
-        "evictions": svm.evictions - base[2],
+        "hits": moved["hit"],
+        "misses": moved["miss"],
+        "collisions": moved["collision"],
+        "evictions": moved["eviction"],
+        "flushes": moved["flush"],
         "cycles_per_pair": sum(delta.values()) / PACKETS,
     }
 
@@ -66,18 +69,22 @@ def test_stlb_size_sweep(benchmark):
     rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
     lines = ["stlb size sweep (steady-state misses over "
              f"{PACKETS} tx+rx pairs)", ""]
-    lines.append(f"  {'entries':>8} {'workset':>8} {'misses':>8} "
-                 f"{'collide':>8} {'evict':>8} {'cyc/pair':>10}")
+    lines.append(f"  {'entries':>8} {'workset':>8} {'hits':>8} "
+                 f"{'misses':>8} {'collide':>8} {'evict':>8} "
+                 f"{'flush':>6} {'cyc/pair':>10}")
     for row in rows:
         lines.append(
             f"  {row['entries']:>8} {row['working_set']:>8} "
-            f"{row['misses']:>8} {row['collisions']:>8} "
-            f"{row['evictions']:>8} {row['cycles_per_pair']:>10.0f}"
+            f"{row['hits']:>8} {row['misses']:>8} {row['collisions']:>8} "
+            f"{row['evictions']:>8} {row['flushes']:>6} "
+            f"{row['cycles_per_pair']:>10.0f}"
         )
     lines.append("")
     lines.append("  paper: 4096 entries mapping 16 MiB — large enough that "
                  "steady state takes zero slow paths")
-    report("stlb_sweep", lines)
+    report("stlb_sweep", lines,
+           metrics={str(row["entries"]): row for row in rows},
+           config={"sizes": list(SIZES), "packets": PACKETS})
 
     by_size = {row["entries"]: row for row in rows}
     # the paper-sized table takes (almost) no steady-state slow paths —

@@ -62,10 +62,24 @@ def test_svm_overhead(benchmark):
     lines.append(compare_row("driver share of total tx cost (<15-20%)",
                              None, tx_share * 100, "%"))
     lines.append("")
-    lines.append(f"  stlb misses (steady state): {svm.misses}, "
-                 f"collisions: {svm.collisions}, "
+    stlb = svm.counters_snapshot()
+    lines.append(f"  stlb (steady state): hits={stlb['hit']} "
+                 f"misses={stlb['miss']} collisions={stlb['collision']} "
+                 f"flushes={stlb['flush']} "
                  f"pages mapped: {len(svm.mappings)}")
-    report("svm_overhead", lines)
+    report("svm_overhead", lines,
+           metrics={
+               "memory_fraction": stats.memory_fraction,
+               "expansion_factor": stats.expansion_factor,
+               "spills": stats.spills,
+               "flag_saves": stats.flag_saves,
+               "driver_slowdown_tx": tx_slow,
+               "driver_slowdown_rx": rx_slow,
+               "driver_share_tx": tx_share,
+               "stlb": stlb,
+           },
+           config={"packets": PACKETS},
+           obs=twin_tx.counters)
 
     assert 0.15 <= stats.memory_fraction <= 0.40
     assert 1.8 <= tx_slow <= 3.5

@@ -22,7 +22,11 @@ def test_table1_fastpath(benchmark):
     result = benchmark.pedantic(run, rounds=1, iterations=1)
     lines = [result.format(), ""]
     lines.append(f"paper fast-path set: {sorted(FAST_PATH_ROUTINES)}")
-    report("table1_fastpath", lines)
+    report("table1_fastpath", lines,
+           metrics={"fast_path": sorted(result.fast_path),
+                    "n_fast_path": len(result.fast_path),
+                    "n_all_routines": len(result.all_routines)},
+           config={"packets": 192})
 
     assert result.fast_path == set(FAST_PATH_ROUTINES)
     assert len(result.all_routines) >= 30

@@ -1,0 +1,53 @@
+"""Validate benchmark JSON results against the repro-bench-result/v1 schema.
+
+Usage::
+
+    python benchmarks/check_results.py [results_dir]
+
+Exits non-zero if any ``.json`` file under the results directory fails
+validation, or if the directory contains no JSON results at all. CI runs
+this after the benchmark step, before uploading the artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+from benchmarks.common import RESULTS_DIR, validate_result  # noqa: E402
+
+
+def check_dir(results_dir: str) -> int:
+    if not os.path.isdir(results_dir):
+        print(f"error: no results directory at {results_dir}")
+        return 1
+    paths = sorted(
+        os.path.join(results_dir, f)
+        for f in os.listdir(results_dir) if f.endswith(".json")
+    )
+    if not paths:
+        print(f"error: no JSON results under {results_dir}")
+        return 1
+    failures = 0
+    for path in paths:
+        name = os.path.basename(path)
+        try:
+            with open(path) as fh:
+                doc = json.load(fh)
+            validate_result(doc)
+        except (ValueError, json.JSONDecodeError) as exc:
+            print(f"FAIL {name}: {exc}")
+            failures += 1
+            continue
+        print(f"ok   {name}: benchmark={doc['benchmark']} "
+              f"metrics={len(doc['metrics'])} obs={len(doc['obs'])}")
+    print(f"{len(paths) - failures}/{len(paths)} results valid")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    target = sys.argv[1] if len(sys.argv) > 1 else RESULTS_DIR
+    sys.exit(check_dir(target))

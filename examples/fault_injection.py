@@ -61,10 +61,17 @@ def infinite_loop(asm):
 def main():
     print("=== bug 1: wild write into hypervisor memory ===")
     machine, xen, twin, device = build_buggy_twin(wild_write)
+    # tracing on: when the driver dies we can print the flight recorder
+    machine.obs.enable_tracing()
     try:
         device.transmit(800)
     except DriverAborted as exc:
         print(f"  driver aborted: {exc.cause}")
+        print("\n  trace-ring tail (the flight recorder at the crash):")
+        from repro.obs import render_tail
+        tail = [ev.to_dict() for ev in machine.obs.tracer.tail(12)]
+        print("    " + render_tail(tail, n=12).replace("\n", "\n    "))
+    machine.obs.disable_tracing()
     print(f"  SVM protection faults: {twin.svm.protection_faults}")
     print(f"  hypervisor alive? switching domains and calling the VM "
           "instance in dom0 ...")

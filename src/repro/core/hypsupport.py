@@ -14,6 +14,7 @@ from typing import TYPE_CHECKING, Callable, Dict, List, Optional
 
 from ..machine.cpu import Cpu
 from ..machine.paging import HYPERVISOR_BASE, PageFault
+from ..obs.events import SUPPORT_CALL
 from ..osmodel import layout as L
 from ..osmodel.kernel import Kernel
 from ..osmodel.skbuff import SkBuff, init_skb
@@ -92,14 +93,42 @@ class HypervisorSupport:
         self.twin = twin
         self.pool = SkbPool(dom0_kernel, size=pool_size)
         self.addresses: Dict[str, int] = {}
-        self.calls: Dict[str, int] = {}
+        # per-routine call counters live in the machine-wide registry
+        # under ``support.<name>``; ``calls`` stays readable as a dict.
+        self._registry = self.machine.obs.registry
+        self._tracer = self.machine.obs.tracer
+        self._counters = {
+            name: self._registry.counter(f"support.{name}")
+            for name in HYPERVISOR_FAST_PATH
+        }
         self._register_all()
+
+    @property
+    def calls(self) -> Dict[str, int]:
+        """Driver-initiated fast-path calls per routine (registry view)."""
+        return {name: c.value for name, c in self._counters.items()
+                if c.value}
+
+    def note_call(self, name: str, direct: bool = False):
+        """Record a fast-path support call in the trace ring. ``direct``
+        marks Python-level calls made by the hypervisor itself (the twin
+        tx/rx glue) rather than by the driver binary; only driver calls
+        count toward ``calls``."""
+        if not direct:
+            self._counters[name].value += 1
+        if self._tracer.enabled:
+            self._tracer.emit(SUPPORT_CALL, name=name, direct=direct)
 
     # -- registration ----------------------------------------------------------
 
     def _bind(self, name: str, impl: Callable, nargs: int):
+        counter = self._counters[name]
+        tracer = self._tracer
+
         def native(cpu: Cpu, _impl=impl, _nargs=nargs, _name=name):
-            self.calls[_name] = self.calls.get(_name, 0) + 1
+            counter.value += 1
+            if tracer.enabled:
+                tracer.emit(SUPPORT_CALL, name=_name, direct=False)
             args = [cpu.read_stack_arg(i) for i in range(_nargs)]
             return _impl(*args)
 

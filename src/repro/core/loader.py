@@ -35,6 +35,7 @@ from ..machine.cpu import (
 from ..machine.machine import Machine
 from ..machine.memory import BusError, PAGE_SIZE
 from ..machine.paging import AddressSpace, PageFault, ProtectionFault
+from ..obs.events import DRIVER_ABORT
 from ..osmodel.kernel import DriverModule
 from ..xen.hypervisor import (
     HYP_DATA_BASE,
@@ -203,6 +204,11 @@ class HypervisorDriver:
                 CpuBudgetExceeded, BusError, ProtectionFault) as exc:
             self.aborted = True
             self.abort_cause = exc
+            obs = self.xen.machine.obs
+            obs.registry.counter("driver.abort").value += 1
+            if obs.tracer.enabled:
+                obs.tracer.emit(DRIVER_ABORT, cause=type(exc).__name__,
+                                detail=str(exc))
             raise DriverAborted(exc) from exc
         finally:
             self.xen.driver_depth -= 1

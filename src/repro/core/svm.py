@@ -28,6 +28,7 @@ from typing import Dict, Optional, Tuple
 from ..machine.machine import Machine
 from ..machine.memory import PAGE_SIZE
 from ..machine.paging import AddressSpace, HYPERVISOR_BASE, PageFault, PageTable
+from ..obs.events import SVM_FAULT, SVM_FILL, SVM_FLUSH, SVM_HIT, SVM_MISS
 
 STLB_ENTRIES = 4096
 STLB_ENTRY_SIZE = 8
@@ -89,14 +90,59 @@ class SvmManager:
         self.chains: Dict[int, int] = {}
         #: dom0 page -> hypervisor page actually mapped (non-identity)
         self.mappings: Dict[int, int] = {}
-        self.misses = 0
-        self.collisions = 0
-        self.evictions = 0
-        self.protection_faults = 0
+        # counters live in the machine-wide metrics registry under
+        # ``svm.<name>.*`` (misses/hits/... stay readable as attributes)
+        registry = machine.obs.registry
+        self._tracer = machine.obs.tracer
+        self._c_miss = registry.counter(f"svm.{name}.miss")
+        self._c_hit = registry.counter(f"svm.{name}.hit")
+        self._c_collision = registry.counter(f"svm.{name}.collision")
+        self._c_eviction = registry.counter(f"svm.{name}.eviction")
+        self._c_fault = registry.counter(f"svm.{name}.fault")
+        self._c_flush = registry.counter(f"svm.{name}.flush")
         self._table_space = AddressSpace(
             f"{name}-table", machine.phys, machine.hypervisor_table
         )
         self._zero_table()
+
+    # -- counter views (registry-backed) ------------------------------------------
+
+    @property
+    def misses(self) -> int:
+        return self._c_miss.value
+
+    @property
+    def hits(self) -> int:
+        """Explicit stlb lookups (support routines / SvmView) answered
+        without running the slow path."""
+        return self._c_hit.value
+
+    @property
+    def collisions(self) -> int:
+        return self._c_collision.value
+
+    @property
+    def evictions(self) -> int:
+        return self._c_eviction.value
+
+    @property
+    def protection_faults(self) -> int:
+        return self._c_fault.value
+
+    @property
+    def flushes(self) -> int:
+        return self._c_flush.value
+
+    def counters_snapshot(self) -> Dict[str, int]:
+        """This instance's registry counters (``svm.<name>.*``)."""
+        return {
+            "miss": self._c_miss.value,
+            "hit": self._c_hit.value,
+            "collision": self._c_collision.value,
+            "eviction": self._c_eviction.value,
+            "fault": self._c_fault.value,
+            "flush": self._c_flush.value,
+        }
 
     # -- table memory -------------------------------------------------------------
 
@@ -129,40 +175,59 @@ class SvmManager:
 
     def flush(self):
         """Invalidate every translation (mappings stay; chains refill)."""
+        self._c_flush.value += 1
+        if self._tracer.enabled:
+            self._tracer.emit(SVM_FLUSH, stlb=self.name,
+                              entries=self.entries)
         self._zero_table()
 
     # -- permission check -----------------------------------------------------------
 
     def _check_permitted(self, page_addr: int):
         if page_addr >= HYPERVISOR_BASE:
-            self.protection_faults += 1
+            self._note_fault(page_addr, "hypervisor address")
             raise SvmProtectionFault(page_addr, "hypervisor address")
         try:
             self.protected_space.translate(page_addr)
         except PageFault:
-            self.protection_faults += 1
+            self._note_fault(page_addr, "outside dom0 address space")
             raise SvmProtectionFault(page_addr) from None
+
+    def _note_fault(self, page_addr: int, why: str):
+        self._c_fault.value += 1
+        if self._tracer.enabled:
+            self._tracer.emit(SVM_FAULT, stlb=self.name, vaddr=page_addr,
+                              why=why)
 
     # -- miss handling -----------------------------------------------------------------
 
     def handle_miss(self, vaddr: int):
         """The ``__svm_slow_path`` body: chain lookup, permission check,
         pairwise page mapping, table fill."""
-        self.misses += 1
+        self._c_miss.value += 1
+        tracing = self._tracer.enabled
+        if tracing:
+            self._tracer.emit(SVM_MISS, stlb=self.name, vaddr=vaddr)
         page = vaddr & PAGE_ADDR_MASK
         index = stlb_index(vaddr, self.entries)
         if page in self.chains:
             # Hash collision evicted this page earlier: refill from chain.
-            self.collisions += 1
+            self._c_collision.value += 1
             self._write_entry(index, page, self.chains[page])
+            if tracing:
+                self._tracer.emit(SVM_FILL, stlb=self.name, page=page,
+                                  index=index, refill=True)
             return
         self._check_permitted(page)
         tag, _ = self.read_entry(index)
         if tag != 0 and tag != page:
-            self.evictions += 1
+            self._c_eviction.value += 1
         xormap = 0 if self.identity else self._map_pair(page)
         self.chains[page] = xormap
         self._write_entry(index, page, xormap)
+        if tracing:
+            self._tracer.emit(SVM_FILL, stlb=self.name, page=page,
+                              index=index, refill=False)
 
     def _map_pair(self, page: int) -> int:
         """Map ``page`` and ``page + PAGE_SIZE`` of dom0 at two consecutive
@@ -196,6 +261,10 @@ class SvmManager:
             if not ensure:
                 raise KeyError(f"no SVM mapping for {vaddr:#010x}")
             self.handle_miss(vaddr)
+        else:
+            self._c_hit.value += 1
+            if self._tracer.enabled:
+                self._tracer.emit(SVM_HIT, stlb=self.name, vaddr=vaddr)
         return vaddr ^ self.chains[page]
 
     def lookup_fast(self, vaddr: int) -> Optional[int]:
@@ -204,6 +273,9 @@ class SvmManager:
         tag, xormap = self.read_entry(index)
         if tag == 0 or tag != (vaddr & PAGE_ADDR_MASK):
             return None
+        self._c_hit.value += 1
+        if self._tracer.enabled:
+            self._tracer.emit(SVM_HIT, stlb=self.name, vaddr=vaddr)
         return vaddr ^ xormap
 
 

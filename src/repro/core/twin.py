@@ -29,6 +29,12 @@ from ..machine.nic import E1000Device
 from ..machine.paging import AddressSpace
 from ..osmodel import layout as L
 from ..osmodel.kernel import Kernel
+from ..obs.events import (
+    PACKET_RX_DEMUX,
+    SPAN_IRQ,
+    SPAN_PACKET_RX,
+    SPAN_PACKET_TX,
+)
 from ..osmodel.netdev import NetDevice
 from ..osmodel.skbuff import SkBuff
 from ..xen.hypervisor import HYP_CODE_BASE, HYP_SVM_MAP_BASE, Hypervisor
@@ -233,8 +239,15 @@ class TwinDriverManager:
             return
         entry_vm, arg = self.dom0_kernel.irq_handlers[irq]
         entry = self.hyp_driver.entry_for_vm_address(entry_vm)
-        self.hyp_driver.invoke(entry, [irq, arg], upcalls=self.upcalls)
-        self.flush_rx()
+        tracer = self.machine.obs.tracer
+        span = (tracer.begin_span(SPAN_IRQ, irq=irq)
+                if tracer.enabled else None)
+        try:
+            self.hyp_driver.invoke(entry, [irq, arg], upcalls=self.upcalls)
+            self.flush_rx()
+        finally:
+            if span is not None:
+                tracer.end_span(span)
 
     def retry_deferred_interrupts(self):
         pending, self._deferred_irqs = self._deferred_irqs, []
@@ -248,6 +261,17 @@ class TwinDriverManager:
         """The hypervisor half of the paravirtual transmit path."""
         if dev.netdev_addr is None:
             raise RuntimeError("guest device not bound to a NIC")
+        tracer = self.machine.obs.tracer
+        if tracer.enabled:
+            span = tracer.begin_span(SPAN_PACKET_TX, len=frame_len)
+            try:
+                return self._guest_transmit(dev, buf, frame_len)
+            finally:
+                tracer.end_span(span)
+        return self._guest_transmit(dev, buf, frame_len)
+
+    def _guest_transmit(self, dev: ParavirtNetDevice, buf: int,
+                        frame_len: int) -> bool:
         costs = self.xen.costs
         if self.driver_spec.scatter_gather:
             header, frags = dev.guest_frame_fragments(buf, frame_len)
@@ -297,6 +321,10 @@ class TwinDriverManager:
         guest = self.guests_by_mac.get(dst_mac)
         if guest is None and self.guest_devices:
             guest = self.guest_devices[0]
+        tracer = self.machine.obs.tracer
+        if tracer.enabled:
+            tracer.emit(PACKET_RX_DEMUX, skb=skb_addr, len=skb.len,
+                        matched=guest is not None)
         if guest is None:
             self.rx_dropped_no_guest += 1
             self.hyp_support.dev_kfree_skb_any(skb_addr)
@@ -309,10 +337,13 @@ class TwinDriverManager:
         the packets into guest domain buffers and raises a virtual
         interrupt' (§5.3)."""
         costs = self.xen.costs
+        tracer = self.machine.obs.tracer
         queue, self._rx_queue = self._rx_queue, []
         for guest, skb_addr in queue:
             skb = SkBuff(self.hyp_support.view, skb_addr)
             payload = self.hyp_support.view.read_bytes(skb.data, skb.len)
+            span = (tracer.begin_span(SPAN_PACKET_RX, len=len(payload))
+                    if tracer.enabled else None)
             self.xen.charge_xen(costs.copy_cost(len(payload))
                                 + costs.twin_rx_copy_extra)
             self.xen.charge_xen(costs.virq_delivery)
@@ -320,10 +351,13 @@ class TwinDriverManager:
             self.hyp_support.dev_kfree_skb_any(skb_addr)
             self._charge_support("dev_kfree_skb_any")
             guest.deliver(payload)
+            if span is not None:
+                tracer.end_span(span)
 
     # ------------------------------------------------------------------- helpers
 
     def _charge_support(self, name: str):
+        self.hyp_support.note_call(name, direct=True)
         self.xen.charge_xen(self.xen.costs.support_cost(name))
 
     @property

@@ -26,6 +26,8 @@ from __future__ import annotations
 from typing import Dict, Optional
 
 from ..machine.cpu import Cpu, NativeRoutine
+from ..obs.events import SPAN_UPCALL_PREFIX
+from ..obs.metrics import Counter
 from ..osmodel.kernel import Kernel
 from ..xen.hypervisor import HYP_UPCALL_STACK_BASE, Hypervisor
 
@@ -37,8 +39,10 @@ class UpcallManager:
         self.xen = xen
         self.machine = xen.machine
         self.dom0_kernel = dom0_kernel
-        self.upcalls = 0
-        self.calls_by_name: Dict[str, int] = {}
+        registry = self.machine.obs.registry
+        self._tracer = self.machine.obs.tracer
+        self._c_upcalls = registry.counter("upcall.calls")
+        self._c_by_name: Dict[str, Counter] = {}
         self._invocation_upcalled = False
         #: dom0 registers a handler on this port to receive upcalls.
         self._pending: Optional[tuple] = None
@@ -55,6 +59,17 @@ class UpcallManager:
         self.cache_residual = max(
             0, costs.upcall_round_trip - mechanics - costs.upcall_stub
         )
+
+    # -- counter views (registry-backed) ----------------------------------------
+
+    @property
+    def upcalls(self) -> int:
+        return self._c_upcalls.value
+
+    @property
+    def calls_by_name(self) -> Dict[str, int]:
+        return {name: c.value for name, c in self._c_by_name.items()
+                if c.value}
 
     # -- per-invocation bookkeeping (figure 10 first-upcall extra) --------------
 
@@ -78,10 +93,16 @@ class UpcallManager:
         and return its native address."""
         dom0_routine = self.machine.natives.by_addr[dom0_native_addr]
         costs = self.xen.costs
+        counter = self.machine.obs.registry.counter(f"upcall.{name}")
+        self._c_by_name[name] = counter
+        tracer = self._tracer
+        span_name = SPAN_UPCALL_PREFIX + name
 
         def stub(cpu: Cpu):
-            self.upcalls += 1
-            self.calls_by_name[name] = self.calls_by_name.get(name, 0) + 1
+            self._c_upcalls.value += 1
+            counter.value += 1
+            span = (tracer.begin_span(span_name)
+                    if tracer.enabled else None)
             # stub bookkeeping: save parameters, switch to the upcall stack
             cpu.charge_raw(costs.upcall_stub, "Xen")
             if not self._invocation_upcalled:
@@ -97,6 +118,8 @@ class UpcallManager:
             self.xen.hypercall(f"upcall-return:{name}")
             result = self._result
             self._result = None
+            if span is not None:
+                tracer.end_span(span)
             return result
 
         return self.machine.register_native(f"upcall.{name}", stub)

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..metrics.cycles import CycleAccount
+from ..obs.events import NATIVE_CALL
 from ..isa.encoder import code_size, layout
 from ..isa.instructions import Instruction
 from ..isa.operands import Imm, Label, Mem, Reg
@@ -214,6 +215,8 @@ class Cpu:
         self.hot_ranges: List[Tuple[int, int]] = []
         #: multiplies interpreter cycle charges (driver-speed calibration).
         self.cycle_scale = 1.0
+        #: trace ring (set by Machine); None for bare test CPUs.
+        self.tracer = None
 
     # -- accounting ----------------------------------------------------------
 
@@ -484,6 +487,9 @@ class Cpu:
 
     def _invoke_native(self, routine: NativeRoutine):
         routine.calls += 1
+        tracer = self.tracer
+        if tracer is not None and tracer.enabled:
+            tracer.emit(NATIVE_CALL, name=routine.name)
         self.charge(self.costs.native_call)
         if routine.cost:
             self.charge_raw(routine.cost, routine.category)

@@ -11,6 +11,7 @@ from typing import Dict, List, Optional
 
 from ..metrics.cycles import CycleAccount
 from ..metrics.throughput import CPU_HZ
+from ..obs import Obs
 from .cpu import (
     CodeRegistry,
     Cpu,
@@ -42,9 +43,14 @@ class Machine:
         self.intc = InterruptController()
         self.code = CodeRegistry()
         self.natives = NativeRegistry()
-        self.account = CycleAccount()
+        #: observability: the metrics registry (always on) and the trace
+        #: ring (off by default), shared by every layer on this machine.
+        self.obs = Obs()
+        self.account = CycleAccount(registry=self.obs.registry)
+        self.obs.set_clock(lambda: self.account.total)
         self.cpu = Cpu(self.phys, self.code, self.natives, self.account,
                        costs=costs)
+        self.cpu.tracer = self.obs.tracer
         self.cpu_hz = cpu_hz
         #: hypervisor page table, shared into every domain's address space.
         self.hypervisor_table = PageTable()
@@ -70,6 +76,7 @@ class Machine:
         )
         if self.iommu is not None:
             nic.iommu = self.iommu
+        nic.tracer = self.obs.tracer
         self.wire.attach(nic)
         self.nics.append(nic)
         return nic

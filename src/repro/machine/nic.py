@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
+from ..obs.events import NIC_DESC, NIC_DMA_FAULT, NIC_IRQ, NIC_RX, NIC_TX
 from .interrupts import InterruptController
 from .iommu import Iommu, IommuFault
 from .memory import PhysicalMemory
@@ -106,6 +107,13 @@ class E1000Device:
         #: optional DMA protection (paper §4.5): when set, every DMA this
         #: device performs is checked against programmed windows.
         self.iommu: Optional[Iommu] = None
+        #: trace ring (set by Machine.add_nic); None for bare devices.
+        self.tracer = None
+
+    def _trace(self, kind: str, **args):
+        tracer = self.tracer
+        if tracer is not None and tracer.enabled:
+            tracer.emit(kind, nic=self.name, **args)
 
     # -- MMIO interface ------------------------------------------------------
 
@@ -196,6 +204,7 @@ class E1000Device:
                 # the IOMMU blocked the transfer: drop this descriptor,
                 # exactly what protects memory from a rogue bus address
                 self.stats.dma_faults += 1
+                self._trace(NIC_DMA_FAULT, ring="tx", index=head)
                 self._tx_fragments = []
                 self.regs[REG_TDH] = (head + 1) % entries
                 did_work = True
@@ -206,9 +215,11 @@ class E1000Device:
                 self._tx_fragments = []
                 self.stats.tx_packets += 1
                 self.stats.tx_bytes += len(packet)
+                self._trace(NIC_TX, len=len(packet))
                 if self.on_transmit is not None:
                     self.on_transmit(self, packet)
             self._dma_write_u32(desc + DESC_FLAGS, flags | DESC_DD)
+            self._trace(NIC_DESC, ring="tx", index=head)
             self.regs[REG_TDH] = (head + 1) % entries
             did_work = True
         if did_work:
@@ -240,10 +251,13 @@ class E1000Device:
             self._dma_write_u32(desc + DESC_FLAGS, DESC_DD | DESC_EOP)
         except IommuFault:
             self.stats.dma_faults += 1
+            self._trace(NIC_DMA_FAULT, ring="rx", index=head)
             return False
+        self._trace(NIC_DESC, ring="rx", index=head)
         self.regs[REG_RDH] = (head + 1) % entries
         self.stats.rx_packets += 1
         self.stats.rx_bytes += len(packet)
+        self._trace(NIC_RX, len=len(packet))
         self.regs[REG_ICR] |= ICR_RXT0
         self._maybe_interrupt()
         return True
@@ -258,6 +272,7 @@ class E1000Device:
             return
         self._coalesced = 0
         self.stats.interrupts += 1
+        self._trace(NIC_IRQ, irq=self.irq, icr=self.regs[REG_ICR])
         self.intc.raise_irq(self.irq)
 
     def flush_interrupts(self):
@@ -265,6 +280,8 @@ class E1000Device:
         self._coalesced = 0
         if self.regs[REG_ICR] & self.regs[REG_IMS]:
             self.stats.interrupts += 1
+            self._trace(NIC_IRQ, irq=self.irq, icr=self.regs[REG_ICR],
+                        flushed=True)
             self.intc.raise_irq(self.irq)
 
 

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 from typing import Callable, Optional
 
+from ..obs.events import NIC_DMA_FAULT, NIC_IRQ, NIC_RX, NIC_TX
 from .interrupts import InterruptController
 from .iommu import Iommu, IommuFault
 from .memory import PhysicalMemory
@@ -88,6 +89,13 @@ class Rtl8139Device:
         self.interrupt_batch = 1
         self._coalesced = 0
         self.iommu: Optional[Iommu] = None
+        #: trace ring (set by Machine.add_nic); None for bare devices.
+        self.tracer = None
+
+    def _trace(self, kind: str, **args):
+        tracer = self.tracer
+        if tracer is not None and tracer.enabled:
+            tracer.emit(kind, nic=self.name, **args)
 
     # -- MMIO ------------------------------------------------------------------
 
@@ -125,10 +133,12 @@ class Rtl8139Device:
             payload = self.phys.read_bytes(bus, length)
         except IommuFault:
             self.stats.dma_faults += 1
+            self._trace(NIC_DMA_FAULT, ring="tx", index=slot)
             self.regs[R_TSD0 + 4 * slot] = TSD_TOK
             return
         self.stats.tx_packets += 1
         self.stats.tx_bytes += length
+        self._trace(NIC_TX, len=length)
         if self.on_transmit is not None:
             self.on_transmit(self, payload)
         self.regs[R_TSD0 + 4 * slot] = length | TSD_TOK
@@ -166,7 +176,9 @@ class Rtl8139Device:
             self.phys.write_bytes(base + cbr + RX_RECORD_HEADER, packet)
         except IommuFault:
             self.stats.dma_faults += 1
+            self._trace(NIC_DMA_FAULT, ring="rx", index=cbr)
             return False
+        self._trace(NIC_RX, len=len(packet))
         cbr += record_aligned
         if cbr >= RX_WRAP_THRESHOLD:
             cbr = 0
@@ -191,6 +203,7 @@ class Rtl8139Device:
             return
         self._coalesced = 0
         self.stats.interrupts += 1
+        self._trace(NIC_IRQ, irq=self.irq, isr=self.regs[R_ISR])
         self.intc.raise_irq(self.irq)
 
     def flush_interrupts(self):

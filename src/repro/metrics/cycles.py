@@ -5,55 +5,93 @@ categories: ``dom0`` (driver-domain / native kernel), ``domU`` (guest
 kernel), ``Xen`` (hypervisor) and ``e1000`` (the driver itself). Every
 cycle charged anywhere in the simulator lands in exactly one of these
 buckets, so the profile benchmarks can print the same stacked bars.
+
+Since the observability PR, :class:`CycleAccount` is a thin view over a
+:class:`~repro.obs.metrics.MetricsRegistry`: each category is the
+registry counter ``cycles.<category>`` and each free-form event is
+``event.<name>``. A machine's account shares the machine-wide registry
+(``machine.obs.registry``), so the figure 7/8 numbers and the trace
+exporters read the same stream; a standalone ``CycleAccount()`` gets a
+private registry and behaves exactly as before.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable
+from typing import Dict, Iterable, Optional
+
+from ..obs.metrics import MetricsRegistry
 
 #: The paper's profile categories (figure 7/8 legend order).
 CATEGORIES = ("dom0", "domU", "Xen", "e1000")
 
+#: Registry namespaces owned by the account.
+CYCLES_PREFIX = "cycles."
+EVENTS_PREFIX = "event."
+
 
 class CycleAccount:
-    """Accumulates cycles per category plus free-form event counters."""
+    """Accumulates cycles per category plus free-form event counters,
+    backed by registry counters."""
 
-    def __init__(self):
-        self.cycles: Dict[str, int] = {c: 0 for c in CATEGORIES}
-        self.events: Dict[str, int] = {}
+    def __init__(self, registry: Optional[MetricsRegistry] = None):
+        self.registry = registry if registry is not None else MetricsRegistry()
+        # hot path: pre-resolved counter objects, one dict lookup + int add
+        self._cycles = {
+            c: self.registry.counter(CYCLES_PREFIX + c) for c in CATEGORIES
+        }
 
     def charge(self, category: str, cycles: int):
-        if category not in self.cycles:
-            raise KeyError(f"unknown cycle category {category!r}")
         if cycles < 0:
             raise ValueError("cannot charge negative cycles")
-        self.cycles[category] += cycles
+        try:
+            self._cycles[category].value += cycles
+        except KeyError:
+            raise KeyError(f"unknown cycle category {category!r}") from None
 
     def count(self, event: str, n: int = 1):
-        self.events[event] = self.events.get(event, 0) + n
+        self.registry.counter(EVENTS_PREFIX + event).value += n
+
+    @property
+    def cycles(self) -> Dict[str, int]:
+        return {c: counter.value for c, counter in self._cycles.items()}
+
+    @property
+    def events(self) -> Dict[str, int]:
+        plen = len(EVENTS_PREFIX)
+        return {
+            name[plen:]: value
+            for name, value in self.registry.counters_snapshot(
+                EVENTS_PREFIX).items()
+            if value
+        }
 
     @property
     def total(self) -> int:
-        return sum(self.cycles.values())
+        return (self._cycles["dom0"].value + self._cycles["domU"].value
+                + self._cycles["Xen"].value + self._cycles["e1000"].value)
 
     def merged(self, other: "CycleAccount") -> "CycleAccount":
         out = CycleAccount()
         for c in CATEGORIES:
-            out.cycles[c] = self.cycles[c] + other.cycles[c]
-        for k in set(self.events) | set(other.events):
-            out.events[k] = self.events.get(k, 0) + other.events.get(k, 0)
+            out._cycles[c].value = self._cycles[c].value + other._cycles[c].value
+        mine, theirs = self.events, other.events
+        for k in set(mine) | set(theirs):
+            out.count(k, mine.get(k, 0) + theirs.get(k, 0))
         return out
 
     def snapshot(self) -> Dict[str, int]:
-        return dict(self.cycles)
+        return self.cycles
 
     def delta_since(self, snapshot: Dict[str, int]) -> Dict[str, int]:
-        return {c: self.cycles[c] - snapshot.get(c, 0) for c in CATEGORIES}
+        return {c: self._cycles[c].value - snapshot.get(c, 0)
+                for c in CATEGORIES}
 
     def reset(self):
-        self.cycles = {c: 0 for c in CATEGORIES}
-        self.events = {}
+        """Zero the account's namespaces (cycles + events) only; other
+        counters in a shared registry are untouched."""
+        self.registry.reset(CYCLES_PREFIX)
+        self.registry.reset(EVENTS_PREFIX)
 
     def __repr__(self):  # pragma: no cover - debugging aid
         parts = ", ".join(f"{c}={v}" for c, v in self.cycles.items() if v)
@@ -68,6 +106,9 @@ class PacketProfile:
     direction: str                     # "tx" | "rx"
     packets: int
     cycles: Dict[str, int] = field(default_factory=dict)
+    #: non-cycle registry counter movement over the measured batch
+    #: (stlb misses, support calls, upcalls, ...), per packet batch.
+    counters: Dict[str, int] = field(default_factory=dict)
 
     @property
     def per_packet(self) -> Dict[str, float]:

@@ -10,7 +10,8 @@ Linux transmit leaves CPU headroom: 4690 Mb/s at 76.9 % CPU).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Dict
 
 #: Testbed parameters (paper §6.1).
 CPU_HZ = 3_000_000_000
@@ -33,6 +34,9 @@ class ThroughputResult:
     throughput_mbps: float
     cpu_utilization: float           # 0..1
     nics: int
+    #: registry counter movement over the measured batch (stlb misses,
+    #: support calls, upcalls, ...) — attached by the netperf workload.
+    counters: Dict[str, int] = field(default_factory=dict)
 
     @property
     def cpu_scaled_mbps(self) -> float:

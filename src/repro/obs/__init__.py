@@ -1,0 +1,101 @@
+"""Observability: the xentrace-style tracer and the metrics registry.
+
+One :class:`Obs` instance hangs off every
+:class:`~repro.machine.machine.Machine` (``machine.obs``) and bundles:
+
+* ``registry`` — always-on named counters and cycle histograms; cycle
+  accounting (:class:`~repro.metrics.cycles.CycleAccount`) and every
+  instrumented subsystem (stlb, upcalls, support routines, hypervisor,
+  NICs) write here, and the figure 7/8 profiles are views over it;
+* ``tracer`` — the bounded trace ring with per-packet span correlation,
+  off by default and near-zero-cost while off.
+
+Quickstart::
+
+    system = repro.configs.build("domU-twin", n_nics=1)
+    system.machine.obs.enable_tracing()
+    system.transmit_packets(4)
+    system.machine.obs.save("trace.json", meta={"config": "domU-twin"})
+
+then ``python -m repro.obs render trace.json --span packet.tx``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Callable, Dict, Optional
+
+from . import events
+from .export import (
+    TRACE_SCHEMA,
+    chrome_trace,
+    load_trace,
+    render_dashboard,
+    render_spans,
+    render_tail,
+)
+from .metrics import Counter, Histogram, MetricsRegistry
+from .tracer import Span, TraceEvent, Tracer
+
+
+class Obs:
+    """The per-machine observability bundle."""
+
+    def __init__(self, clock: Optional[Callable[[], int]] = None,
+                 trace_capacity: int = 8192):
+        self.registry = MetricsRegistry()
+        self.tracer = Tracer(clock=clock, capacity=trace_capacity,
+                             registry=self.registry)
+
+    # -- tracing toggle -----------------------------------------------------
+
+    @property
+    def enabled(self) -> bool:
+        return self.tracer.enabled
+
+    def enable_tracing(self):
+        self.tracer.enabled = True
+
+    def disable_tracing(self):
+        self.tracer.enabled = False
+
+    def set_clock(self, clock: Callable[[], int]):
+        self.tracer.clock = clock
+
+    # -- snapshots ----------------------------------------------------------
+
+    def snapshot(self, meta: Optional[Dict] = None) -> Dict:
+        """The full trace document: counters, histograms, ring, spans."""
+        reg = self.registry.snapshot()
+        return {
+            "schema": TRACE_SCHEMA,
+            "meta": dict(meta or {}, dropped=self.tracer.dropped),
+            "counters": reg["counters"],
+            "histograms": reg["histograms"],
+            "events": [e.to_dict() for e in self.tracer.events()],
+            "spans": [s.to_dict() for s in self.tracer.spans()],
+        }
+
+    def save(self, path: str, meta: Optional[Dict] = None) -> Dict:
+        doc = self.snapshot(meta=meta)
+        with open(path, "w") as fh:
+            json.dump(doc, fh, indent=1)
+        return doc
+
+
+__all__ = [
+    "Counter",
+    "Histogram",
+    "MetricsRegistry",
+    "Obs",
+    "Span",
+    "TRACE_SCHEMA",
+    "TraceEvent",
+    "Tracer",
+    "chrome_trace",
+    "events",
+    "load_trace",
+    "render_dashboard",
+    "render_spans",
+    "render_tail",
+]

@@ -1,0 +1,140 @@
+"""``python -m repro.obs`` — record and render traces.
+
+Subcommands:
+
+* ``record``  — build a configuration, run packets with tracing on, and
+  save a trace file (the quickest way to get something to look at);
+* ``summary`` — the counters/histograms dashboard of a saved trace;
+* ``render``  — reconstruct spans (e.g. one transmit packet end-to-end);
+* ``tail``    — the last N ring records (crash forensics view);
+* ``chrome``  — convert to Chrome ``trace_event`` JSON for
+  ``chrome://tracing`` / Perfetto.
+
+Examples::
+
+    python -m repro.obs record --config domU-twin --packets 4 -o t.json
+    python -m repro.obs render t.json --span packet.tx
+    python -m repro.obs chrome t.json -o t.chrome.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from .export import (
+    chrome_trace,
+    load_trace,
+    render_dashboard,
+    render_spans,
+    render_tail,
+)
+
+
+def _cmd_record(args) -> int:
+    from ..configs import build
+
+    system = build(args.config, n_nics=args.nics)
+    op = (system.transmit_packets if args.direction == "tx"
+          else system.receive_packets)
+    # warm up with tracing off: steady state, like the profile runs
+    op(args.warmup)
+    system.machine.obs.enable_tracing()
+    done = op(args.packets)
+    system.machine.obs.disable_tracing()
+    meta = {
+        "config": args.config,
+        "direction": args.direction,
+        "packets": done,
+        "warmup": args.warmup,
+        "nics": args.nics,
+        "cpu_hz": system.machine.cpu_hz,
+    }
+    system.machine.obs.save(args.output, meta=meta)
+    print(f"recorded {done} {args.direction} packets on {args.config} "
+          f"-> {args.output}")
+    return 0
+
+
+def _cmd_summary(args) -> int:
+    print(render_dashboard(load_trace(args.trace)))
+    return 0
+
+
+def _cmd_render(args) -> int:
+    doc = load_trace(args.trace)
+    print(render_spans(doc, name=args.span, limit=args.limit,
+                       show_events=not args.no_events))
+    return 0
+
+
+def _cmd_tail(args) -> int:
+    doc = load_trace(args.trace)
+    print(render_tail(doc.get("events") or [], n=args.n))
+    return 0
+
+
+def _cmd_chrome(args) -> int:
+    doc = load_trace(args.trace)
+    out = chrome_trace(doc)
+    with open(args.output, "w") as fh:
+        json.dump(out, fh)
+    print(f"wrote {len(out['traceEvents'])} trace_event records "
+          f"-> {args.output}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="record and render observability traces",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    rec = sub.add_parser("record", help="run a workload with tracing on")
+    rec.add_argument("--config", default="domU-twin",
+                     choices=("linux", "dom0", "domU", "domU-twin"))
+    rec.add_argument("--direction", default="tx", choices=("tx", "rx"))
+    rec.add_argument("--packets", type=int, default=4)
+    rec.add_argument("--warmup", type=int, default=32)
+    rec.add_argument("--nics", type=int, default=1)
+    rec.add_argument("-o", "--output", default="trace.json")
+    rec.set_defaults(fn=_cmd_record)
+
+    summ = sub.add_parser("summary", help="counters/histograms dashboard")
+    summ.add_argument("trace")
+    summ.set_defaults(fn=_cmd_summary)
+
+    ren = sub.add_parser("render", help="reconstruct spans from a trace")
+    ren.add_argument("trace")
+    ren.add_argument("--span", default=None,
+                     help="only spans with this name (e.g. packet.tx)")
+    ren.add_argument("--limit", type=int, default=4,
+                     help="render at most N spans (newest)")
+    ren.add_argument("--no-events", action="store_true",
+                     help="span skeleton only, hide correlated records")
+    ren.set_defaults(fn=_cmd_render)
+
+    tail = sub.add_parser("tail", help="last N trace-ring records")
+    tail.add_argument("trace")
+    tail.add_argument("-n", type=int, default=16)
+    tail.set_defaults(fn=_cmd_tail)
+
+    chrome = sub.add_parser("chrome", help="export Chrome trace_event JSON")
+    chrome.add_argument("trace")
+    chrome.add_argument("-o", "--output", default="trace.chrome.json")
+    chrome.set_defaults(fn=_cmd_chrome)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.fn(args)
+    except BrokenPipeError:               # e.g. piped into `head`
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,148 @@
+"""The metrics registry: named counters and cycle histograms.
+
+Counters are the always-on half of the observability layer: incrementing
+one is a dict lookup plus an integer add, cheap enough to live on the
+per-instruction cycle-charging path. The registry is the single source
+of truth the profile workloads (figures 7/8), the benchmark JSON results
+and the trace exporters all read from.
+
+Histograms use power-of-two buckets (bucket ``i`` holds values ``v``
+with ``v.bit_length() == i``), which is exact enough for cycle/latency
+distributions and needs no configuration.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+
+class Counter:
+    """A named monotonic (by convention) integer. Mutate ``value``
+    directly on hot paths; use :meth:`inc` elsewhere."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str, value: int = 0):
+        self.name = name
+        self.value = value
+
+    def inc(self, n: int = 1):
+        self.value += n
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        return f"Counter({self.name}={self.value})"
+
+
+class Histogram:
+    """Power-of-two-bucketed distribution of non-negative integers."""
+
+    __slots__ = ("name", "count", "total", "min", "max", "buckets")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+        self.total = 0
+        self.min: Optional[int] = None
+        self.max: Optional[int] = None
+        self.buckets: Dict[int, int] = {}
+
+    def observe(self, value: int):
+        if value < 0:
+            raise ValueError("histograms record non-negative values")
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        b = int(value).bit_length()
+        self.buckets[b] = self.buckets.get(b, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> int:
+        """Upper bound of the bucket holding the q-quantile (0 < q <= 1)."""
+        if not 0 < q <= 1:
+            raise ValueError("quantile must be in (0, 1]")
+        if self.count == 0:
+            return 0
+        target = q * self.count
+        seen = 0
+        for b in sorted(self.buckets):
+            seen += self.buckets[b]
+            if seen >= target:
+                return (1 << b) - 1
+        return self.max or 0
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "min": self.min or 0,
+            "max": self.max or 0,
+            "p50": self.quantile(0.5),
+            "p99": self.quantile(0.99),
+            "buckets": {str(b): n for b, n in sorted(self.buckets.items())},
+        }
+
+
+class MetricsRegistry:
+    """Process-wide (per-:class:`~repro.machine.machine.Machine`) registry
+    of named counters and histograms."""
+
+    def __init__(self):
+        self._counters: Dict[str, Counter] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # -- access -------------------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        c = self._counters.get(name)
+        if c is None:
+            c = self._counters[name] = Counter(name)
+        return c
+
+    def histogram(self, name: str) -> Histogram:
+        h = self._histograms.get(name)
+        if h is None:
+            h = self._histograms[name] = Histogram(name)
+        return h
+
+    def counters(self, prefix: str = "") -> Iterable[Counter]:
+        return (c for name, c in sorted(self._counters.items())
+                if name.startswith(prefix))
+
+    # -- snapshots ----------------------------------------------------------
+
+    def counters_snapshot(self, prefix: str = "") -> Dict[str, int]:
+        return {name: c.value for name, c in sorted(self._counters.items())
+                if name.startswith(prefix)}
+
+    def delta_since(self, snapshot: Dict[str, int],
+                    prefix: str = "") -> Dict[str, int]:
+        """Counter movement since ``snapshot`` (new counters count from 0)."""
+        return {
+            name: c.value - snapshot.get(name, 0)
+            for name, c in sorted(self._counters.items())
+            if name.startswith(prefix)
+        }
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "counters": self.counters_snapshot(),
+            "histograms": {name: h.summary()
+                           for name, h in sorted(self._histograms.items())},
+        }
+
+    def reset(self, prefix: str = ""):
+        """Zero counters and drop histogram contents under ``prefix``
+        (counter objects stay valid — hot-path references survive)."""
+        for name, c in self._counters.items():
+            if name.startswith(prefix):
+                c.value = 0
+        for name in list(self._histograms):
+            if name.startswith(prefix):
+                self._histograms[name] = Histogram(name)

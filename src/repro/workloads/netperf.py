@@ -38,12 +38,14 @@ def run_netperf(name: str, direction: str,
     prof = profile_direction(system, direction, packets=packets,
                              warmup=warmup)
     efficiency = MULTI_NIC_EFFICIENCY.get((name, direction), 1.0)
-    return throughput_from_cycles(
+    result = throughput_from_cycles(
         config=name,
         direction=direction,
         cycles_per_packet=prof.total_per_packet * efficiency,
         nics=nics,
     )
+    result.counters = dict(prof.counters)
+    return result
 
 
 def figure5_transmit(packets: int = DEFAULT_PACKETS

@@ -3,6 +3,11 @@
 Runs a warmup phase (fills the stlb, rx rings, caches), then measures the
 cycle delta per category over a steady-state batch of packets — the
 simulator's equivalent of the paper's single-NIC oprofile run.
+
+The measurement itself is a thin view over the machine-wide metrics
+registry: the category breakdown is the delta of the ``cycles.*``
+counters and every other counter that moved (stlb misses, support calls,
+upcalls, NIC stats) lands in :attr:`PacketProfile.counters`.
 """
 
 from __future__ import annotations
@@ -10,7 +15,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Optional
 
 from ..configs import SystemUnderTest, build
-from ..metrics.cycles import PacketProfile
+from ..metrics.cycles import CYCLES_PREFIX, PacketProfile
 from ..xen.costs import CostModel
 
 DEFAULT_WARMUP = 128
@@ -29,18 +34,25 @@ def profile_direction(system: SystemUnderTest, direction: str,
         raise RuntimeError(
             f"{system.name}: only {done}/{warmup} warmup packets flowed"
         )
-    snap = system.snapshot()
+    registry = system.machine.obs.registry
+    snap = registry.counters_snapshot()
     done = op(packets)
-    delta = system.delta_since(snap)
+    moved = registry.delta_since(snap)
     if done < packets:
         raise RuntimeError(
             f"{system.name}: only {done}/{packets} packets flowed"
         )
+    plen = len(CYCLES_PREFIX)
+    delta = {name[plen:]: value for name, value in moved.items()
+             if name.startswith(CYCLES_PREFIX)}
+    counters = {name: value for name, value in moved.items()
+                if value and not name.startswith(CYCLES_PREFIX)}
     return PacketProfile(
         config=system.name,
         direction=direction,
         packets=packets,
         cycles=delta,
+        counters=counters,
     )
 
 

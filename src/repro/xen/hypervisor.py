@@ -21,6 +21,13 @@ from typing import Callable, Dict, List, Optional
 
 from ..machine.machine import Machine
 from ..machine.paging import AddressSpace, HYPERVISOR_BASE
+from ..obs.events import (
+    DOMAIN_SWITCH,
+    EVENT_SEND,
+    HYPERCALL,
+    SOFTIRQ,
+    VIRQ,
+)
 from .costs import CostModel
 from .domain import Domain
 from .granttable import GrantTable
@@ -47,8 +54,13 @@ class Hypervisor:
         self.grant_tables: Dict[int, GrantTable] = {}
         self._softirqs: List[Callable[[], None]] = []
         self._irq_handlers: Dict[int, Callable[[int], None]] = {}
-        self.switches = 0
-        self.hypercalls = 0
+        # mechanism counters live in the machine-wide registry
+        self._tracer = machine.obs.tracer
+        self._c_switch = machine.obs.registry.counter("xen.switch")
+        self._c_hypercall = machine.obs.registry.counter("xen.hypercall")
+        self._c_event = machine.obs.registry.counter("xen.event_send")
+        self._c_virq = machine.obs.registry.counter("xen.virq")
+        self._c_softirq = machine.obs.registry.counter("xen.softirq")
         #: >0 while a hypervisor-driver invocation is in flight; softirqs
         #: are deferred until it drains (paper §4.4: the driver ISR runs
         #: in a *schedulable* softirq context, never nested inside driver
@@ -61,6 +73,16 @@ class Hypervisor:
 
     def charge_xen(self, cycles: int):
         self.machine.account.charge("Xen", int(cycles))
+
+    # -- counter views (registry-backed) -----------------------------------------
+
+    @property
+    def switches(self) -> int:
+        return self._c_switch.value
+
+    @property
+    def hypercalls(self) -> int:
+        return self._c_hypercall.value
 
     # -- domain lifecycle ----------------------------------------------------------
 
@@ -87,7 +109,10 @@ class Hypervisor:
         if self.current is domain:
             return
         self.charge_xen(self.costs.domain_switch)
-        self.switches += 1
+        self._c_switch.value += 1
+        if self._tracer.enabled:
+            previous = self.current.name if self.current else None
+            self._tracer.emit(DOMAIN_SWITCH, to=domain.name, frm=previous)
         self.current = domain
         self.machine.cpu.address_space = domain.aspace
 
@@ -108,7 +133,9 @@ class Hypervisor:
 
     def hypercall(self, name: str) -> None:
         """Account one hypercall entry from the current domain."""
-        self.hypercalls += 1
+        self._c_hypercall.value += 1
+        if self._tracer.enabled:
+            self._tracer.emit(HYPERCALL, name=name)
         self.charge_xen(self.costs.hypercall)
 
     # -- event channels --------------------------------------------------------------------
@@ -121,6 +148,10 @@ class Hypervisor:
         target domain's context. Asynchronous events are queued and
         delivered when the domain is next scheduled."""
         self.charge_xen(self.costs.event_channel_send)
+        self._c_event.value += 1
+        if self._tracer.enabled:
+            self._tracer.emit(EVENT_SEND, domain=domain.name, port=port,
+                              sync=synchronous)
         if synchronous:
             self._deliver_event(domain, port)
         else:
@@ -134,6 +165,9 @@ class Hypervisor:
         if handler is None:
             raise KeyError(f"domain {domain.name} has no handler on port {port}")
         self.charge_xen(self.costs.virq_delivery)
+        self._c_virq.value += 1
+        if self._tracer.enabled:
+            self._tracer.emit(VIRQ, domain=domain.name, port=port)
         self.run_in_domain(domain, lambda: handler(port))
 
     def schedule_domain(self, domain: Domain):
@@ -145,6 +179,9 @@ class Hypervisor:
             if handler is None:
                 continue
             self.charge_xen(self.costs.virq_delivery)
+            self._c_virq.value += 1
+            if self._tracer.enabled:
+                self._tracer.emit(VIRQ, domain=domain.name, port=port)
             self.run_in_domain(domain, lambda p=port: handler(p))
 
     # -- physical interrupts ---------------------------------------------------------------------
@@ -162,6 +199,9 @@ class Hypervisor:
 
     def raise_softirq(self, fn: Callable[[], None]):
         self.charge_xen(self.costs.softirq_schedule)
+        self._c_softirq.value += 1
+        if self._tracer.enabled:
+            self._tracer.emit(SOFTIRQ, pending=len(self._softirqs) + 1)
         self._softirqs.append(fn)
 
     def run_softirqs(self):

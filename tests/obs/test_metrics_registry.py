@@ -1,0 +1,90 @@
+"""The metrics registry: counters, histograms, snapshots."""
+
+import pytest
+
+from repro.obs.metrics import Counter, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_memoized(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a.b") is reg.counter("a.b")
+
+    def test_inc_and_direct_mutation(self):
+        reg = MetricsRegistry()
+        c = reg.counter("x")
+        c.inc()
+        c.inc(4)
+        c.value += 2
+        assert reg.counter("x").value == 7
+
+    def test_snapshot_prefix(self):
+        reg = MetricsRegistry()
+        reg.counter("svm.hit").value = 3
+        reg.counter("xen.switch").value = 1
+        assert reg.counters_snapshot("svm.") == {"svm.hit": 3}
+
+    def test_delta_since(self):
+        reg = MetricsRegistry()
+        reg.counter("a").value = 5
+        snap = reg.counters_snapshot()
+        reg.counter("a").value = 9
+        reg.counter("b").value = 2          # created after the snapshot
+        assert reg.delta_since(snap) == {"a": 4, "b": 2}
+
+    def test_reset_prefix_zeroes_in_place(self):
+        reg = MetricsRegistry()
+        kept = reg.counter("other")
+        kept.value = 5
+        hot = reg.counter("cycles.Xen")     # a hot path holds this object
+        hot.value = 100
+        reg.reset("cycles.")
+        assert hot.value == 0 and kept.value == 5
+        hot.value += 1                       # the cached reference still works
+        assert reg.counter("cycles.Xen").value == 1
+
+
+class TestHistogram:
+    def test_observe_stats(self):
+        h = Histogram("lat")
+        for v in (1, 2, 4, 100):
+            h.observe(v)
+        assert h.count == 4
+        assert h.min == 1 and h.max == 100
+        assert h.mean == pytest.approx(26.75)
+
+    def test_power_of_two_buckets(self):
+        h = Histogram("lat")
+        h.observe(0)
+        h.observe(1)
+        h.observe(7)
+        h.observe(8)
+        assert h.buckets == {0: 1, 1: 1, 3: 1, 4: 1}
+
+    def test_quantiles(self):
+        h = Histogram("lat")
+        for _ in range(99):
+            h.observe(10)
+        h.observe(1000)
+        assert h.quantile(0.5) == 15        # bucket upper bound of 10
+        assert h.quantile(1.0) == 1023
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("x").observe(-1)
+
+    def test_empty_summary(self):
+        s = Histogram("x").summary()
+        assert s["count"] == 0 and s["p99"] == 0
+
+    def test_registry_snapshot_includes_histograms(self):
+        reg = MetricsRegistry()
+        reg.histogram("span.tx.cycles").observe(7)
+        snap = reg.snapshot()
+        assert snap["histograms"]["span.tx.cycles"]["count"] == 1
+
+    def test_reset_replaces_histograms(self):
+        reg = MetricsRegistry()
+        reg.histogram("span.tx.cycles").observe(7)
+        reg.reset("span.")
+        assert reg.histogram("span.tx.cycles").count == 0

@@ -52,6 +52,65 @@ class TestCycleAccount:
         acct.reset()
         assert acct.total == 0
 
+    def test_reset_clears_events_too(self):
+        acct = CycleAccount()
+        acct.count("pkts", 9)
+        acct.reset()
+        assert acct.events == {}
+        acct.count("pkts", 1)
+        assert acct.events == {"pkts": 1}
+
+    def test_reset_preserves_hot_path_counters(self):
+        # hot paths cache Counter objects: reset must zero them in place,
+        # not replace them, or later charges would vanish
+        acct = CycleAccount()
+        acct.charge("Xen", 5)
+        acct.reset()
+        acct.charge("Xen", 2)
+        assert acct.cycles["Xen"] == 2
+
+    def test_merge_does_not_mutate_inputs(self):
+        a, b = CycleAccount(), CycleAccount()
+        a.charge("Xen", 1)
+        b.charge("dom0", 2)
+        merged = a.merged(b)
+        merged.charge("Xen", 100)
+        assert a.cycles["Xen"] == 1
+        assert b.cycles["dom0"] == 2
+
+    def test_merge_with_empty(self):
+        a = CycleAccount()
+        a.charge("e1000", 3)
+        a.count("irqs", 2)
+        merged = a.merged(CycleAccount())
+        assert merged.cycles["e1000"] == 3
+        assert merged.events == {"irqs": 2}
+
+    def test_delta_since_empty_snapshot(self):
+        acct = CycleAccount()
+        acct.charge("domU", 4)
+        delta = acct.delta_since({})
+        assert delta == {"dom0": 0, "domU": 4, "Xen": 0, "e1000": 0}
+
+    def test_shared_registry_isolated_namespaces(self):
+        # a machine-shared registry: reset() must only touch the
+        # account's own cycles./event. namespaces
+        from repro.obs.metrics import MetricsRegistry
+        registry = MetricsRegistry()
+        other = registry.counter("svm.hyp-stlb.miss")
+        other.value = 7
+        acct = CycleAccount(registry=registry)
+        acct.charge("Xen", 3)
+        acct.reset()
+        assert other.value == 7
+        assert acct.total == 0
+
+    def test_events_roundtrip(self):
+        acct = CycleAccount()
+        acct.count("tx")
+        acct.count("tx", 2)
+        assert acct.events == {"tx": 3}
+
 
 class TestPacketProfile:
     def test_per_packet(self):
