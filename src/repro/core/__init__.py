@@ -6,6 +6,7 @@
 * :mod:`~repro.core.hypsupport` -- the 10 fast-path hypervisor routines
 * :mod:`~repro.core.loader` -- hypervisor module loader
 * :mod:`~repro.core.paravirt` -- guest paravirtual driver
+* :mod:`~repro.core.recovery` -- fault containment & driver recovery
 * :mod:`~repro.core.twin` -- orchestration
 """
 
@@ -33,20 +34,24 @@ from .rewriter import (
     UnsupportedInstruction,
     rewrite_driver,
 )
+from .recovery import RecoveryManager, RecoveryPolicy
 from .svm import (
+    EMPTY_TAG,
     STLB_ENTRIES,
     StackProtectionFault,
     SvmManager,
+    SvmMapExhausted,
     SvmProtectionFault,
     SvmView,
     stlb_index,
 )
 from .twin import TwinDriverManager
-from .upcall import UpcallManager
+from .upcall import UpcallAborted, UpcallManager
 
 __all__ = [
     "CALL_XLATE_SYMBOL",
     "DriverAborted",
+    "EMPTY_TAG",
     "HEADER_COPY_BYTES",
     "HYPERVISOR_FAST_PATH",
     "HypAllocator",
@@ -57,6 +62,8 @@ __all__ = [
     "RET_SLOT_SYMBOL",
     "RUNTIME_DATA_SYMBOLS",
     "RUNTIME_IMPORTS",
+    "RecoveryManager",
+    "RecoveryPolicy",
     "RewriteStats",
     "Rewriter",
     "STLB_ENTRIES",
@@ -66,12 +73,14 @@ __all__ = [
     "SLOW_PATH_SYMBOL",
     "SkbPool",
     "SvmManager",
+    "SvmMapExhausted",
     "SvmProtectionFault",
     "SvmRuntime",
     "SvmView",
     "TRANSLATE_SYMBOL",
     "TwinDriverManager",
     "UnsupportedInstruction",
+    "UpcallAborted",
     "UpcallManager",
     "allocate_runtime_symbols",
     "rewrite_driver",

@@ -49,6 +49,9 @@ class SkbPool:
     def __init__(self, dom0_kernel: Kernel, size: int = 256):
         self.dom0_kernel = dom0_kernel
         self.free: List[int] = []
+        #: buffers currently held by the hypervisor driver (acquired but
+        #: not yet released) — what recovery reclaims after a quarantine.
+        self.outstanding: set = set()
         self.capacity = 0
         self.underflows = 0
         dom0_kernel.pool_release = self.release
@@ -65,10 +68,22 @@ class SkbPool:
         if not self.free:
             self.underflows += 1
             return None
-        return self.free.pop()
+        addr = self.free.pop()
+        self.outstanding.add(addr)
+        return addr
 
     def release(self, skb_addr: int):
+        self.outstanding.discard(skb_addr)
         self.free.append(skb_addr)
+
+    def reclaim_outstanding(self) -> int:
+        """Return every driver-held buffer to the free list (the faulted
+        instance will never release them itself). Returns the count."""
+        count = len(self.outstanding)
+        for addr in sorted(self.outstanding):
+            self.free.append(addr)
+        self.outstanding.clear()
+        return count
 
     @property
     def available(self) -> int:
@@ -92,6 +107,10 @@ class HypervisorSupport:
         self.view = SvmView(svm)
         self.twin = twin
         self.pool = SkbPool(dom0_kernel, size=pool_size)
+        #: dom0 lock words the driver currently holds (spin_trylock
+        #: succeeded, spin_unlock not yet seen) — force-released by
+        #: recovery so dom0 is never wedged by a dead driver instance.
+        self.held_locks: set = set()
         self.addresses: Dict[str, int] = {}
         # per-routine call counters live in the machine-wide registry
         # under ``support.<name>``; ``calls`` stays readable as a dict.
@@ -226,13 +245,26 @@ class HypervisorSupport:
         if self.view.read_u32(lock):
             return 0
         self.view.write_u32(lock, 1)
+        self.held_locks.add(lock)
         return 1
 
     def spin_unlock_irqrestore(self, lock: int, flags: int) -> int:
         self.view.write_u32(lock, 0)
+        self.held_locks.discard(lock)
         if flags & 1:
             self.dom0_kernel.domain.enable_virq()
         return 0
+
+    def release_held_locks(self) -> int:
+        """Force-release locks a quarantined driver instance left held.
+        Writes go through dom0's own address space (the stlb may already
+        be torn down). Returns the count released."""
+        count = len(self.held_locks)
+        aspace = self.dom0_kernel.domain.aspace
+        for lock in sorted(self.held_locks):
+            aspace.write(lock, 4, 0)
+        self.held_locks.clear()
+        return count
 
     def eth_type_trans(self, skb_addr: int, dev: int) -> int:
         skb = SkBuff(self.view, skb_addr)

@@ -54,7 +54,13 @@ from .rewriter import (
     STACK_LO_SYMBOL,
     TRANSLATE_SYMBOL,
 )
-from .svm import SvmManager, SvmProtectionFault, StackProtectionFault
+from .svm import (
+    SvmManager,
+    SvmMapExhausted,
+    SvmProtectionFault,
+    StackProtectionFault,
+)
+from .upcall import UpcallAborted
 
 
 class DriverAborted(Exception):
@@ -200,8 +206,9 @@ class HypervisorDriver:
         try:
             return cpu.call_function(entry, args, stack_top=self.stack_top,
                                      category="e1000")
-        except (SvmProtectionFault, PageFault, ExecutionFault,
-                CpuBudgetExceeded, BusError, ProtectionFault) as exc:
+        except (SvmProtectionFault, SvmMapExhausted, UpcallAborted,
+                PageFault, ExecutionFault, CpuBudgetExceeded, BusError,
+                ProtectionFault) as exc:
             self.aborted = True
             self.abort_cause = exc
             obs = self.xen.machine.obs

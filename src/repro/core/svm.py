@@ -28,13 +28,39 @@ from typing import Dict, Optional, Tuple
 from ..machine.machine import Machine
 from ..machine.memory import PAGE_SIZE
 from ..machine.paging import AddressSpace, HYPERVISOR_BASE, PageFault, PageTable
-from ..obs.events import SVM_FAULT, SVM_FILL, SVM_FLUSH, SVM_HIT, SVM_MISS
+from ..obs.events import (
+    SVM_FAULT,
+    SVM_FILL,
+    SVM_FLUSH,
+    SVM_HIT,
+    SVM_INVALIDATE,
+    SVM_MISS,
+)
 
 STLB_ENTRIES = 4096
 STLB_ENTRY_SIZE = 8
 STLB_BYTES = STLB_ENTRIES * STLB_ENTRY_SIZE       # 32 KiB, maps 16 MiB
 PAGE_ADDR_MASK = 0xFFFFF000
 INDEX_MASK = 0x00FFF000
+
+#: Empty-slot tag. Valid tags are page addresses (low 12 bits zero) and
+#: the fast path compares the tag against a page-aligned register, so an
+#: all-ones tag can never match — unlike 0, which is dom0 page 0's tag.
+EMPTY_TAG = 0xFFFFFFFF
+
+#: Default size of the hypervisor VA window SVM maps dom0 pages into.
+SVM_MAP_WINDOW = 64 * 1024 * 1024
+
+
+class SvmMapExhausted(Exception):
+    """The SVM mapping window ran out of hypervisor virtual addresses."""
+
+    def __init__(self, page: int, base: int, end: int):
+        super().__init__(
+            f"SVM map window exhausted mapping {page:#010x} "
+            f"(window {base:#010x}-{end:#010x})"
+        )
+        self.page = page
 
 
 class SvmProtectionFault(Exception):
@@ -69,7 +95,8 @@ class SvmManager:
                  identity: bool = False,
                  map_base: int = 0,
                  name: str = "svm",
-                 entries: int = STLB_ENTRIES):
+                 entries: int = STLB_ENTRIES,
+                 map_size: int = SVM_MAP_WINDOW):
         """``protected_space`` is the address space the driver is allowed
         to touch (dom0). In identity mode no mappings are created and the
         xormap is always zero; otherwise dom0 pages are mapped pairwise at
@@ -84,12 +111,21 @@ class SvmManager:
         self.protected_space = protected_space
         self.identity = identity
         self.map_base = map_base
+        self.map_end = map_base + map_size
         self.name = name
         self._next_map = map_base
         #: full chain: dom0 page address -> xormap (survives hash eviction)
         self.chains: Dict[int, int] = {}
         #: dom0 page -> hypervisor page actually mapped (non-identity)
         self.mappings: Dict[int, int] = {}
+        #: hypervisor page -> owning dom0 page (primary mappings only)
+        self._va_owner: Dict[int, int] = {}
+        #: dom0 pages whose VA was carved out of a neighbour's pair
+        self._extended: set = set()
+        #: reclaimed two-page chunks available for reallocation
+        self._free_pairs: list = []
+        #: pending injected faults (test hook; see inject_fault)
+        self._inject_faults = 0
         # counters live in the machine-wide metrics registry under
         # ``svm.<name>.*`` (misses/hits/... stay readable as attributes)
         registry = machine.obs.registry
@@ -100,10 +136,12 @@ class SvmManager:
         self._c_eviction = registry.counter(f"svm.{name}.eviction")
         self._c_fault = registry.counter(f"svm.{name}.fault")
         self._c_flush = registry.counter(f"svm.{name}.flush")
+        self._c_invalidate = registry.counter(f"svm.{name}.invalidate")
+        self._c_reclaim = registry.counter(f"svm.{name}.reclaim")
         self._table_space = AddressSpace(
             f"{name}-table", machine.phys, machine.hypervisor_table
         )
-        self._zero_table()
+        self._reset_table()
 
     # -- counter views (registry-backed) ------------------------------------------
 
@@ -142,6 +180,8 @@ class SvmManager:
             "eviction": self._c_eviction.value,
             "fault": self._c_fault.value,
             "flush": self._c_flush.value,
+            "invalidate": self._c_invalidate.value,
+            "reclaim": self._c_reclaim.value,
         }
 
     # -- table memory -------------------------------------------------------------
@@ -154,12 +194,15 @@ class SvmManager:
             return self._table_space
         return self.protected_space
 
-    def _zero_table(self):
+    def _reset_table(self):
+        """Mark every entry empty (tag = EMPTY_TAG, xormap = 0)."""
         mem = self._table_mem()
         nbytes = self.entries * STLB_ENTRY_SIZE
+        empty = EMPTY_TAG.to_bytes(4, "little") + b"\x00\x00\x00\x00"
+        chunk = empty * (PAGE_SIZE // STLB_ENTRY_SIZE)
         for off in range(0, nbytes, PAGE_SIZE):
             mem.write_bytes(self.table_addr + off,
-                            b"\x00" * min(PAGE_SIZE, nbytes - off))
+                            chunk[: min(PAGE_SIZE, nbytes - off)])
 
     def _write_entry(self, index: int, tag: int, xormap: int):
         mem = self._table_mem()
@@ -174,12 +217,84 @@ class SvmManager:
         )
 
     def flush(self):
-        """Invalidate every translation (mappings stay; chains refill)."""
+        """Invalidate every translation. The hash table *and* the Python
+        chains are cleared, so every re-translation goes back through the
+        slow path and re-runs the dom0 permission check; the hypervisor VA
+        mappings are kept cached and reused (with their frames
+        re-translated) when pages come back."""
         self._c_flush.value += 1
         if self._tracer.enabled:
             self._tracer.emit(SVM_FLUSH, stlb=self.name,
                               entries=self.entries)
-        self._zero_table()
+        self._reset_table()
+        self.chains.clear()
+
+    def invalidate(self, vaddr: int):
+        """Drop one page's translation and reclaim its mapping chunk when
+        it is a standalone pair no neighbour extension depends on."""
+        page = vaddr & PAGE_ADDR_MASK
+        self._c_invalidate.value += 1
+        if self._tracer.enabled:
+            self._tracer.emit(SVM_INVALIDATE, stlb=self.name, page=page)
+        self.chains.pop(page, None)
+        index = stlb_index(page, self.entries)
+        tag, _ = self.read_entry(index)
+        if tag == page:
+            self._write_entry(index, EMPTY_TAG, 0)
+        hyp_page = self.mappings.pop(page, None)
+        if hyp_page is None or self.identity:
+            return
+        self._va_owner.pop(hyp_page, None)
+        if page in self._extended:
+            # the VA was carved out of a neighbour's pair: not reclaimable
+            # as a standalone chunk, just forget the ownership.
+            self._extended.discard(page)
+            return
+        if hyp_page + PAGE_SIZE in self._va_owner:
+            # another page's primary mapping extends into this chunk
+            return
+        table: PageTable = self.machine.hypervisor_table
+        for va in (hyp_page, hyp_page + PAGE_SIZE):
+            if table.lookup(va >> 12) is not None:
+                table.unmap(va >> 12)
+        self._free_pairs.append(hyp_page)
+        self._c_reclaim.value += 1
+
+    def invalidate_all(self):
+        """Full teardown: no translation, chain, or hypervisor mapping
+        survives. Used by recovery to quarantine a faulted instance."""
+        self._c_invalidate.value += 1
+        if self._tracer.enabled:
+            self._tracer.emit(SVM_INVALIDATE, stlb=self.name, page=None,
+                              full=True)
+        self._reset_table()
+        self.chains.clear()
+        if not self.identity:
+            table: PageTable = self.machine.hypervisor_table
+            page = self.map_base
+            while page < self._next_map:
+                if table.lookup(page >> 12) is not None:
+                    table.unmap(page >> 12)
+                page += PAGE_SIZE
+        self.mappings.clear()
+        self._va_owner.clear()
+        self._extended.clear()
+        self._free_pairs.clear()
+        self._next_map = self.map_base
+
+    # -- fault injection (tests / fault-injection demos) -------------------------
+
+    def inject_fault(self, count: int = 1):
+        """Arm ``count`` one-shot transient protection faults: the next
+        ``count`` slow-path translations raise ``SvmProtectionFault`` as
+        if the permission check had failed."""
+        self._inject_faults += count
+
+    def _maybe_inject(self, vaddr: int):
+        if self._inject_faults > 0:
+            self._inject_faults -= 1
+            self._note_fault(vaddr, "injected fault")
+            raise SvmProtectionFault(vaddr, "injected fault")
 
     # -- permission check -----------------------------------------------------------
 
@@ -205,6 +320,7 @@ class SvmManager:
         """The ``__svm_slow_path`` body: chain lookup, permission check,
         pairwise page mapping, table fill."""
         self._c_miss.value += 1
+        self._maybe_inject(vaddr)
         tracing = self._tracer.enabled
         if tracing:
             self._tracer.emit(SVM_MISS, stlb=self.name, vaddr=vaddr)
@@ -220,7 +336,7 @@ class SvmManager:
             return
         self._check_permitted(page)
         tag, _ = self.read_entry(index)
-        if tag != 0 and tag != page:
+        if tag != EMPTY_TAG and tag != page:
             self._c_eviction.value += 1
         xormap = 0 if self.identity else self._map_pair(page)
         self.chains[page] = xormap
@@ -232,13 +348,39 @@ class SvmManager:
     def _map_pair(self, page: int) -> int:
         """Map ``page`` and ``page + PAGE_SIZE`` of dom0 at two consecutive
         hypervisor virtual pages (paper footnote 2: unaligned accesses may
-        straddle a page boundary)."""
-        hyp_page = self._next_map
-        self._next_map += 2 * PAGE_SIZE
+        straddle a page boundary).
+
+        Virtual addresses in the map window are a managed resource:
+        a page that already owns a chunk reuses it (frames re-translated,
+        so dom0 remaps take effect), a page whose lower neighbour owns the
+        most recent chunk extends it by a single page, reclaimed chunks
+        are recycled, and running past ``map_end`` raises
+        :class:`SvmMapExhausted` instead of silently colliding."""
         table: PageTable = self.machine.hypervisor_table
+        hyp_page = self.mappings.get(page)
+        if hyp_page is None:
+            lower = self.mappings.get(page - PAGE_SIZE)
+            if (lower is not None
+                    and lower + 2 * PAGE_SIZE == self._next_map):
+                # the lower neighbour's pair already maps this page at its
+                # second slot and owns the allocation frontier: extend the
+                # chunk by one page instead of allocating a fresh pair.
+                if self._next_map + PAGE_SIZE > self.map_end:
+                    raise SvmMapExhausted(page, self.map_base, self.map_end)
+                hyp_page = lower + PAGE_SIZE
+                self._next_map += PAGE_SIZE
+                self._extended.add(page)
+            elif self._free_pairs:
+                hyp_page = self._free_pairs.pop()
+            else:
+                if self._next_map + 2 * PAGE_SIZE > self.map_end:
+                    raise SvmMapExhausted(page, self.map_base, self.map_end)
+                hyp_page = self._next_map
+                self._next_map += 2 * PAGE_SIZE
+            self.mappings[page] = hyp_page
+            self._va_owner[hyp_page] = page
         frame0 = self.protected_space.translate(page) >> 12
         table.map(hyp_page >> 12, frame0)
-        self.mappings[page] = hyp_page
         neighbour = page + PAGE_SIZE
         try:
             frame1 = self.protected_space.translate(neighbour) >> 12
@@ -262,16 +404,21 @@ class SvmManager:
                 raise KeyError(f"no SVM mapping for {vaddr:#010x}")
             self.handle_miss(vaddr)
         else:
+            self._maybe_inject(vaddr)
             self._c_hit.value += 1
             if self._tracer.enabled:
                 self._tracer.emit(SVM_HIT, stlb=self.name, vaddr=vaddr)
         return vaddr ^ self.chains[page]
 
     def lookup_fast(self, vaddr: int) -> Optional[int]:
-        """What the inline fast path would produce: None on table miss."""
+        """What the inline fast path would produce: None on table miss.
+
+        Empty slots carry ``EMPTY_TAG``, not 0 — tag 0 is dom0 page 0's
+        valid tag, which the old sentinel condemned to a permanent
+        slow-path loop."""
         index = stlb_index(vaddr, self.entries)
         tag, xormap = self.read_entry(index)
-        if tag == 0 or tag != (vaddr & PAGE_ADDR_MASK):
+        if tag != (vaddr & PAGE_ADDR_MASK):
             return None
         self._c_hit.value += 1
         if self._tracer.enabled:

@@ -47,9 +47,16 @@ from .loader import (
     allocate_runtime_symbols,
 )
 from .paravirt import ParavirtNetDevice
+from .recovery import RecoveryManager, RecoveryPolicy
 from .rewriter import STLB_SYMBOL, rewrite_driver
-from .svm import SvmManager, SvmProtectionFault
-from .upcall import UpcallManager
+from .svm import SvmManager, SvmMapExhausted, SvmProtectionFault
+from .upcall import UpcallAborted, UpcallManager
+
+#: Faults the containment boundary catches at hypervisor entry points.
+#: Python-glue support calls run outside ``HypervisorDriver.invoke``, so
+#: raw SVM faults appear here alongside the wrapped ``DriverAborted``.
+CONTAINABLE_FAULTS = (DriverAborted, SvmProtectionFault, SvmMapExhausted,
+                      UpcallAborted)
 
 
 class TwinDriverManager:
@@ -62,7 +69,9 @@ class TwinDriverManager:
                  protect_stack: bool = False,
                  stlb_entries: int = 4096,
                  driver: Optional[DriverSpec] = None,
-                 verify: bool = True):
+                 verify: bool = True,
+                 recovery: bool = True,
+                 recovery_policy: Optional[RecoveryPolicy] = None):
         """``upcall_routines``: fast-path routine names to serve via
         upcalls instead of hypervisor implementations (figure 10).
         ``protect_stack`` enables the §4.5.1 extension (bounds checks on
@@ -71,10 +80,15 @@ class TwinDriverManager:
         selects which driver to twin (default: the e1000 spec).
         ``verify`` statically verifies the rewritten binary (annotated
         mode) before the hypervisor loads it; the report is kept on
-        ``self.verify_report`` next to ``self.rewrite_stats``."""
+        ``self.verify_report`` next to ``self.rewrite_stats``.
+        ``recovery`` (default on) arms the fault-containment subsystem:
+        faults at the hypervisor boundary quarantine the instance and
+        degrade to the dom0 path instead of propagating; set it False to
+        get the raw §4.5 abort semantics (tests)."""
         self.xen = xen
         self.machine = xen.machine
         self.dom0_kernel = dom0_kernel
+        self.protect_stack = protect_stack
         self.upcall_routines = frozenset(upcall_routines)
         unknown = self.upcall_routines - frozenset(HYPERVISOR_FAST_PATH)
         if unknown:
@@ -156,9 +170,15 @@ class TwinDriverManager:
         self.guests_by_mac: Dict[bytes, ParavirtNetDevice] = {}
         self.netdevs: Dict[int, int] = {}        # irq -> dom0 netdev addr
         self.netdev_order: List[int] = []
+        self.nics_by_irq: Dict[int, E1000Device] = {}
         self._rx_queue: List[Tuple[ParavirtNetDevice, int]] = []
         self.rx_dropped_no_guest = 0
         self._deferred_irqs: List[int] = []
+
+        # fault containment & recovery (None = raw abort semantics)
+        self.recovery: Optional[RecoveryManager] = (
+            RecoveryManager(self, recovery_policy) if recovery else None
+        )
 
     # ------------------------------------------------------------------ setup
 
@@ -175,6 +195,7 @@ class TwinDriverManager:
         self.xen.register_irq_handler(nic.irq, self._handle_nic_irq)
         self.netdevs[nic.irq] = ndev.addr
         self.netdev_order.append(ndev.addr)
+        self.nics_by_irq[nic.irq] = nic
         return ndev.addr
 
     def register_guest_device(self, dev: ParavirtNetDevice):
@@ -211,6 +232,25 @@ class TwinDriverManager:
         finally:
             self.xen.switch_to(previous)
 
+    def reload_hyp_driver(self, verify_report=None) -> None:
+        """Replace a quarantined hypervisor instance with a freshly loaded
+        one at the same code base (``code_offset`` stays constant, so
+        indirect-call translation is unchanged). The caller is expected to
+        have re-verified the binary (recovery passes its report in)."""
+        self.machine.code.unregister(self.hyp_driver.loaded)
+        support_bindings = {
+            name: addr for name, addr in self.hyp_support.addresses.items()
+            if name not in self.upcall_routines
+        }
+        loader = HypervisorLoader(self.xen, HYP_CODE_BASE, self.hyp_alloc)
+        self.hyp_driver = loader.load(
+            self.rewritten, self.vm_module, self.hyp_runtime,
+            support_bindings, upcall_factory=self.upcalls.make_stub,
+            verify_report=verify_report,
+            annotations=self.rewrite_stats.annotations,
+            protect_stack=self.protect_stack,
+        )
+
     def _identity_translate_code(self, addr: int) -> int:
         vm = self.vm_module.loaded
         if vm.base <= addr < vm.end:
@@ -232,6 +272,9 @@ class TwinDriverManager:
             self.xen.run_softirqs()
 
     def _run_interrupt(self, irq: int):
+        if self.recovery is not None and self.recovery.degraded:
+            self.recovery.degraded_interrupt(irq)
+            return
         if not self.dom0_kernel.domain.virq_enabled:
             # dom0 masked driver interrupts (it may hold a shared lock):
             # defer until the flag is re-enabled.
@@ -245,6 +288,13 @@ class TwinDriverManager:
         try:
             self.hyp_driver.invoke(entry, [irq, arg], upcalls=self.upcalls)
             self.flush_rx()
+        except CONTAINABLE_FAULTS as exc:
+            if self.recovery is None:
+                raise
+            self.recovery.handle_abort(exc)
+            # serve this interrupt on the degraded dom0 path (the device
+            # may still have unconsumed causes / ring entries)
+            self.recovery.degraded_interrupt(irq)
         finally:
             if span is not None:
                 tracer.end_span(span)
@@ -265,10 +315,25 @@ class TwinDriverManager:
         if tracer.enabled:
             span = tracer.begin_span(SPAN_PACKET_TX, len=frame_len)
             try:
-                return self._guest_transmit(dev, buf, frame_len)
+                return self._contained_transmit(dev, buf, frame_len)
             finally:
                 tracer.end_span(span)
-        return self._guest_transmit(dev, buf, frame_len)
+        return self._contained_transmit(dev, buf, frame_len)
+
+    def _contained_transmit(self, dev: ParavirtNetDevice, buf: int,
+                            frame_len: int) -> bool:
+        """The containment boundary for the transmit path: while degraded
+        route to dom0; on a fault, quarantine and serve the packet on the
+        degraded path so the guest never sees the abort."""
+        if self.recovery is not None and self.recovery.degraded:
+            return self.recovery.degraded_transmit(dev, buf, frame_len)
+        try:
+            return self._guest_transmit(dev, buf, frame_len)
+        except CONTAINABLE_FAULTS as exc:
+            if self.recovery is None:
+                raise
+            self.recovery.handle_abort(exc)
+            return self.recovery.degraded_transmit(dev, buf, frame_len)
 
     def _guest_transmit(self, dev: ParavirtNetDevice, buf: int,
                         frame_len: int) -> bool:

@@ -23,13 +23,37 @@ what collapses throughput in figure 10.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 from ..machine.cpu import Cpu, NativeRoutine
-from ..obs.events import SPAN_UPCALL_PREFIX
+from ..obs.events import SPAN_UPCALL_PREFIX, UPCALL_ABORT
 from ..obs.metrics import Counter
 from ..osmodel.kernel import Kernel
 from ..xen.hypervisor import HYP_UPCALL_STACK_BASE, Hypervisor
+
+
+class UpcallAborted(Exception):
+    """An in-flight upcall could not complete (the synchronous virtual
+    interrupt was not deliverable, or the frame stack was unwound by
+    recovery): the driver invocation must be aborted."""
+
+    def __init__(self, name: str, why: str):
+        super().__init__(f"upcall {name!r} aborted: {why}")
+        self.name = name
+        self.why = why
+
+
+class UpcallFrame:
+    """One in-flight upcall: saved call environment plus result slot."""
+
+    __slots__ = ("name", "routine", "cpu", "result", "delivered")
+
+    def __init__(self, name: str, routine: NativeRoutine, cpu: Cpu):
+        self.name = name
+        self.routine = routine
+        self.cpu = cpu
+        self.result: Optional[int] = None
+        self.delivered = False
 
 
 class UpcallManager:
@@ -42,11 +66,16 @@ class UpcallManager:
         registry = self.machine.obs.registry
         self._tracer = self.machine.obs.tracer
         self._c_upcalls = registry.counter("upcall.calls")
+        self._c_aborts = registry.counter("upcall.aborts")
         self._c_by_name: Dict[str, Counter] = {}
         self._invocation_upcalled = False
+        #: in-flight upcall frames, outermost first (nested upcalls — a
+        #: dom0 handler re-entering the driver — push on top).
+        self._frames: List[UpcallFrame] = []
+        #: stub natives are cached by routine name so a driver reload
+        #: re-binds the same stubs instead of leaking new natives.
+        self._stubs: Dict[str, int] = {}
         #: dom0 registers a handler on this port to receive upcalls.
-        self._pending: Optional[tuple] = None
-        self._result: Optional[int] = None
         self.port = dom0_kernel.domain.bind_event_channel(self._dom0_handler)
         costs = xen.costs
         mechanics = (
@@ -76,21 +105,50 @@ class UpcallManager:
     def new_invocation(self):
         self._invocation_upcalled = False
 
+    @property
+    def in_flight(self) -> int:
+        """Upcall frames currently on the stack (0 in steady state)."""
+        return len(self._frames)
+
+    # -- abort / unwind (fault containment) -------------------------------------
+
+    def abort_unwind(self) -> int:
+        """Drop every in-flight frame (recovery quarantining the driver).
+        Returns the number of frames unwound."""
+        count = len(self._frames)
+        if count:
+            self._c_aborts.value += count
+            if self._tracer.enabled:
+                self._tracer.emit(UPCALL_ABORT, frames=count,
+                                  names=[f.name for f in self._frames])
+            self._frames.clear()
+        return count
+
     # -- the dom0 side ------------------------------------------------------------
 
     def _dom0_handler(self, port: int):
-        """Runs in dom0 context: recover parameters, invoke the routine,
-        save the return value for the 'return hypercall'."""
-        routine, cpu = self._pending
-        self._pending = None
-        result = routine.fn(cpu)
-        self._result = 0 if result is None else result
+        """Runs in dom0 context: recover parameters from the topmost
+        undelivered frame, invoke the routine, save the return value for
+        the 'return hypercall'."""
+        frame = None
+        for candidate in reversed(self._frames):
+            if not candidate.delivered:
+                frame = candidate
+                break
+        if frame is None:
+            return                       # stale queued event: ignore
+        frame.delivered = True
+        result = frame.routine.fn(frame.cpu)
+        frame.result = 0 if result is None else result
 
     # -- stub factory ----------------------------------------------------------------
 
     def make_stub(self, name: str, dom0_native_addr: int) -> int:
-        """Create the hypervisor stub for an unimplemented support routine
-        and return its native address."""
+        """Create (or return the cached) hypervisor stub for an
+        unimplemented support routine; returns its native address."""
+        cached = self._stubs.get(name)
+        if cached is not None:
+            return cached
         dom0_routine = self.machine.natives.by_addr[dom0_native_addr]
         costs = self.xen.costs
         counter = self.machine.obs.registry.counter(f"upcall.{name}")
@@ -110,16 +168,32 @@ class UpcallManager:
                 cpu.charge_raw(costs.upcall_first_extra, "Xen")
             cpu.charge_raw(self.cache_residual, "Xen")
             # synchronous virtual interrupt into dom0 (switches domains,
-            # runs the handler under dom0 accounting, switches back)
-            self._pending = (dom0_routine, cpu)
-            self.xen.send_event(self.dom0_kernel.domain, self.port,
-                                synchronous=True)
-            # 'return' hypercall back into the hypervisor
-            self.xen.hypercall(f"upcall-return:{name}")
-            result = self._result
-            self._result = None
-            if span is not None:
-                tracer.end_span(span)
-            return result
+            # runs the handler under dom0 accounting, switches back).
+            # Each call gets its own frame so nested upcalls (a dom0
+            # handler re-entering the driver) cannot clobber outer state.
+            frame = UpcallFrame(name, dom0_routine, cpu)
+            self._frames.append(frame)
+            try:
+                self.xen.send_event(self.dom0_kernel.domain, self.port,
+                                    synchronous=True)
+                if not frame.delivered:
+                    # dom0 has virtual interrupts masked: the synchronous
+                    # delivery was queued, so the call environment on the
+                    # upcall stack will never be consumed. Unwind cleanly.
+                    self._c_aborts.value += 1
+                    if tracer.enabled:
+                        tracer.emit(UPCALL_ABORT, frames=1, names=[name])
+                    raise UpcallAborted(
+                        name, "synchronous delivery blocked (virq masked)")
+                # 'return' hypercall back into the hypervisor
+                self.xen.hypercall(f"upcall-return:{name}")
+                return frame.result
+            finally:
+                if frame in self._frames:
+                    self._frames.remove(frame)
+                if span is not None:
+                    tracer.end_span(span)
 
-        return self.machine.register_native(f"upcall.{name}", stub)
+        addr = self.machine.register_native(f"upcall.{name}", stub)
+        self._stubs[name] = addr
+        return addr

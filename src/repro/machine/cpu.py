@@ -145,6 +145,16 @@ class CodeRegistry:
         self._bases.insert(pos, loaded.base)
         self._programs.insert(pos, loaded)
 
+    def unregister(self, loaded: LoadedProgram):
+        """Remove a loaded program (driver quarantine/reload) so a new
+        binary can occupy the same address range."""
+        for pos, prog in enumerate(self._programs):
+            if prog is loaded:
+                del self._bases[pos]
+                del self._programs[pos]
+                return
+        raise ValueError(f"program not registered: {loaded.name}")
+
     def lookup(self, addr: int) -> Tuple[LoadedProgram, int]:
         pos = bisect_right(self._bases, addr) - 1
         if pos >= 0:
@@ -278,7 +288,8 @@ class Cpu:
     # -- memory -------------------------------------------------------------------
 
     def add_hot_range(self, lo: int, hi: int):
-        self.hot_ranges.append((lo, hi))
+        if (lo, hi) not in self.hot_ranges:
+            self.hot_ranges.append((lo, hi))
 
     def _mem_cost(self, vaddr: int) -> int:
         for lo, hi in self.hot_ranges:

@@ -104,6 +104,10 @@ class E1000Device:
         #: 8254x's interrupt throttling timers, simplified). 1 = immediate.
         self.interrupt_batch = 1
         self._coalesced = 0
+        #: line-level mask (hypervisor-side, distinct from the device's
+        #: IMS register): recovery masks the line while it tears down and
+        #: reloads the driver, then unmasks to pick up pending causes.
+        self.line_masked = False
         #: optional DMA protection (paper §4.5): when set, every DMA this
         #: device performs is checked against programmed windows.
         self.iommu: Optional[Iommu] = None
@@ -265,6 +269,8 @@ class E1000Device:
     # -- interrupts -------------------------------------------------------------------------
 
     def _maybe_interrupt(self):
+        if self.line_masked:
+            return
         if not self.regs[REG_ICR] & self.regs[REG_IMS]:
             return
         self._coalesced += 1
@@ -277,12 +283,23 @@ class E1000Device:
 
     def flush_interrupts(self):
         """Deliver any coalesced-but-unraised interrupt immediately."""
+        if self.line_masked:
+            return
         self._coalesced = 0
         if self.regs[REG_ICR] & self.regs[REG_IMS]:
             self.stats.interrupts += 1
             self._trace(NIC_IRQ, irq=self.irq, icr=self.regs[REG_ICR],
                         flushed=True)
             self.intc.raise_irq(self.irq)
+
+    def mask_line(self):
+        """Mask the interrupt line at the hypervisor (teardown window)."""
+        self.line_masked = True
+
+    def unmask_line(self):
+        """Unmask the line and deliver any cause that accrued meanwhile."""
+        self.line_masked = False
+        self.flush_interrupts()
 
 
 class Wire:

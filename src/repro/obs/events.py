@@ -19,6 +19,7 @@ SVM_MISS = "svm.miss"            # __svm_slow_path entered
 SVM_FILL = "svm.fill"            # slow path wrote a table entry
 SVM_FLUSH = "svm.flush"          # whole-table invalidation
 SVM_FAULT = "svm.fault"          # protection fault: access outside dom0
+SVM_INVALIDATE = "svm.invalidate"  # page (or full) mapping teardown
 
 # -- hypervisor substrate ---------------------------------------------------
 HYPERCALL = "xen.hypercall"
@@ -44,6 +45,13 @@ NIC_DMA_FAULT = "nic.dma_fault"  # the IOMMU refused a transfer
 PACKET_RX_DEMUX = "packet.rx.demux"   # hypervisor netif_rx MAC demux
 DRIVER_ABORT = "driver.abort"         # the hypervisor driver was killed
 
+# -- fault containment & recovery -------------------------------------------
+RECOVERY_QUARANTINE = "recovery.quarantine"  # faulting twin torn down
+RECOVERY_DEGRADED = "recovery.degraded"      # op served on the dom0 path
+RECOVERY_RELOAD = "recovery.reload"          # re-verify + reload attempt
+RECOVERY_BREAKER = "recovery.breaker"        # crash-loop breaker opened
+UPCALL_ABORT = "upcall.abort"                # in-flight upcall frames unwound
+
 # -- spans (emitted by the tracer) ------------------------------------------
 SPAN_BEGIN = "span.begin"
 SPAN_END = "span.end"
@@ -53,12 +61,15 @@ SPAN_PACKET_TX = "packet.tx"
 SPAN_PACKET_RX = "packet.rx"
 SPAN_IRQ = "irq"
 SPAN_UPCALL_PREFIX = "upcall:"
+SPAN_RECOVERY = "recovery"
 
 EVENT_KINDS = frozenset({
-    SVM_HIT, SVM_MISS, SVM_FILL, SVM_FLUSH, SVM_FAULT,
+    SVM_HIT, SVM_MISS, SVM_FILL, SVM_FLUSH, SVM_FAULT, SVM_INVALIDATE,
     HYPERCALL, DOMAIN_SWITCH, EVENT_SEND, VIRQ, SOFTIRQ,
     SUPPORT_CALL, NATIVE_CALL,
     NIC_IRQ, NIC_TX, NIC_RX, NIC_DESC, NIC_DMA_FAULT,
     PACKET_RX_DEMUX, DRIVER_ABORT,
+    RECOVERY_QUARANTINE, RECOVERY_DEGRADED, RECOVERY_RELOAD,
+    RECOVERY_BREAKER, UPCALL_ABORT,
     SPAN_BEGIN, SPAN_END,
 })

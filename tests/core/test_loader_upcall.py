@@ -169,6 +169,62 @@ class TestUpcallManager:
         one = one_invocation(1)
         assert two < 2 * one            # the extra is paid once
 
+    def test_nested_upcalls_do_not_clobber(self):
+        # a dom0 routine that itself triggers an upcall must not clobber
+        # the outer call's saved environment (the old single-slot
+        # _pending/_result did exactly that)
+        m, xen, k0, guest = self.make_env()
+        upcalls = UpcallManager(xen, k0)
+        inner_addr = m.register_native("dom0.inner", lambda cpu: 7)
+        inner_stub = upcalls.make_stub("inner", inner_addr)
+
+        def outer(cpu):
+            assert m.cpu.call_function(inner_stub, [],
+                                       stack_top=self.stack_top) == 7
+            return 42
+
+        outer_addr = m.register_native("dom0.outer", outer)
+        outer_stub = upcalls.make_stub("outer", outer_addr)
+        assert m.cpu.call_function(outer_stub, [],
+                                   stack_top=self.stack_top) == 42
+        assert upcalls.in_flight == 0
+
+    def test_masked_virq_aborts_upcall(self):
+        from repro.core import UpcallAborted
+        m, xen, k0, guest = self.make_env()
+        upcalls = UpcallManager(xen, k0)
+        addr = m.register_native("dom0.never", lambda cpu: 1)
+        stub = upcalls.make_stub("never", addr)
+        k0.domain.disable_virq()
+        with pytest.raises(UpcallAborted):
+            m.cpu.call_function(stub, [], stack_top=self.stack_top)
+        # the frame was popped on the way out: nothing left in flight
+        assert upcalls.in_flight == 0
+
+    def test_abort_unwind_clears_frames(self):
+        m, xen, k0, guest = self.make_env()
+        upcalls = UpcallManager(xen, k0)
+        unwound = []
+
+        def dom0_routine(cpu):
+            # simulate recovery tearing the stack down mid-upcall
+            unwound.append(upcalls.abort_unwind())
+            return 5
+
+        addr = m.register_native("dom0.teardown", dom0_routine)
+        stub = upcalls.make_stub("teardown", addr)
+        m.cpu.call_function(stub, [], stack_top=self.stack_top)
+        assert unwound == [1]
+        assert upcalls.in_flight == 0
+
+    def test_stub_cached_per_name(self):
+        # a driver reload re-binds the same stub natives (no leak)
+        m, xen, k0, guest = self.make_env()
+        upcalls = UpcallManager(xen, k0)
+        addr = m.register_native("dom0.once", lambda cpu: 0)
+        assert upcalls.make_stub("once", addr) == \
+            upcalls.make_stub("once", addr)
+
     def test_round_trip_cost_near_calibration(self):
         m, xen, k0, guest = self.make_env()
         upcalls = UpcallManager(xen, k0)

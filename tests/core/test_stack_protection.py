@@ -72,8 +72,10 @@ def make_twin(program=None, protect_stack=True):
     k0 = Kernel(m, dom0, costs=xen.costs, paravirtual=True)
     guest = xen.create_domain("guest")
     kg = Kernel(m, guest, costs=xen.costs, paravirtual=True)
+    # recovery off: these tests assert the raw §4.5 abort semantics
     twin = TwinDriverManager(xen, k0, program=program,
-                             protect_stack=protect_stack)
+                             protect_stack=protect_stack,
+                             recovery=False)
     nic = m.add_nic()
     twin.attach_nic(nic)
     dev = ParavirtNetDevice(twin, kg, mac=GUEST_MAC)

@@ -5,8 +5,10 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core import (
+    EMPTY_TAG,
     STLB_ENTRIES,
     SvmManager,
+    SvmMapExhausted,
     SvmProtectionFault,
     SvmView,
     stlb_index,
@@ -142,9 +144,138 @@ class TestProtection:
     def test_flush_invalidates_table_keeps_mappings(self):
         m, dom0, svm = make_env()
         a = svm.translate(0xC0000000)
+        before = svm._next_map
         svm.flush()
         assert svm.lookup_fast(0xC0000000) is None
+        # the VA chunk is reused, so the translation is stable and the
+        # allocator does not leak a fresh pair per flush cycle
         assert svm.translate(0xC0000000) == a
+        assert svm._next_map == before
+
+    def test_flush_reruns_permission_check(self):
+        # a page unmapped from dom0 after translation must not survive a
+        # flush: the re-translation goes back through _check_permitted
+        m, dom0, svm = make_env()
+        svm.translate(0xC0003000)
+        dom0.unmap_page(0xC0003000)
+        svm.flush()
+        with pytest.raises(SvmProtectionFault):
+            svm.translate(0xC0003000)
+
+    def test_flush_clears_chains_not_just_table(self):
+        # the old flush() left the Python chains populated, so translate()
+        # kept answering from the stale xormap without any re-check
+        m, dom0, svm = make_env()
+        svm.translate(0xC0000000)
+        svm.flush()
+        assert svm.chains == {}
+
+
+class TestLifetimes:
+    """Invalidation, VA reclamation and window exhaustion."""
+
+    def test_invalidate_clears_translation(self):
+        m, dom0, svm = make_env()
+        svm.translate(0xC0004000)
+        svm.invalidate(0xC0004123)          # any address in the page
+        assert 0xC0004000 not in svm.chains
+        assert 0xC0004000 not in svm.mappings
+        assert svm.lookup_fast(0xC0004000) is None
+
+    def test_invalidate_reclaims_pair_for_reuse(self):
+        m, dom0, svm = make_env()
+        a = svm.translate(0xC0000000) & 0xFFFFF000
+        svm.translate(0xC0004000)           # distant page: its own pair
+        svm.invalidate(0xC0000000)
+        # the freed chunk is recycled for the next distant page
+        dom0.map_new_pages(0xC2000000, 1)
+        b = svm.translate(0xC2000000) & 0xFFFFF000
+        assert b == a
+        snap = svm.counters_snapshot()
+        assert snap["invalidate"] == 1 and snap["reclaim"] == 1
+
+    def test_invalidate_keeps_chunk_under_neighbour_extension(self):
+        # pages mapped back-to-back share VA chunks (the pair of page N
+        # already maps page N+1); invalidating one of them must not free
+        # VA the other's translation still points into
+        m, dom0, svm = make_env()
+        svm.translate(0xC0000000)
+        svm.translate(0xC0001000)           # extends the first pair
+        svm.invalidate(0xC0000000)
+        assert svm._free_pairs == []        # nothing reclaimed
+        # the extended page still translates correctly
+        dom0.write_u32(0xC0001040, 0xCAFED00D)
+        view = AddressSpace("check", m.phys, m.hypervisor_table)
+        assert view.read_u32(svm.translate(0xC0001040)) == 0xCAFED00D
+
+    def test_no_va_leak_for_repeated_pages(self):
+        # re-translating the same page after flushes must not consume new
+        # window space (the pre-fix bump allocator leaked a pair per miss)
+        m, dom0, svm = make_env()
+        svm.translate(0xC0000000)
+        grown = svm._next_map
+        for _ in range(10):
+            svm.flush()
+            svm.translate(0xC0000000)
+        assert svm._next_map == grown
+
+    def test_window_exhaustion_raises(self):
+        m = Machine()
+        dom0 = AddressSpace("dom0", m.phys, m.hypervisor_table)
+        dom0.map_new_pages(0xC0000000, 8)
+        table_addr = 0xF0300000
+        for i in range(8):
+            m.hypervisor_table.map((table_addr >> 12) + i,
+                                   m.phys.allocate_frame())
+        svm = SvmManager(m, table_addr, dom0, identity=False,
+                         map_base=0xF4000000, name="tiny",
+                         map_size=4 * PAGE_SIZE)     # room for two pairs
+        svm.translate(0xC0000000)
+        svm.translate(0xC0004000)
+        dom0.map_new_pages(0xC2000000, 1)
+        with pytest.raises(SvmMapExhausted):
+            svm.translate(0xC2000000)
+        # reclaiming makes room again
+        svm.invalidate(0xC0004000)
+        assert svm.translate(0xC2000000) is not None
+
+    def test_invalidate_all_resets_window(self):
+        m, dom0, svm = make_env()
+        svm.translate(0xC0000000)
+        svm.translate(0xC0004000)
+        svm.invalidate_all()
+        assert svm.chains == {} and svm.mappings == {}
+        assert svm._next_map == svm.map_base
+        # and nothing stays mapped in the hypervisor window
+        view = AddressSpace("check", m.phys, m.hypervisor_table)
+        from repro.machine import PageFault
+        with pytest.raises(PageFault):
+            view.read_u32(svm.map_base)
+
+    def test_inject_fault_is_transient(self):
+        m, dom0, svm = make_env()
+        svm.inject_fault()
+        with pytest.raises(SvmProtectionFault):
+            svm.translate(0xC0000000)
+        assert svm.translate(0xC0000000)    # next attempt succeeds
+
+
+class TestEmptyTagSentinel:
+    def test_fresh_table_is_all_empty(self):
+        m, dom0, svm = make_env()
+        tag, xormap = svm.read_entry(0)
+        assert tag == EMPTY_TAG and xormap == 0
+        assert svm.lookup_fast(0xC0000000) is None
+
+    def test_page_zero_hits_fast_path(self):
+        # tag 0 is dom0 page 0's *valid* tag; the old `tag == 0` empty
+        # sentinel condemned it to a permanent slow-path loop
+        m, dom0, svm = make_env()
+        dom0.map_new_pages(0x00000000, 1)
+        svm.handle_miss(0x00000010)
+        misses = svm.misses
+        assert svm.lookup_fast(0x00000010) is not None
+        assert svm.misses == misses         # served by the fast path
 
 
 class TestIdentityMode:

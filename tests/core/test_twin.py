@@ -286,7 +286,9 @@ class TestSafety:
         )
         program = assemble(bad_asm, constants=DRIVER_CONSTANTS,
                            name="e1000-bad")
-        twin = TwinDriverManager(xen, k0, program=program)
+        # recovery off: this class asserts the raw §4.5 abort semantics
+        # (tests/recovery/ covers the contained behaviour)
+        twin = TwinDriverManager(xen, k0, program=program, recovery=False)
         nic = m.add_nic()
         twin.attach_nic(nic)
         dev = ParavirtNetDevice(twin, kg, mac=GUEST_MAC)

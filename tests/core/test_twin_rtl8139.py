@@ -136,7 +136,7 @@ class TestTwinnedRtl8139:
         guest = xen.create_domain("guest")
         kg = Kernel(m, guest, costs=xen.costs, paravirtual=True)
         twin = TwinDriverManager(xen, k0, driver=RTL8139_SPEC,
-                                 program=program)
+                                 program=program, recovery=False)
         twin.attach_nic(m.add_nic(model="rtl8139"))
         dev = ParavirtNetDevice(twin, kg, mac=GUEST_MAC)
         xen.switch_to(guest)

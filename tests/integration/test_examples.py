@@ -34,6 +34,20 @@ class TestExamples:
         assert "driver aborted" in out
         assert "secret leaked to the wire: False" in out
         assert "driver healthy (aborted=False)" in out
+        # the recovery demos: containment, reload, breaker
+        assert "transmits accepted: True" in out
+        assert "reload=1 (state=active)" in out
+        assert "breaker open: True" in out
+        # and the machine-readable result CI consumes
+        import json
+        result_path = (EXAMPLES.parent / "benchmarks" / "results"
+                       / "fault_recovery.json")
+        doc = json.loads(result_path.read_text())
+        assert doc["schema"] == "repro-bench-result/v1"
+        assert doc["metrics"]["transmits_survived"] == 1
+        assert doc["metrics"]["recovered"] >= 1
+        assert doc["metrics"]["breaker_opened"] == 1
+        assert doc["obs"]["recovery.quarantine"] >= 1
 
     def test_second_driver(self):
         out = run_example("second_driver.py")
