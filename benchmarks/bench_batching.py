@@ -1,0 +1,84 @@
+"""Interrupt-coalescing sweep on the TwinDrivers receive path (§5.3).
+
+Sweeps the NIC interrupt batch over {1, 2, 4, 8, 16, 32} on the
+``domU-twin`` configuration and measures steady-state per-packet Xen
+cycles on receive. Coalescing amortises interrupt virtualization, the
+driver ISR softirq and — since the batched flush — the per-guest virtual
+interrupt across the batch, so Xen cycles/packet must decrease
+monotonically with the batch size.
+
+The JSON result also records ``virq_events`` vs ``packets_delivered`` at
+the default batch of 8: CI asserts the coalesced path raises strictly
+fewer virtual interrupts than it delivers packets.
+"""
+
+import pytest
+
+from repro.workloads import profile_config
+
+from .common import header, report
+
+BATCH_SWEEP = (1, 2, 4, 8, 16, 32)
+DEFAULT_BATCH = 8
+PACKETS = 256
+WARMUP = 64
+
+
+def virq_events(counters):
+    """Virtual interrupts the rx run charged (per-packet + coalesced)."""
+    return (counters.get("xen.virq", 0)
+            + counters.get("xen.virq_coalesced", 0))
+
+
+def run_sweep():
+    results = {}
+    for batch in BATCH_SWEEP:
+        prof = profile_config("domU-twin", "rx", packets=PACKETS,
+                              warmup=WARMUP, interrupt_batch=batch)
+        results[batch] = prof
+    return results
+
+
+@pytest.mark.benchmark(group="batching")
+def test_batching_sweep(benchmark):
+    results = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    lines = list(header("Rx interrupt coalescing: Xen cycles/packet",
+                        paper_col="batch", meas_col="Xen cyc/pkt"))
+    metrics = {}
+    xen_per_packet = {}
+    for batch, prof in results.items():
+        per_packet = prof.cycles["Xen"] / prof.packets
+        xen_per_packet[batch] = per_packet
+        events = virq_events(prof.counters)
+        lines.append(f"  {'interrupt_batch':34s} {batch:>10d}   "
+                     f"{per_packet:>10.0f} cyc   "
+                     f"({events} virqs / {prof.packets} pkts)")
+        metrics[f"batch_{batch}"] = {
+            "xen_cycles_per_packet": per_packet,
+            "total_cycles_per_packet": prof.total_per_packet,
+            "virq_events": events,
+            "packets_delivered": prof.packets,
+        }
+
+    default = results[DEFAULT_BATCH]
+    metrics["virq_events"] = virq_events(default.counters)
+    metrics["packets_delivered"] = default.packets
+    lines.append("")
+    lines.append(f"  default batch {DEFAULT_BATCH}: "
+                 f"{metrics['virq_events']} coalesced virqs for "
+                 f"{metrics['packets_delivered']} packets")
+    report("batching_sweep", lines,
+           metrics=metrics,
+           config={"config": "domU-twin", "direction": "rx",
+                   "packets": PACKETS, "warmup": WARMUP,
+                   "batch_sweep": list(BATCH_SWEEP),
+                   "default_batch": DEFAULT_BATCH},
+           obs={str(b): dict(p.counters) for b, p in results.items()})
+
+    # per-packet Xen rx cost must fall monotonically with the batch size
+    ordered = [xen_per_packet[b] for b in BATCH_SWEEP]
+    for smaller, larger in zip(ordered, ordered[1:]):
+        assert larger < smaller, (
+            f"Xen cycles/packet not monotonically decreasing: {ordered}")
+    # coalescing must charge strictly fewer virqs than packets delivered
+    assert metrics["virq_events"] < metrics["packets_delivered"]

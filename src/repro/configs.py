@@ -19,7 +19,11 @@ from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
 from .core.paravirt import ParavirtNetDevice
-from .core.twin import TwinDriverManager
+from .core.twin import (
+    DEFAULT_RX_BATCH_BUDGET,
+    DEFAULT_TX_BATCH_MAX,
+    TwinDriverManager,
+)
 from .drivers.e1000 import build_e1000_program
 from .machine.machine import Machine
 from .machine.nic import E1000Device
@@ -49,6 +53,12 @@ UPCALL_SWEEP_ORDER = (
 )
 
 GUEST_MAC_PREFIX = b"\x00\x16\x3e\xaa\x00"
+
+#: Batching knobs for the TwinDrivers fast path (see DESIGN.md §9):
+#: packets a guest may receive per flush under one coalesced virtual
+#: interrupt, and the frame cap per guest_transmit_batch burst.
+RX_BATCH_BUDGET = DEFAULT_RX_BATCH_BUDGET
+TX_BATCH_MAX = DEFAULT_TX_BATCH_MAX
 
 
 @dataclass
@@ -270,10 +280,13 @@ def build_domU_standard(n_nics: int = 5, interrupt_batch: int = 8,
 def build_domU_twin(n_nics: int = 5, interrupt_batch: int = 8,
                     n_upcalls: int = 0,
                     costs: Optional[CostModel] = None,
-                    iommu: bool = False) -> SystemUnderTest:
+                    iommu: bool = False,
+                    rx_batch_budget: int = RX_BATCH_BUDGET,
+                    tx_batch_max: int = TX_BATCH_MAX) -> SystemUnderTest:
     """``n_upcalls``: how many fast-path routines are served by upcalls
     instead of hypervisor implementations (0 = the full TwinDrivers
-    configuration; figure 10 sweeps 0..9)."""
+    configuration; figure 10 sweeps 0..9). ``rx_batch_budget`` /
+    ``tx_batch_max`` tune the §5.3 batching fast path."""
     if not 0 <= n_upcalls <= len(UPCALL_SWEEP_ORDER):
         raise ValueError("n_upcalls out of range")
     costs = costs or CostModel()
@@ -292,6 +305,8 @@ def build_domU_twin(n_nics: int = 5, interrupt_batch: int = 8,
         xen, dom0_kernel,
         upcall_routines=UPCALL_SWEEP_ORDER[:n_upcalls],
         pool_size=max(256, 96 * n_nics),
+        rx_batch_budget=rx_batch_budget,
+        tx_batch_max=tx_batch_max,
     )
     for nic in nics:
         twin.attach_nic(nic)

@@ -176,16 +176,22 @@ class HypervisorSupport:
         skb_addr = self.pool.acquire()
         if skb_addr is None:
             return 0                      # driver's alloc-failure path
-        skb = SkBuff(self.view, skb_addr)
-        head = skb.head
-        skb.data = head
-        skb.tail = head
-        skb.len = 0
-        skb.nr_frags = 0
-        skb._set(L.SKB_DATA_LEN, 0, 2)
-        skb.refcnt = 1
-        skb.reserve(L.NET_SKB_PAD)
-        skb.dev = dev
+        try:
+            skb = SkBuff(self.view, skb_addr)
+            head = skb.head
+            skb.data = head
+            skb.tail = head
+            skb.len = 0
+            skb.nr_frags = 0
+            skb._set(L.SKB_DATA_LEN, 0, 2)
+            skb.refcnt = 1
+            skb.reserve(L.NET_SKB_PAD)
+            skb.dev = dev
+        except Exception:
+            # the init writes go through the stlb and can fault: don't
+            # strand the just-acquired buffer in ``outstanding``
+            self.pool.release(skb_addr)
+            raise
         return skb_addr
 
     def dev_kfree_skb_any(self, skb_addr: int) -> int:

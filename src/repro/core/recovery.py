@@ -183,6 +183,12 @@ class RecoveryManager:
         # a spin_lock_irqsave window).
         locks = twin.hyp_support.release_held_locks()
         self._c["locks_released"].value += locks
+        # Drop interrupts deferred on the virq mask BEFORE re-enabling it:
+        # the domain's unmask hook would otherwise replay them into the
+        # instance being dismantled. Nothing is lost — their causes are
+        # still latched in the (masked) NICs and are replayed onto the
+        # degraded path when handle_abort unmasks the lines.
+        twin._deferred_irqs.clear()
         twin.dom0_kernel.domain.enable_virq()
         # Drop queued-but-undelivered receives and reclaim every pool
         # sk_buff the instance was holding.
@@ -272,15 +278,26 @@ class RecoveryManager:
         skb = SkBuff(mem, skb_addr)
         # eth_type_trans already pulled the header: MAC is at data - 14.
         dst_mac = mem.read_bytes(skb.data - L.ETH_HLEN, L.ETH_ALEN)
+        costs = self.xen.costs
+        if dst_mac[0] & 1:
+            # broadcast/multicast: every guest gets a copy, and dom0's
+            # own stack still sees the frame
+            payload = mem.read_bytes(skb.data, skb.len)
+            for guest in twin.guest_devices:
+                self.xen.charge_xen(costs.copy_cost(len(payload)))
+                self.xen.charge_xen(costs.virq_delivery)
+                guest.deliver(payload)
+            handler = self._saved_rx_handler or kernel._rx_deliver_local
+            handler(skb_addr)
+            return
         guest = twin.guests_by_mac.get(dst_mac)
-        if guest is None and twin.guest_devices:
-            guest = twin.guest_devices[0]
         if guest is None:
+            # unknown unicast belongs to dom0's own stack, not to
+            # whichever guest happens to be first
             handler = self._saved_rx_handler or kernel._rx_deliver_local
             handler(skb_addr)
             return
         payload = mem.read_bytes(skb.data, skb.len)
-        costs = self.xen.costs
         self.xen.charge_xen(costs.copy_cost(len(payload)))
         self.xen.charge_xen(costs.virq_delivery)
         kernel.free_skb(skb_addr)

@@ -58,6 +58,14 @@ from .upcall import UpcallAborted, UpcallManager
 CONTAINABLE_FAULTS = (DriverAborted, SvmProtectionFault, SvmMapExhausted,
                       UpcallAborted)
 
+#: NAPI-style receive budget: packets delivered per guest per
+#: :meth:`TwinDriverManager.flush_rx` pass; leftovers are requeued and a
+#: softirq continues the flush. Overridden via ``configs.RX_BATCH_BUDGET``.
+DEFAULT_RX_BATCH_BUDGET = 64
+#: Upper bound on frames accepted per :meth:`guest_transmit_batch` call.
+#: Overridden via ``configs.TX_BATCH_MAX``.
+DEFAULT_TX_BATCH_MAX = 32
+
 
 class TwinDriverManager:
     """Orchestrates the whole twinning flow (paper §3/§5)."""
@@ -71,7 +79,9 @@ class TwinDriverManager:
                  driver: Optional[DriverSpec] = None,
                  verify: bool = True,
                  recovery: bool = True,
-                 recovery_policy: Optional[RecoveryPolicy] = None):
+                 recovery_policy: Optional[RecoveryPolicy] = None,
+                 rx_batch_budget: int = DEFAULT_RX_BATCH_BUDGET,
+                 tx_batch_max: int = DEFAULT_TX_BATCH_MAX):
         """``upcall_routines``: fast-path routine names to serve via
         upcalls instead of hypervisor implementations (figure 10).
         ``protect_stack`` enables the §4.5.1 extension (bounds checks on
@@ -84,7 +94,10 @@ class TwinDriverManager:
         ``recovery`` (default on) arms the fault-containment subsystem:
         faults at the hypervisor boundary quarantine the instance and
         degrade to the dom0 path instead of propagating; set it False to
-        get the raw §4.5 abort semantics (tests)."""
+        get the raw §4.5 abort semantics (tests).
+        ``rx_batch_budget`` caps packets delivered per guest per
+        :meth:`flush_rx` pass (NAPI-style); ``tx_batch_max`` caps frames
+        per :meth:`guest_transmit_batch`."""
         self.xen = xen
         self.machine = xen.machine
         self.dom0_kernel = dom0_kernel
@@ -174,6 +187,22 @@ class TwinDriverManager:
         self._rx_queue: List[Tuple[ParavirtNetDevice, int]] = []
         self.rx_dropped_no_guest = 0
         self._deferred_irqs: List[int] = []
+
+        # fast-path batching knobs (§5.3: one copy pass + one virtual
+        # interrupt per scheduled guest, not per packet)
+        if rx_batch_budget < 1:
+            raise ValueError("rx_batch_budget must be >= 1")
+        if tx_batch_max < 1:
+            raise ValueError("tx_batch_max must be >= 1")
+        self.rx_batch_budget = rx_batch_budget
+        self.tx_batch_max = tx_batch_max
+        registry = self.machine.obs.registry
+        self._h_rx_batch = registry.histogram("twin.rx_batch_size")
+        self._h_tx_batch = registry.histogram("twin.tx_batch_size")
+
+        # deferred NIC interrupts are replayed as soon as dom0 re-enables
+        # its virtual interrupt flag (or is next scheduled with it set)
+        dom0_kernel.domain.unmask_hooks.append(self._on_dom0_virq_unmask)
 
         # fault containment & recovery (None = raw abort semantics)
         self.recovery: Optional[RecoveryManager] = (
@@ -304,6 +333,17 @@ class TwinDriverManager:
         for irq in pending:
             self._run_interrupt(irq)
 
+    def _on_dom0_virq_unmask(self):
+        """Domain unmask hook: dom0 re-enabled its virtual interrupt flag,
+        so any NIC interrupts parked in ``_deferred_irqs`` can now run.
+        Like :meth:`_handle_nic_irq`, the replay happens in softirq
+        context and is deferred while a driver invocation is in flight."""
+        if not self._deferred_irqs:
+            return
+        self.xen.raise_softirq(self.retry_deferred_interrupts)
+        if self.xen.driver_depth == 0:
+            self.xen.run_softirqs()
+
     # ----------------------------------------------------------------- transmit
 
     def guest_transmit(self, dev: ParavirtNetDevice, buf: int,
@@ -336,7 +376,7 @@ class TwinDriverManager:
             return self.recovery.degraded_transmit(dev, buf, frame_len)
 
     def _guest_transmit(self, dev: ParavirtNetDevice, buf: int,
-                        frame_len: int) -> bool:
+                        frame_len: int, entry: Optional[int] = None) -> bool:
         costs = self.xen.costs
         if self.driver_spec.scatter_gather:
             header, frags = dev.guest_frame_fragments(buf, frame_len)
@@ -351,73 +391,180 @@ class TwinDriverManager:
         self._charge_support("netdev_alloc_skb")
         if skb_addr == 0:
             return False
-        skb = SkBuff(self.hyp_support.view, skb_addr)
-        # copy the header (or, without SG, the whole frame) into the skb
-        skb.put(len(header))
-        self.hyp_support.view.write_bytes(skb.data, header)
-        self.xen.charge_xen(costs.copy_cost(len(header)))
-        # ... and chain the rest of the guest packet as page fragments
-        for page, off, size in frags:
-            skb.add_frag(page, off, size)
-            self.xen.charge_xen(costs.frag_chain)
-
-        xmit_vm = NetDevice(self.dom0_kernel.domain.aspace,
-                            dev.netdev_addr).hard_start_xmit
-        entry = self.hyp_driver.entry_for_vm_address(xmit_vm)
-        result = self.hyp_driver.invoke(entry, [skb_addr, dev.netdev_addr],
-                                        upcalls=self.upcalls)
+        try:
+            skb = SkBuff(self.hyp_support.view, skb_addr)
+            # copy the header (or, without SG, the whole frame) into the
+            # skb — these writes go through the stlb and can fault too
+            skb.put(len(header))
+            self.hyp_support.view.write_bytes(skb.data, header)
+            self.xen.charge_xen(costs.copy_cost(len(header)))
+            # ... chain the rest of the guest packet as page fragments
+            for page, off, size in frags:
+                skb.add_frag(page, off, size)
+                self.xen.charge_xen(costs.frag_chain)
+            if entry is None:
+                entry = self._xmit_entry(dev)
+            result = self.hyp_driver.invoke(
+                entry, [skb_addr, dev.netdev_addr], upcalls=self.upcalls)
+        except CONTAINABLE_FAULTS:
+            # the staged skb would otherwise stay 'outstanding' forever:
+            # the faulting instance never gets to free it, and the
+            # degraded path allocates its own
+            self.hyp_support.pool.release(skb_addr)
+            raise
         if result != 0:
             self.hyp_support.dev_kfree_skb_any(skb_addr)
             self._charge_support("dev_kfree_skb_any")
             return False
         return True
 
+    def _xmit_entry(self, dev: ParavirtNetDevice) -> int:
+        xmit_vm = NetDevice(self.dom0_kernel.domain.aspace,
+                            dev.netdev_addr).hard_start_xmit
+        return self.hyp_driver.entry_for_vm_address(xmit_vm)
+
+    def guest_transmit_batch(self, dev: ParavirtNetDevice,
+                             frames: List[Tuple[int, int]]) -> List[bool]:
+        """Transmit a burst of staged guest frames (``(buf, len)`` pairs)
+        under one span, resolving the driver's ``hard_start_xmit`` entry
+        once for the whole batch. A containable fault mid-batch routes the
+        faulting frame *and the rest of the burst* through the degraded
+        per-packet path, so the guest still gets one result per frame."""
+        if dev.netdev_addr is None:
+            raise RuntimeError("guest device not bound to a NIC")
+        if len(frames) > self.tx_batch_max:
+            raise ValueError(
+                f"batch of {len(frames)} exceeds tx_batch_max="
+                f"{self.tx_batch_max}")
+        if not frames:
+            return []
+        self._h_tx_batch.observe(len(frames))
+        tracer = self.machine.obs.tracer
+        total = sum(frame_len for _, frame_len in frames)
+        span = (tracer.begin_span(SPAN_PACKET_TX, len=total,
+                                  batch=len(frames))
+                if tracer.enabled else None)
+        try:
+            return self._guest_transmit_burst(dev, frames)
+        finally:
+            if span is not None:
+                tracer.end_span(span)
+
+    def _guest_transmit_burst(self, dev: ParavirtNetDevice,
+                              frames: List[Tuple[int, int]]) -> List[bool]:
+        if self.recovery is not None and self.recovery.degraded:
+            return [self.recovery.degraded_transmit(dev, buf, frame_len)
+                    for buf, frame_len in frames]
+        entry = self._xmit_entry(dev)
+        results: List[bool] = []
+        for index, (buf, frame_len) in enumerate(frames):
+            try:
+                results.append(
+                    self._guest_transmit(dev, buf, frame_len, entry=entry))
+            except CONTAINABLE_FAULTS as exc:
+                if self.recovery is None:
+                    raise
+                self.recovery.handle_abort(exc)
+                # per-packet fallback: this frame and the remainder of
+                # the burst go through the degraded dom0 path
+                results.extend(
+                    self.recovery.degraded_transmit(dev, b, n)
+                    for b, n in frames[index:])
+                break
+        return results
+
     # ------------------------------------------------------------------ receive
 
     def hypervisor_netif_rx(self, skb_addr: int):
         """The hypervisor's netif_rx: demultiplex on destination MAC and
-        queue for the owning guest (paper §5.3)."""
+        queue for the owning guest (paper §5.3). Broadcast/multicast
+        frames (group bit set) are queued for *every* guest — the skb's
+        refcount is raised so each delivery drops one reference. Unicast
+        frames with no owning guest are dropped and counted."""
         costs = self.xen.costs
         self.xen.charge_xen(costs.twin_rx_demux)
         skb = SkBuff(self.hyp_support.view, skb_addr)
         # eth_type_trans already pulled the header: MAC is at data - 14.
         dst_mac = self.hyp_support.view.read_bytes(skb.data - L.ETH_HLEN,
                                                    L.ETH_ALEN)
-        guest = self.guests_by_mac.get(dst_mac)
-        if guest is None and self.guest_devices:
-            guest = self.guest_devices[0]
+        if dst_mac[0] & 1:
+            # broadcast / multicast: every guest gets a copy
+            targets = list(self.guest_devices)
+        else:
+            guest = self.guests_by_mac.get(dst_mac)
+            targets = [guest] if guest is not None else []
         tracer = self.machine.obs.tracer
         if tracer.enabled:
             tracer.emit(PACKET_RX_DEMUX, skb=skb_addr, len=skb.len,
-                        matched=guest is not None)
-        if guest is None:
+                        matched=bool(targets), ntargets=len(targets))
+        if not targets:
             self.rx_dropped_no_guest += 1
             self.hyp_support.dev_kfree_skb_any(skb_addr)
             self._charge_support("dev_kfree_skb_any")
             return
-        self._rx_queue.append((guest, skb_addr))
+        if len(targets) > 1:
+            skb.refcnt = skb.refcnt + len(targets) - 1
+        for target in targets:
+            self._rx_queue.append((target, skb_addr))
 
     def flush_rx(self):
         """'When the guest domain is scheduled next, the hypervisor copies
         the packets into guest domain buffers and raises a virtual
-        interrupt' (§5.3)."""
+        interrupt' (§5.3).
+
+        Packets are delivered in per-guest batches: each guest gets at
+        most ``rx_batch_budget`` packets per pass (NAPI-style) under ONE
+        coalesced virtual interrupt; packets over budget are requeued and
+        a softirq continues the flush."""
         costs = self.xen.costs
         tracer = self.machine.obs.tracer
         queue, self._rx_queue = self._rx_queue, []
+
+        # group into per-guest batches, preserving arrival order both
+        # within a batch and across guests (first-seen order)
+        batches: Dict[ParavirtNetDevice, List[int]] = {}
+        order: List[ParavirtNetDevice] = []
+        leftovers: List[Tuple[ParavirtNetDevice, int]] = []
         for guest, skb_addr in queue:
-            skb = SkBuff(self.hyp_support.view, skb_addr)
-            payload = self.hyp_support.view.read_bytes(skb.data, skb.len)
-            span = (tracer.begin_span(SPAN_PACKET_RX, len=len(payload))
-                    if tracer.enabled else None)
-            self.xen.charge_xen(costs.copy_cost(len(payload))
-                                + costs.twin_rx_copy_extra)
-            self.xen.charge_xen(costs.virq_delivery)
-            self.machine.account.charge("dom0", costs.twin_rx_dom0_share)
-            self.hyp_support.dev_kfree_skb_any(skb_addr)
-            self._charge_support("dev_kfree_skb_any")
-            guest.deliver(payload)
-            if span is not None:
-                tracer.end_span(span)
+            batch = batches.get(guest)
+            if batch is None:
+                batch = batches[guest] = []
+                order.append(guest)
+            if len(batch) < self.rx_batch_budget:
+                batch.append(skb_addr)
+            else:
+                leftovers.append((guest, skb_addr))
+
+        for guest in order:
+            batch = batches[guest]
+            payloads: List[bytes] = []
+            for skb_addr in batch:
+                skb = SkBuff(self.hyp_support.view, skb_addr)
+                payload = self.hyp_support.view.read_bytes(skb.data, skb.len)
+                span = (tracer.begin_span(SPAN_PACKET_RX, len=len(payload))
+                        if tracer.enabled else None)
+                self.xen.charge_xen(costs.copy_cost(len(payload))
+                                    + costs.twin_rx_copy_extra)
+                self.machine.account.charge("dom0", costs.twin_rx_dom0_share)
+                self.hyp_support.dev_kfree_skb_any(skb_addr)
+                self._charge_support("dev_kfree_skb_any")
+                payloads.append(payload)
+                if span is not None:
+                    tracer.end_span(span)
+            # ONE virtual interrupt for the whole batch (was one per
+            # packet): the coalescing §5.3 promises
+            self._h_rx_batch.observe(len(payloads))
+            self.xen.deliver_coalesced_virq(guest.kernel.domain,
+                                            len(payloads))
+            guest.deliver_batch(payloads)
+
+        if leftovers:
+            # budget exhausted for at least one guest: requeue and let a
+            # softirq continue (keeps any one guest from starving others)
+            self._rx_queue.extend(leftovers)
+            self.xen.raise_softirq(self.flush_rx)
+            if self.xen.driver_depth == 0:
+                self.xen.run_softirqs()
 
     # ------------------------------------------------------------------- helpers
 

@@ -105,6 +105,17 @@ class LoadedProgram:
         self.addrs = layout(program, base)
         self.end = base + code_size(program)
         self.addr_to_index = {a: i for i, a in enumerate(self.addrs)}
+        #: fall-through successor of each instruction (precomputed so the
+        #: interpreter hot loop does no bounds arithmetic).
+        self.next_addrs = [
+            self.addrs[i + 1] if i + 1 < len(self.addrs) else self.end
+            for i in range(len(self.addrs))
+        ]
+        #: per-instruction dispatch cache: compiled handler closures,
+        #: filled lazily on first execution (see ``_compile_instruction``).
+        self.handlers: List[Optional[Callable[["Cpu"], None]]] = (
+            [None] * len(program.instructions)
+        )
         self.symbols = {
             label: (self.addrs[i] if i < len(self.addrs) else self.end)
             for label, i in program.labels.items()
@@ -134,6 +145,9 @@ class CodeRegistry:
     def __init__(self):
         self._bases: List[int] = []
         self._programs: List[LoadedProgram] = []
+        #: bumped on every register/unregister so CPU-side program caches
+        #: can tell when a cached LoadedProgram may be stale.
+        self.epoch = 0
 
     def register(self, loaded: LoadedProgram):
         for base, prog in zip(self._bases, self._programs):
@@ -144,6 +158,7 @@ class CodeRegistry:
         pos = bisect_right(self._bases, loaded.base)
         self._bases.insert(pos, loaded.base)
         self._programs.insert(pos, loaded)
+        self.epoch += 1
 
     def unregister(self, loaded: LoadedProgram):
         """Remove a loaded program (driver quarantine/reload) so a new
@@ -152,6 +167,7 @@ class CodeRegistry:
             if prog is loaded:
                 del self._bases[pos]
                 del self._programs[pos]
+                self.epoch += 1
                 return
         raise ValueError(f"program not registered: {loaded.name}")
 
@@ -227,6 +243,9 @@ class Cpu:
         self.cycle_scale = 1.0
         #: trace ring (set by Machine); None for bare test CPUs.
         self.tracer = None
+        #: (LoadedProgram, registry-epoch) of the last fetch — straight-line
+        #: execution skips the registry bisect entirely.
+        self._prog_cache: Optional[Tuple[LoadedProgram, int]] = None
 
     # -- accounting ----------------------------------------------------------
 
@@ -518,15 +537,24 @@ class Cpu:
     # -- the interpreter ---------------------------------------------------------------
 
     def step(self):
-        loaded, index = self.code.lookup(self.eip)
-        instr = loaded.program.instructions[index]
+        eip = self.eip
+        cache = self._prog_cache
+        index = None
+        if cache is not None and cache[1] == self.code.epoch:
+            loaded = cache[0]
+            if loaded.base <= eip < loaded.end:
+                index = loaded.addr_to_index.get(eip)
+        if index is None:
+            loaded, index = self.code.lookup(eip)
+            self._prog_cache = (loaded, self.code.epoch)
         self.executed += 1
-        next_addr = (
-            loaded.addrs[index + 1]
-            if index + 1 < len(loaded.addrs) else loaded.end
-        )
-        self.eip = next_addr
-        self._execute(instr, loaded, index)
+        self.eip = loaded.next_addrs[index]
+        handler = loaded.handlers[index]
+        if handler is None:
+            handler = loaded.handlers[index] = _compile_instruction(
+                loaded.program.instructions[index], loaded, index
+            )
+        handler(self)
 
     def _branch_target(self, instr: Instruction, loaded: LoadedProgram,
                        index: int) -> int:
@@ -740,3 +768,393 @@ class Cpu:
                 break
             if instr.prefix == "repne" and zf:
                 break
+
+
+# ---------------------------------------------------------------------------
+# Instruction dispatch cache
+# ---------------------------------------------------------------------------
+#
+# ``step()`` used to re-dispatch every instruction on its mnemonic string
+# (a chain of comparisons plus a per-call condition-table rebuild). The
+# compiler below turns each instruction into a specialized closure — the
+# mnemonic test, operand decoding and branch-target resolution happen once,
+# at first execution, and the closure is cached on the LoadedProgram keyed
+# by instruction index. Cycle accounting is bit-identical to ``_execute``:
+# the same ``charge`` calls happen in the same order with the same values.
+
+#: full (32-bit) register names — sub-register access goes through
+#: get_reg/set_reg, full registers are read/written directly.
+_FULL_REGS = frozenset(
+    ("eax", "ecx", "edx", "ebx", "esp", "ebp", "esi", "edi"))
+
+_CONDITIONS: Dict[str, Callable[[Dict[str, bool]], bool]] = {
+    "je": lambda f: f["zf"], "jz": lambda f: f["zf"],
+    "jne": lambda f: not f["zf"], "jnz": lambda f: not f["zf"],
+    "jl": lambda f: f["sf"] != f["of"],
+    "jge": lambda f: f["sf"] == f["of"],
+    "jle": lambda f: f["zf"] or (f["sf"] != f["of"]),
+    "jg": lambda f: (not f["zf"]) and f["sf"] == f["of"],
+    "jb": lambda f: f["cf"],
+    "jae": lambda f: not f["cf"],
+    "jbe": lambda f: f["cf"] or f["zf"],
+    "ja": lambda f: not (f["cf"] or f["zf"]),
+    "js": lambda f: f["sf"],
+    "jns": lambda f: not f["sf"],
+}
+
+
+def _ea_thunk(mem: Mem) -> Callable[[Cpu], int]:
+    """Compile an effective-address computation for one Mem operand."""
+    if mem.symbol is not None:
+        symbol = mem.symbol
+
+        def unresolved(cpu: Cpu) -> int:
+            raise UnresolvedSymbol(
+                f"unresolved data symbol {symbol!r} at execution"
+            )
+        return unresolved
+    disp, base, index, scale = mem.disp, mem.base, mem.index, mem.scale
+    if base is None and index is None:
+        addr = disp & MASK32
+        return lambda cpu: addr
+    if index is None:
+        return lambda cpu: (cpu.get_reg(base) + disp) & MASK32
+    if base is None:
+        return lambda cpu: (cpu.get_reg(index) * scale + disp) & MASK32
+    return lambda cpu: (
+        cpu.get_reg(base) + cpu.get_reg(index) * scale + disp
+    ) & MASK32
+
+
+def _read_thunk(op, size: int) -> Callable[[Cpu], int]:
+    """Compile an operand read (mirrors ``Cpu.read_operand``)."""
+    mask = (1 << (size * 8)) - 1
+    if isinstance(op, Imm):
+        if op.symbol is not None:
+            symbol = op.symbol
+
+            def unresolved(cpu: Cpu) -> int:
+                raise UnresolvedSymbol(
+                    f"unresolved immediate symbol {symbol!r}"
+                )
+            return unresolved
+        value = op.value & mask
+        return lambda cpu: value
+    if isinstance(op, Reg):
+        name = op.name
+        if name in _FULL_REGS and size == 4:
+            return lambda cpu: cpu.regs[name] & MASK32
+        return lambda cpu: cpu.get_reg(name) & mask
+    if isinstance(op, Mem):
+        ea = _ea_thunk(op)
+        return lambda cpu: cpu.read_mem(ea(cpu), size)
+
+    def unreadable(cpu: Cpu) -> int:
+        raise ExecutionFault(f"cannot read operand {op!r}")
+    return unreadable
+
+
+def _write_thunk(op, size: int) -> Callable[[Cpu, int], None]:
+    """Compile an operand write (mirrors ``Cpu.write_operand``)."""
+    mask = (1 << (size * 8)) - 1
+    if isinstance(op, Reg):
+        name = op.name
+        if name in _FULL_REGS:
+            if size == 4:
+                def write_full(cpu: Cpu, value: int):
+                    cpu.regs[name] = value & MASK32
+                return write_full
+
+            def write_partial(cpu: Cpu, value: int):
+                cpu.regs[name] = (cpu.regs[name] & ~mask) | (value & mask)
+            return write_partial
+
+        def write_sub(cpu: Cpu, value: int):
+            cpu.set_reg(name, value & mask)
+        return write_sub
+    if isinstance(op, Mem):
+        ea = _ea_thunk(op)
+
+        def write_mem(cpu: Cpu, value: int):
+            cpu.write_mem(ea(cpu), size, value)
+        return write_mem
+
+    def unwritable(cpu: Cpu, value: int):
+        raise ExecutionFault(f"cannot write operand {op!r}")
+    return unwritable
+
+
+def _target_thunk(instr: Instruction, loaded: LoadedProgram,
+                  index: int) -> Callable[[Cpu], int]:
+    """Compile branch-target resolution (mirrors ``_branch_target``)."""
+    if instr.indirect:
+        op = instr.operands[0]
+        if isinstance(op, Reg):
+            name = op.name
+            return lambda cpu: cpu.get_reg(name)
+        if isinstance(op, Mem):
+            ea = _ea_thunk(op)
+
+            def mem_target(cpu: Cpu) -> int:
+                cpu.charge(cpu.costs.mem)
+                return cpu.read_mem(ea(cpu), 4)
+            return mem_target
+
+        def bad_target(cpu: Cpu) -> int:
+            raise ExecutionFault("bad indirect target operand")
+        return bad_target
+    target = loaded.targets[index]
+    return lambda cpu: target
+
+
+def _compile_instruction(instr: Instruction, loaded: LoadedProgram,
+                         index: int) -> Callable[[Cpu], None]:
+    """Build the specialized handler closure for one instruction.
+
+    Invariant: by the time a handler runs, ``step()`` has already set
+    ``cpu.eip`` to the fall-through successor — exactly the state
+    ``_execute`` saw."""
+    m = instr.mnemonic
+    size = instr.size
+
+    if m in ("nop", "sti", "cli"):
+        return lambda cpu: cpu.charge(cpu.costs.alu)
+    if m == "cld":
+        def op_cld(cpu: Cpu):
+            cpu.charge(cpu.costs.alu)
+            cpu.df = False
+        return op_cld
+    if m == "std":
+        def op_std(cpu: Cpu):
+            cpu.charge(cpu.costs.alu)
+            cpu.df = True
+        return op_std
+    if m in ("int3", "ud2", "hlt"):
+        message = f"{m} executed at {loaded.name}[{index}]"
+
+        def op_trap(cpu: Cpu):
+            cpu.charge(cpu.costs.alu)
+            raise ExecutionFault(message)
+        return op_trap
+
+    if m == "mov":
+        read_src = _read_thunk(instr.src, size)
+        write_dst = _write_thunk(instr.dst, size)
+
+        def op_mov(cpu: Cpu):
+            cpu.charge(cpu.costs.alu)
+            write_dst(cpu, read_src(cpu))
+        return op_mov
+    if m in ("movzb", "movzw"):
+        read_src = _read_thunk(instr.src, size)
+        write_dst = _write_thunk(instr.dst, 4)
+
+        def op_movz(cpu: Cpu):
+            cpu.charge(cpu.costs.alu)
+            write_dst(cpu, read_src(cpu))
+        return op_movz
+    if m == "movsx":
+        read_src = _read_thunk(instr.src, size)
+        write_dst = _write_thunk(instr.dst, 4)
+        bits = size * 8
+        sign = 1 << (bits - 1)
+        extend = MASK32 ^ ((1 << bits) - 1)
+
+        def op_movsx(cpu: Cpu):
+            cpu.charge(cpu.costs.alu)
+            value = read_src(cpu)
+            if value & sign:
+                value |= extend
+            write_dst(cpu, value)
+        return op_movsx
+    if m == "lea":
+        ea = _ea_thunk(instr.src)
+        write_dst = _write_thunk(instr.dst, 4)
+
+        def op_lea(cpu: Cpu):
+            cpu.charge(cpu.costs.alu)
+            write_dst(cpu, ea(cpu))
+        return op_lea
+    if m == "xchg":
+        read_src = _read_thunk(instr.src, size)
+        write_src = _write_thunk(instr.src, size)
+        read_dst = _read_thunk(instr.dst, size)
+        write_dst = _write_thunk(instr.dst, size)
+
+        def op_xchg(cpu: Cpu):
+            cpu.charge(cpu.costs.alu)
+            a = read_src(cpu)
+            b = read_dst(cpu)
+            write_src(cpu, b)
+            write_dst(cpu, a)
+        return op_xchg
+
+    if m in ("add", "sub", "and", "or", "xor", "imul", "cmp", "test"):
+        read_dst = _read_thunk(instr.dst, size)
+        read_src = _read_thunk(instr.src, size)
+        writeback = (None if m in ("cmp", "test")
+                     else _write_thunk(instr.dst, size))
+        if m == "add":
+            def combine(cpu, a, b):
+                return cpu._flags_add(a, b, size)
+        elif m in ("sub", "cmp"):
+            def combine(cpu, a, b):
+                return cpu._flags_sub(a, b, size)
+        elif m in ("and", "test"):
+            def combine(cpu, a, b):
+                return cpu._flags_logic(a & b, size)
+        elif m == "or":
+            def combine(cpu, a, b):
+                return cpu._flags_logic(a | b, size)
+        elif m == "xor":
+            def combine(cpu, a, b):
+                return cpu._flags_logic(a ^ b, size)
+        else:  # imul
+            mask = (1 << (size * 8)) - 1
+
+            def combine(cpu, a, b):
+                full = a * b
+                r = full & mask
+                cpu.flags["cf"] = cpu.flags["of"] = full != r
+                cpu._set_zsf(r, size)
+                return r
+
+        def op_arith(cpu: Cpu):
+            cpu.charge(cpu.costs.alu)
+            r = combine(cpu, read_dst(cpu), read_src(cpu))
+            if writeback is not None:
+                writeback(cpu, r)
+        return op_arith
+
+    if m in ("shl", "shr", "sar"):
+        read_count = _read_thunk(instr.src, 1)
+        read_dst = _read_thunk(instr.dst, size)
+        write_dst = _write_thunk(instr.dst, size)
+        bits = size * 8
+
+        def op_shift(cpu: Cpu):
+            cpu.charge(cpu.costs.alu)
+            count = read_count(cpu) & 0x1F
+            value = read_dst(cpu)
+            if count == 0:
+                return
+            if m == "shl":
+                r = value << count
+                cpu.flags["cf"] = bool(r & (1 << bits))
+                r &= (1 << bits) - 1
+            elif m == "shr":
+                cpu.flags["cf"] = bool((value >> (count - 1)) & 1)
+                r = value >> count
+            else:  # sar
+                sign = value & (1 << (bits - 1))
+                v = value
+                for _ in range(count):
+                    v = (v >> 1) | sign
+                cpu.flags["cf"] = bool((value >> (count - 1)) & 1)
+                r = v & ((1 << bits) - 1)
+            cpu.flags["of"] = False
+            cpu._set_zsf(r, size)
+            write_dst(cpu, r)
+        return op_shift
+
+    if m in ("inc", "dec", "neg", "not"):
+        read_dst = _read_thunk(instr.dst, size)
+        write_dst = _write_thunk(instr.dst, size)
+        mask = (1 << (size * 8)) - 1
+
+        def op_unary(cpu: Cpu):
+            cpu.charge(cpu.costs.alu)
+            value = read_dst(cpu)
+            cf = cpu.flags["cf"]
+            if m == "inc":
+                r = cpu._flags_add(value, 1, size)
+                cpu.flags["cf"] = cf  # inc/dec preserve CF
+            elif m == "dec":
+                r = cpu._flags_sub(value, 1, size)
+                cpu.flags["cf"] = cf
+            elif m == "neg":
+                r = cpu._flags_sub(0, value, size)
+            else:
+                r = (~value) & mask
+            write_dst(cpu, r)
+        return op_unary
+
+    if m == "push":
+        read_src = _read_thunk(instr.src, 4)
+
+        def op_push(cpu: Cpu):
+            cpu.charge(cpu.costs.alu)
+            cpu.push(read_src(cpu))
+        return op_push
+    if m == "pop":
+        write_dst = _write_thunk(instr.dst, 4)
+
+        def op_pop(cpu: Cpu):
+            cpu.charge(cpu.costs.alu)
+            write_dst(cpu, cpu.pop())
+        return op_pop
+    if m == "pushf":
+        def op_pushf(cpu: Cpu):
+            cpu.charge(cpu.costs.alu)
+            cpu.push(cpu.flags_word())
+        return op_pushf
+    if m == "popf":
+        def op_popf(cpu: Cpu):
+            cpu.charge(cpu.costs.alu)
+            cpu.set_flags_word(cpu.pop())
+        return op_popf
+
+    if m == "call":
+        resolve = _target_thunk(instr, loaded, index)
+
+        def op_call(cpu: Cpu):
+            cpu.charge(cpu.costs.alu)
+            cpu.charge(cpu.costs.call)
+            target = resolve(cpu)
+            routine = cpu.natives.by_addr.get(target)
+            cpu.push(cpu.eip)
+            if routine is not None:
+                cpu._invoke_native(routine)
+                return
+            cpu.eip = target
+        return op_call
+    if m == "ret":
+        def op_ret(cpu: Cpu):
+            cpu.charge(cpu.costs.alu)
+            cpu.charge(cpu.costs.ret)
+            cpu.eip = cpu.pop()
+        return op_ret
+    if m == "jmp":
+        resolve = _target_thunk(instr, loaded, index)
+
+        def op_jmp(cpu: Cpu):
+            cpu.charge(cpu.costs.alu)
+            target = resolve(cpu)
+            routine = cpu.natives.by_addr.get(target)
+            if routine is not None:
+                # Tail call into a native routine: return address is the
+                # caller's, already on the stack.
+                cpu._invoke_native(routine)
+                return
+            cpu.eip = target
+        return op_jmp
+    if instr.is_conditional:
+        cond = _CONDITIONS[m]
+        target = loaded.targets[index]
+
+        def op_jcc(cpu: Cpu):
+            cpu.charge(cpu.costs.alu)
+            if cond(cpu.flags):
+                cpu.eip = target
+        return op_jcc
+
+    if instr.is_string:
+        def op_string(cpu: Cpu):
+            cpu.charge(cpu.costs.alu)
+            cpu._execute_string(instr)
+        return op_string
+
+    def op_unknown(cpu: Cpu):  # pragma: no cover
+        cpu.charge(cpu.costs.alu)
+        raise ExecutionFault(f"unimplemented mnemonic {m!r}")
+    return op_unknown

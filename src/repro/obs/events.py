@@ -26,6 +26,7 @@ HYPERCALL = "xen.hypercall"
 DOMAIN_SWITCH = "xen.switch"
 EVENT_SEND = "xen.event_send"
 VIRQ = "xen.virq"                # virtual interrupt delivered into a domain
+VIRQ_COALESCED = "xen.virq_coalesced"  # one virq covering a packet batch
 SOFTIRQ = "xen.softirq"          # softirq scheduled
 
 # -- support routines (§4.3) ------------------------------------------------
@@ -65,7 +66,7 @@ SPAN_RECOVERY = "recovery"
 
 EVENT_KINDS = frozenset({
     SVM_HIT, SVM_MISS, SVM_FILL, SVM_FLUSH, SVM_FAULT, SVM_INVALIDATE,
-    HYPERCALL, DOMAIN_SWITCH, EVENT_SEND, VIRQ, SOFTIRQ,
+    HYPERCALL, DOMAIN_SWITCH, EVENT_SEND, VIRQ, VIRQ_COALESCED, SOFTIRQ,
     SUPPORT_CALL, NATIVE_CALL,
     NIC_IRQ, NIC_TX, NIC_RX, NIC_DESC, NIC_DMA_FAULT,
     PACKET_RX_DEMUX, DRIVER_ABORT,

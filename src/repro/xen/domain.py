@@ -33,6 +33,10 @@ class Domain:
         self.pending_ports: List[int] = []
         #: the guest kernel model living in this domain (set by osmodel).
         self.kernel = None
+        #: callbacks fired when the virq mask transitions masked->enabled
+        #: (and when the domain is scheduled with virqs enabled) — how the
+        #: hypervisor driver learns that deferred NIC softirqs may run.
+        self.unmask_hooks: List[Callable[[], None]] = []
         self._next_port = 1
 
     # -- event channels -----------------------------------------------------
@@ -49,7 +53,14 @@ class Domain:
         self.virq_enabled = False
 
     def enable_virq(self):
+        was_enabled = self.virq_enabled
         self.virq_enabled = True
+        if not was_enabled:
+            self.fire_unmask_hooks()
+
+    def fire_unmask_hooks(self):
+        for hook in list(self.unmask_hooks):
+            hook()
 
     # -- memory helpers ----------------------------------------------------------
 

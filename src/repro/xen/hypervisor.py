@@ -27,6 +27,7 @@ from ..obs.events import (
     HYPERCALL,
     SOFTIRQ,
     VIRQ,
+    VIRQ_COALESCED,
 )
 from .costs import CostModel
 from .domain import Domain
@@ -60,6 +61,8 @@ class Hypervisor:
         self._c_hypercall = machine.obs.registry.counter("xen.hypercall")
         self._c_event = machine.obs.registry.counter("xen.event_send")
         self._c_virq = machine.obs.registry.counter("xen.virq")
+        self._c_virq_coalesced = machine.obs.registry.counter(
+            "xen.virq_coalesced")
         self._c_softirq = machine.obs.registry.counter("xen.softirq")
         #: >0 while a hypervisor-driver invocation is in flight; softirqs
         #: are deferred until it drains (paper §4.4: the driver ISR runs
@@ -170,6 +173,19 @@ class Hypervisor:
             self._tracer.emit(VIRQ, domain=domain.name, port=port)
         self.run_in_domain(domain, lambda: handler(port))
 
+    def deliver_coalesced_virq(self, domain: Domain, npackets: int):
+        """Charge and record ONE virtual interrupt covering ``npackets``
+        queued packets (§5.3: the hypervisor copies the batch into guest
+        buffers and raises a single virtual interrupt). A batch of one
+        costs exactly ``virq_delivery``; each additional packet adds only
+        its ring-descriptor bookkeeping."""
+        self.charge_xen(self.costs.virq_coalesced
+                        + (npackets - 1) * self.costs.virq_coalesced_per_packet)
+        self._c_virq_coalesced.value += 1
+        if self._tracer.enabled:
+            self._tracer.emit(VIRQ_COALESCED, domain=domain.name,
+                              packets=npackets)
+
     def schedule_domain(self, domain: Domain):
         """Deliver a domain's pending events (models the domain being
         scheduled and seeing its event-channel bitmap)."""
@@ -183,6 +199,11 @@ class Hypervisor:
             if self._tracer.enabled:
                 self._tracer.emit(VIRQ, domain=domain.name, port=port)
             self.run_in_domain(domain, lambda p=port: handler(p))
+        # Scheduling a domain with virqs enabled is also the moment any
+        # work deferred on its virq mask (NIC softirqs the hypervisor
+        # driver postponed) must be retried.
+        if domain.virq_enabled:
+            domain.fire_unmask_hooks()
 
     # -- physical interrupts ---------------------------------------------------------------------
 

@@ -138,7 +138,15 @@ class TestGuestReceive:
         assert dev.rx_packets == 1
         assert dev.rx_payloads[0] == payload
 
-    def test_rx_unknown_mac_falls_back_to_first_guest(self):
+    def test_rx_unknown_unicast_dropped(self):
+        m, xen, twin, dev, nics = make_twin()
+        frame = b"\x0a" * 6 + b"\x00" * 6 + b"\x08\x00" + bytes(100)
+        m.wire.inject(nics[0], frame)
+        assert dev.rx_packets == 0
+        assert twin.rx_dropped_no_guest == 1
+
+    def test_rx_multicast_reaches_guest(self):
+        # group bit set in the destination MAC: not a misdelivery
         m, xen, twin, dev, nics = make_twin()
         frame = b"\x0b" * 6 + b"\x00" * 6 + b"\x08\x00" + bytes(100)
         m.wire.inject(nics[0], frame)
@@ -146,14 +154,26 @@ class TestGuestReceive:
 
     def test_rx_respects_dom0_virq_flag(self):
         # §4.4: the hypervisor must not run the driver ISR while dom0 has
-        # (virtually) disabled interrupts
+        # (virtually) disabled interrupts. Re-enabling the flag must
+        # replay the deferred interrupt by itself — no manual retry.
         m, xen, twin, dev, nics = make_twin()
         twin.dom0_kernel.domain.disable_virq()
         m.wire.inject(nics[0], self.frame())
         assert dev.rx_packets == 0
         assert twin._deferred_irqs
         twin.dom0_kernel.domain.enable_virq()
-        twin.retry_deferred_interrupts()
+        assert dev.rx_packets == 1
+        assert not twin._deferred_irqs
+
+    def test_rx_deferred_irq_replayed_on_schedule(self):
+        # the other unmask path: dom0 scheduled with virqs enabled
+        m, xen, twin, dev, nics = make_twin()
+        dom0 = twin.dom0_kernel.domain
+        dom0.disable_virq()
+        m.wire.inject(nics[0], self.frame())
+        assert dev.rx_packets == 0
+        dom0.virq_enabled = True        # flag flips without the hook
+        xen.schedule_domain(dom0)
         assert dev.rx_packets == 1
 
     def test_rx_ring_refilled_from_pool(self):
