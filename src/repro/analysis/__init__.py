@@ -8,7 +8,14 @@ refuses binaries that fail (``repro.core.loader``); the lint CLI
 (``python -m repro.analysis.lint``) runs the same checks standalone.
 """
 
+from .absint import (
+    AbsintResult,
+    ProofAnnotation,
+    analyze_program,
+    value_contains,
+)
 from .corpus import CorpusEntry, build_negative_corpus
+from .dataflow import solve_forward
 from .patterns import (
     SvmSite,
     StackCheckSite,
@@ -21,16 +28,21 @@ from .report import Finding, VerificationError, VerifyReport
 from .verifier import verify_program
 
 __all__ = [
+    "AbsintResult",
     "CorpusEntry",
     "Finding",
+    "ProofAnnotation",
     "StackCheckSite",
     "SvmSite",
     "TranslatePoint",
     "VerificationError",
     "VerifyReport",
+    "analyze_program",
     "build_negative_corpus",
     "find_fastpath_sites",
     "find_stack_check_sites",
     "find_translate_points",
+    "solve_forward",
+    "value_contains",
     "verify_program",
 ]

@@ -11,7 +11,7 @@ itself would refuse) so they exercise the verifier, not the parser.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
 
 from ..isa import Imm, Instruction, Label, Mem, Program, Reg, assemble
 
@@ -52,6 +52,11 @@ class CorpusEntry:
     program: Program
     expect_pass: str            # pass name that must produce the finding
     protect_stack: bool = False
+    #: exact finding key the pass must emit (None = any finding from the
+    #: pass). The semantic passes (range/provenance/locks) always pin the
+    #: key: these binaries are clean to every syntactic check, so the test
+    #: must prove the *right* property caught them.
+    expect_key: Optional[str] = None
 
 
 def _uninstrumented_store() -> CorpusEntry:
@@ -210,8 +215,212 @@ def _branch_outside() -> CorpusEntry:
     )
 
 
+# ---------------------------------------------------------------------------
+# Semantically hostile binaries: every syntactic pass accepts these — the
+# fast-path sites are shape-perfect, the stack balances, control flow is
+# clean. Only the abstract-interpretation passes (range / provenance /
+# locks) can prove them unsafe.
+# ---------------------------------------------------------------------------
+
+
+#: a legitimate translate point (the shape the rewriter emits for string
+#: ops): translates the pointer in ``src`` and leaves the result in ``dst``
+_TRANSLATE_POINT = """
+    push {src}
+    call __svm_translate
+    addl $4, %esp
+    movl __svm_ret, {dst}
+"""
+
+
+def _cross_page_walk() -> CorpusEntry:
+    # A legitimately translated pointer walked past the checked two-page
+    # window: 4093 + 4 bytes crosses out of the mapped pair.
+    text = """
+    .globl corpus_entry
+corpus_entry:
+""" + _TRANSLATE_POINT.format(src="%edi", dst="%ecx") + """
+    movl 4093(%ecx), %eax
+    ret
+"""
+    return CorpusEntry(
+        name="cross_page_walk",
+        description="translated access strides past the checked page pair",
+        program=assemble(text, name="corpus.cross_page_walk"),
+        expect_pass="range",
+        expect_key="range.cross_page",
+    )
+
+
+def _negative_walk() -> CorpusEntry:
+    # Walking *backwards* from a translated pointer: the pair mapping
+    # only guarantees the two pages forward of the checked page.
+    text = """
+    .globl corpus_entry
+corpus_entry:
+""" + _TRANSLATE_POINT.format(src="%edi", dst="%ecx") + """
+    movl -4(%ecx), %eax
+    ret
+"""
+    return CorpusEntry(
+        name="negative_walk",
+        description="translated access walks below the checked page",
+        program=assemble(text, name="corpus.negative_walk"),
+        expect_pass="range",
+        expect_key="range.underflow",
+    )
+
+
+def _laundered_pointer() -> CorpusEntry:
+    # Stores one translated (hypervisor-window) pointer through another
+    # into driver data, where dom0 could read it back — leaking the
+    # hypervisor mapping.
+    text = """
+    .globl corpus_entry
+corpus_entry:
+""" + _TRANSLATE_POINT.format(src="%edi", dst="%ecx") \
+        + _TRANSLATE_POINT.format(src="%esi", dst="%edx") + """
+    movl %ecx, (%edx)
+    ret
+"""
+    return CorpusEntry(
+        name="laundered_pointer",
+        description="stores a translated pointer into driver-visible memory",
+        program=assemble(text, name="corpus.laundered_pointer"),
+        expect_pass="provenance",
+        expect_key="provenance.leak",
+    )
+
+
+def _forged_arithmetic() -> CorpusEntry:
+    # Non-walk arithmetic on a translated pointer: shifting it forges a
+    # new hypervisor-window address the stlb never checked.
+    text = """
+    .globl corpus_entry
+corpus_entry:
+""" + _TRANSLATE_POINT.format(src="%edi", dst="%ecx") + """
+    shll $1, %ecx
+    ret
+"""
+    return CorpusEntry(
+        name="forged_arithmetic",
+        description="shifts a translated pointer to forge a new address",
+        program=assemble(text, name="corpus.forged_arithmetic"),
+        expect_pass="provenance",
+        expect_key="provenance.forge",
+    )
+
+
+def _retranslate() -> CorpusEntry:
+    # Feeding an already-translated pointer back through __svm_translate:
+    # the double translation lands outside anything that was checked.
+    text = """
+    .globl corpus_entry
+corpus_entry:
+""" + _TRANSLATE_POINT.format(src="%edi", dst="%ecx") \
+        + _TRANSLATE_POINT.format(src="%ecx", dst="%eax") + """
+    ret
+"""
+    return CorpusEntry(
+        name="retranslate",
+        description="passes a translated pointer back into __svm_translate",
+        program=assemble(text, name="corpus.retranslate"),
+        expect_pass="provenance",
+        expect_key="provenance.retranslate",
+    )
+
+
+def _lock_held_at_return() -> CorpusEntry:
+    # Properly checked trylock, but the acquired path returns to the
+    # hypervisor still holding the dom0 lock.
+    text = """
+    .globl corpus_entry
+corpus_entry:
+    pushl $0
+    call spin_trylock
+    addl $4, %esp
+    testl %eax, %eax
+    jne Lheld
+    ret
+Lheld:
+    ret
+"""
+    return CorpusEntry(
+        name="lock_held_at_return",
+        description="returns to the hypervisor still holding a dom0 lock",
+        program=assemble(text, name="corpus.lock_held_at_return"),
+        expect_pass="locks",
+        expect_key="locks.held_at_return",
+    )
+
+
+def _release_unheld() -> CorpusEntry:
+    text = """
+    .globl corpus_entry
+corpus_entry:
+    pushl $0
+    call spin_unlock_irqrestore
+    addl $4, %esp
+    ret
+"""
+    return CorpusEntry(
+        name="release_unheld",
+        description="releases a lock no path ever acquired",
+        program=assemble(text, name="corpus.release_unheld"),
+        expect_pass="locks",
+        expect_key="locks.release_unheld",
+    )
+
+
+def _blocking_under_lock() -> CorpusEntry:
+    # Checked trylock and a matching release — but the critical section
+    # calls a may-sleep routine while holding the spinlock.
+    text = """
+    .globl corpus_entry
+corpus_entry:
+    pushl $0
+    call spin_trylock
+    addl $4, %esp
+    testl %eax, %eax
+    je Lout
+    pushl $10
+    call msleep
+    addl $4, %esp
+    pushl $0
+    call spin_unlock_irqrestore
+    addl $4, %esp
+Lout:
+    ret
+"""
+    return CorpusEntry(
+        name="blocking_under_lock",
+        description="calls a may-sleep routine while holding a spinlock",
+        program=assemble(text, name="corpus.blocking_under_lock"),
+        expect_pass="locks",
+        expect_key="locks.blocking_call",
+    )
+
+
+def _unchecked_trylock() -> CorpusEntry:
+    text = """
+    .globl corpus_entry
+corpus_entry:
+    pushl $0
+    call spin_trylock
+    addl $4, %esp
+    ret
+"""
+    return CorpusEntry(
+        name="unchecked_trylock",
+        description="ignores the trylock result entirely",
+        program=assemble(text, name="corpus.unchecked_trylock"),
+        expect_pass="locks",
+        expect_key="locks.unchecked_trylock",
+    )
+
+
 def build_negative_corpus() -> List[CorpusEntry]:
-    """All violation classes, one entry each."""
+    """All violation classes, at least one entry each."""
     return [
         _uninstrumented_store(),
         _unbalanced_stack(),
@@ -221,4 +430,13 @@ def build_negative_corpus() -> List[CorpusEntry]:
         _esp_escape(),
         _stlb_corruption(),
         _branch_outside(),
+        _cross_page_walk(),
+        _negative_walk(),
+        _laundered_pointer(),
+        _forged_arithmetic(),
+        _retranslate(),
+        _lock_held_at_return(),
+        _release_unheld(),
+        _blocking_under_lock(),
+        _unchecked_trylock(),
     ]

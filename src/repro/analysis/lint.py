@@ -5,27 +5,37 @@ Usage::
     PYTHONPATH=src python -m repro.analysis.lint e1000
     PYTHONPATH=src python -m repro.analysis.lint rtl8139 --protect-stack
     PYTHONPATH=src python -m repro.analysis.lint path/to/driver.s --hostile
-    PYTHONPATH=src python -m repro.analysis.lint --corpus
+    PYTHONPATH=src python -m repro.analysis.lint e1000 --elide-report
+    PYTHONPATH=src python -m repro.analysis.lint --corpus --json report.json
 
 Positional arguments name a shipped driver (``e1000``/``rtl8139``) or a
 ``.s`` file to assemble. The binary is rewritten, then verified; the
 report prints to stdout and the exit status is non-zero when any binary
 is rejected. ``--corpus`` instead runs the negative corpus and checks
-that every broken binary is rejected by the expected pass.
+that every broken binary is rejected by the expected pass (and, for the
+semantic entries, with the expected finding key). ``--elide-report``
+additionally prints what proof-based check elision would do to each
+clean target; ``--json PATH`` writes a machine-readable report (CI
+uploads it as an artifact).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List
 
-from ..core.rewriter import UnsupportedInstruction, rewrite_driver
+from ..core.rewriter import UnsupportedInstruction, apply_elision, \
+    rewrite_driver
 from ..drivers import DRIVER_SPECS
 from ..isa import assemble
 from ..isa.assembler import AssemblerError
 from .corpus import build_negative_corpus
 from .verifier import verify_program
+
+#: schema tag for the --json report
+LINT_SCHEMA = "repro-lint-report/v1"
 
 
 def _load_program(target: str):
@@ -45,34 +55,86 @@ def _load_program(target: str):
         )
 
 
-def _lint_target(target: str, protect_stack: bool, hostile: bool) -> bool:
+def _finding_json(finding) -> dict:
+    return {
+        "pass": finding.passname,
+        "index": finding.index,
+        "severity": finding.severity,
+        "key": finding.key,
+        "message": finding.message,
+    }
+
+
+def _lint_target(target: str, protect_stack: bool, hostile: bool,
+                 elide_report: bool, results: List[dict]) -> bool:
     program = _load_program(target)
     try:
         rewritten, stats = rewrite_driver(program,
                                           protect_stack=protect_stack)
     except UnsupportedInstruction as exc:
         print(f"verify {target}: REJECT (rewriter: {exc})")
+        results.append({"target": target, "ok": False,
+                        "error": f"rewriter: {exc}"})
         return False
     annotations = None if hostile else stats.annotations
     report = verify_program(rewritten, annotations=annotations,
                             protect_stack=protect_stack)
     print(report.format())
+    entry = {
+        "target": target,
+        "mode": report.mode,
+        "ok": report.ok,
+        "findings": [_finding_json(f) for f in report.sorted_findings()],
+        "stats": report.stats,
+    }
+    if report.ok:
+        elided, result = apply_elision(rewritten, report.proofs)
+        sites_total = report.stats.get("range", {}).get("sites_total", 0)
+        entry["elision"] = {
+            "sites_total": sites_total,
+            "sites_proven": result.sites_elided,
+            "anchors": result.anchors,
+            "coverage": (result.sites_elided / sites_total
+                         if sites_total else 0.0),
+            "instructions_before": len(rewritten.instructions),
+            "instructions_after": len(elided.instructions),
+        }
+        if elide_report:
+            e = entry["elision"]
+            print(f"elide {target}: {e['sites_proven']}/{e['sites_total']} "
+                  f"fast-path sites proven "
+                  f"({100 * e['coverage']:.0f}%), "
+                  f"{e['anchors']} anchors, "
+                  f"{e['instructions_before'] - e['instructions_after']} "
+                  f"instructions dropped")
+    results.append(entry)
     return report.ok
 
 
-def _run_corpus() -> bool:
+def _run_corpus(results: List[dict]) -> bool:
     ok = True
     for entry in build_negative_corpus():
         report = verify_program(entry.program,
                                 protect_stack=entry.protect_stack)
-        rejected = any(f.passname == entry.expect_pass for f in report.errors)
-        verdict = "rejected" if rejected else "MISSED"
+        rejected = any(f.passname == entry.expect_pass
+                       for f in report.errors)
+        key_ok = (entry.expect_key is None
+                  or any(f.key == entry.expect_key for f in report.errors))
+        verdict = "rejected" if rejected and key_ok else "MISSED"
+        expect = entry.expect_key or entry.expect_pass
         print(f"corpus {entry.name}: {verdict} "
-              f"(expected pass {entry.expect_pass!r}, "
+              f"(expected {expect!r}, "
               f"{len(report.errors)} violation(s))")
         for finding in report.errors:
             print("  " + finding.format())
-        if not rejected:
+        results.append({
+            "corpus": entry.name,
+            "expect_pass": entry.expect_pass,
+            "expect_key": entry.expect_key,
+            "rejected": bool(rejected and key_ok),
+            "findings": [_finding_json(f) for f in report.sorted_findings()],
+        })
+        if not (rejected and key_ok):
             ok = False
     return ok
 
@@ -90,16 +152,33 @@ def main(argv: List[str] = None) -> int:
                         help="verify without rewriter annotations")
     parser.add_argument("--corpus", action="store_true",
                         help="run the negative corpus instead of drivers")
+    parser.add_argument("--elide-report", action="store_true",
+                        help="print prove-then-elide coverage per target")
+    parser.add_argument("--json", metavar="PATH",
+                        help="write a machine-readable lint report")
     args = parser.parse_args(argv)
 
     if not args.targets and not args.corpus:
         parser.error("give at least one target or --corpus")
 
     ok = True
+    targets: List[dict] = []
+    corpus: List[dict] = []
     if args.corpus:
-        ok = _run_corpus() and ok
+        ok = _run_corpus(corpus) and ok
     for target in args.targets:
-        ok = _lint_target(target, args.protect_stack, args.hostile) and ok
+        ok = _lint_target(target, args.protect_stack, args.hostile,
+                          args.elide_report, targets) and ok
+    if args.json:
+        payload = {
+            "schema": LINT_SCHEMA,
+            "ok": ok,
+            "targets": targets,
+            "corpus": corpus,
+        }
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
     return 0 if ok else 1
 
 

@@ -16,13 +16,17 @@ from typing import Dict, List
 class Finding:
     """One verification violation, anchored to an instruction index."""
 
-    passname: str       # 'svm' | 'stack' | 'flow' | 'clobber'
+    passname: str       # 'svm' | 'stack' | 'flow' | 'clobber' | 'range' | ...
     index: int          # instruction index in the verified program
     message: str
     severity: str = "error"      # 'error' rejects the binary; 'note' doesn't
+    #: stable machine-readable finding class, e.g. "range.cross_page";
+    #: empty for the original passes' free-form diagnostics
+    key: str = ""
 
     def format(self) -> str:
-        return f"[{self.passname}] @{self.index}: {self.message}"
+        tag = f" <{self.key}>" if self.key else ""
+        return f"[{self.passname}] @{self.index}:{tag} {self.message}"
 
 
 @dataclass
@@ -35,6 +39,10 @@ class VerifyReport:
     #: per-pass statistics, e.g. stats['svm']['fast_path_sites']
     stats: Dict[str, Dict[str, int]] = field(default_factory=dict)
     instructions: int = 0
+    #: per-site elision proofs from the range pass
+    #: (:class:`repro.analysis.absint.ProofAnnotation`); the loader may
+    #: consume these to elide proven stlb re-checks
+    proofs: List = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -46,8 +54,8 @@ class VerifyReport:
         return [f for f in self.findings if f.severity == "error"]
 
     def add(self, passname: str, index: int, message: str,
-            severity: str = "error"):
-        self.findings.append(Finding(passname, index, message, severity))
+            severity: str = "error", key: str = ""):
+        self.findings.append(Finding(passname, index, message, severity, key))
 
     def pass_stats(self, passname: str) -> Dict[str, int]:
         return self.stats.setdefault(passname, {})
@@ -63,9 +71,16 @@ class VerifyReport:
             stats = self.stats[passname]
             body = ", ".join(f"{k}={v}" for k, v in sorted(stats.items()))
             lines.append(f"  {passname}: {body}")
-        for finding in sorted(self.findings, key=lambda f: f.index):
+        for finding in self.sorted_findings():
             lines.append("  " + finding.format())
         return "\n".join(lines)
+
+    def sorted_findings(self) -> List[Finding]:
+        """Findings in the stable CI-diffable order: different passes
+        reporting on the same instruction used to tie-break by insertion
+        order, which varied across runs."""
+        return sorted(self.findings,
+                      key=lambda f: (f.index, f.passname, f.key, f.message))
 
 
 class VerificationError(Exception):

@@ -1,6 +1,6 @@
 """Static verification of rewritten driver binaries.
 
-Four passes over a rewritten :class:`~repro.isa.program.Program`, in the
+Seven passes over a rewritten :class:`~repro.isa.program.Program`, in the
 spirit of the eBPF verifier — the hypervisor proves the binary safe to run
 instead of trusting the rewriter that produced it:
 
@@ -21,6 +21,22 @@ instead of trusting the rewriter that produced it:
   binary cross-checks the rewriter's scratch-register and ``pushf`` choices:
   a scratch register the sequence does not restore must be dead afterwards,
   and the condition codes must not be live across an unwrapped sequence.
+* **range** — value-tracking abstract interpretation
+  (:mod:`repro.analysis.absint`): proves per-site that a translated
+  pointer's constant-offset accesses stay inside their 2-page SVM pair
+  mapping (emitting elision :class:`~repro.analysis.absint.ProofAnnotation`
+  records on the report), and flags translated-pointer walks that can
+  leave the window.
+* **provenance** — hostile flows the pattern matcher cannot see:
+  translated pointers laundered into guest-reachable memory, arithmetic
+  that forges dom0 addresses, translation results fed back through the
+  translation machinery.
+* **locks** — lockset/reentrancy discipline as SMP groundwork:
+  acquire/release balance on every control-flow path, checked trylock
+  results, and no may-block support call while a spinlock is held. (The
+  bounded SVM helpers are exempt — the slow path runs under driver locks
+  by construction; "blocking" means the routines that can sleep or
+  re-enter the scheduler.)
 
 The verifier never executes the binary and never raises on violations; it
 returns a :class:`VerifyReport` whose findings carry precise instruction
@@ -54,6 +70,14 @@ from ..isa.instructions import (
 from ..isa.liveness import LivenessAnalysis
 from ..isa.operands import Imm, Label, Mem, Reg
 from ..isa.program import Program
+from .absint import (
+    AbsintResult,
+    analyze_program,
+    provenance_pass,
+    range_pass,
+    translated_address,
+)
+from .dataflow import solve_forward
 from .patterns import (
     _SPILL_PREFIX,
     SvmSite,
@@ -115,21 +139,20 @@ def _function_entries(program: Program) -> List[Tuple[str, int]]:
 
 def _translated_in_states(program: Program,
                           translate_points: Dict[int, TranslatePoint],
-                          entries: Sequence[Tuple[str, int]]
+                          entries: Sequence[Tuple[str, int]],
+                          cfg: Optional[ControlFlowGraph] = None
                           ) -> List[FrozenSet[str]]:
     """For each instruction: the registers that *must* hold an
     ``__svm_translate`` result on every path reaching it.
 
-    Forward must-analysis (meet = intersection). Seeded at the ``mov
-    __svm_ret, dest`` of each matched translate quadruple; plain ``mov``
-    propagates; any other write kills; the register-preserving runtime
-    helpers kill nothing; function entries start empty."""
-    cfg = ControlFlowGraph(program)
-    n = len(program.instructions)
-    all_regs = frozenset(
-        ("eax", "ecx", "edx", "ebx", "esp", "ebp", "esi", "edi"))
-    entry_blocks = {index for _, index in entries}
-    entry_blocks.add(0)
+    Forward must-analysis (meet = intersection) on the shared
+    :func:`~repro.analysis.dataflow.solve_forward` engine. Seeded at the
+    ``mov __svm_ret, dest`` of each matched translate quadruple; plain
+    ``mov`` propagates; any other write kills; the register-preserving
+    runtime helpers kill nothing; function entries start empty. Blocks no
+    entry reaches come back as ``None`` and get the pessimistic empty set
+    — dead code is still mappable (and reachable through a translated
+    function pointer), so nothing in it may be sanctioned."""
 
     def transfer(i: int, state: FrozenSet[str]) -> FrozenSet[str]:
         ins = program.instructions[i]
@@ -148,42 +171,15 @@ def _translated_in_states(program: Program,
             new = new | {ins.operands[1].parent}
         return new
 
-    block_in: Dict[int, FrozenSet[str]] = {
-        start: (frozenset() if start in entry_blocks else all_regs)
-        for start in cfg.blocks
-    }
-    reached: Set[int] = set(entry_blocks) & set(cfg.blocks)
-    changed = True
-    while changed:
-        changed = False
-        for start in sorted(cfg.blocks):
-            if start not in reached:
-                continue
-            block = cfg.blocks[start]
-            state = block_in[start]
-            for i in range(block.start, block.end):
-                state = transfer(i, state)
-            for succ in block.successors:
-                if succ not in reached:
-                    reached.add(succ)
-                    changed = True
-                if succ in entry_blocks:
-                    continue
-                met = block_in[succ] & state
-                if met != block_in[succ]:
-                    block_in[succ] = met
-                    changed = True
-    # A block the CFG never reaches kept its optimistic all-regs seed, which
-    # would sanction any raw access inside it. Dead code is still mappable
-    # (and reachable through a translated function pointer), so it gets the
-    # pessimistic empty state instead.
-    states: List[FrozenSet[str]] = [frozenset()] * n
-    for start, block in cfg.blocks.items():
-        state = block_in[start] if start in reached else frozenset()
-        for i in range(block.start, block.end):
-            states[i] = state
-            state = transfer(i, state)
-    return states
+    states = solve_forward(
+        program,
+        entries=[index for _, index in entries],
+        entry_state=lambda start: frozenset(),
+        transfer=transfer,
+        join=lambda a, b: a & b,
+        cfg=cfg,
+    )
+    return [frozenset() if state is None else state for state in states]
 
 
 # ---------------------------------------------------------------------------
@@ -191,11 +187,12 @@ def _translated_in_states(program: Program,
 # ---------------------------------------------------------------------------
 
 
-def _svm_pass(program: Program, report: VerifyReport, protect_stack: bool,
-              sites: List[SvmSite], stack_sites: List[StackCheckSite],
-              translate_points: Dict[int, TranslatePoint],
-              routed: Set[int],
-              translated_in: List[FrozenSet[str]]):
+def _sanctioned_indices(program: Program, sites: List[SvmSite],
+                        stack_sites: List[StackCheckSite],
+                        translate_points: Dict[int, TranslatePoint],
+                        routed: Set[int]) -> Set[int]:
+    """Instruction indices inside recognized instrumentation sequences —
+    their accesses are what the sequences exist to perform."""
     sanctioned: Set[int] = set()
     for site in sites:
         sanctioned.update(range(site.start, site.end + 1))
@@ -206,7 +203,16 @@ def _svm_pass(program: Program, report: VerifyReport, protect_stack: bool,
         sanctioned.add(program.labels[site.fault_label])
     sanctioned.update(translate_points)
     sanctioned.update(routed)
+    return sanctioned
 
+
+def _svm_pass(program: Program, report: VerifyReport, protect_stack: bool,
+              sites: List[SvmSite], stack_sites: List[StackCheckSite],
+              translate_points: Dict[int, TranslatePoint],
+              routed: Set[int],
+              translated_in: List[FrozenSet[str]],
+              sanctioned: Set[int],
+              absres: Optional[AbsintResult] = None):
     stats = report.pass_stats("svm")
     stats["fast_path_sites"] = len(sites)
     stats["stack_check_sites"] = len(stack_sites)
@@ -269,6 +275,11 @@ def _svm_pass(program: Program, report: VerifyReport, protect_stack: bool,
                 and mem.base in translated_in[i]):
             stats["translated_accesses"] = (
                 stats.get("translated_accesses", 0) + 1)
+            continue
+        if absres is not None and translated_address(absres, i, mem):
+            # provably a translated pointer walked by an offset: the range
+            # pass decides whether the walk can leave the SVM pair window
+            stats["range_delegated"] = stats.get("range_delegated", 0) + 1
             continue
         report.add("svm", i,
                    f"memory access {ins.format()!r} does not go through "
@@ -573,6 +584,175 @@ def _clobber_pass(program: Program, report: VerifyReport,
 
 
 # ---------------------------------------------------------------------------
+# Pass 7: lock / reentrancy discipline
+# ---------------------------------------------------------------------------
+
+#: Support routines that may sleep, wait, or re-enter the scheduler —
+#: never legal while a spinlock is held. The bounded SVM helpers and the
+#: non-blocking netdev/DMA fast-path calls are deliberately absent: the
+#: shipped drivers (like their Linux ancestors) complete tx work,
+#: including the SVM slow path, under the ring lock.
+BLOCKING_CALLS = frozenset((
+    "msleep", "spin_lock_irqsave", "del_timer_sync", "request_irq",
+    "kmalloc", "dma_alloc_coherent", "copy_from_user", "copy_to_user",
+))
+
+_TRYLOCK = "spin_trylock"
+_UNLOCK = "spin_unlock_irqrestore"
+_BLOCKING_ACQUIRE = "spin_lock_irqsave"
+
+
+def _match_trylock_check(program: Program, call_index: int
+                         ) -> Optional[Tuple[int, bool]]:
+    """Match the canonical checked-trylock shape right after ``call
+    spin_trylock``::
+
+        addl $4, %esp
+        testl %eax, %eax        (or cmpl $0, %eax)
+        je/jz not_acquired      (or jne/jnz acquired)
+
+    Returns ``(jcc_index, taken_edge_is_held)`` or ``None`` when the
+    result is not checked in this recognizable form."""
+    ins_list = program.instructions
+    if call_index + 3 >= len(ins_list):
+        return None
+    cleanup = ins_list[call_index + 1]
+    if not (cleanup.mnemonic == "add" and isinstance(cleanup.dst, Reg)
+            and cleanup.dst.parent == "esp"
+            and isinstance(cleanup.src, Imm) and cleanup.src.symbol is None
+            and cleanup.src.value == 4):
+        return None
+    test = ins_list[call_index + 2]
+    test_ok = (
+        (test.mnemonic == "test" and len(test.operands) == 2
+         and all(isinstance(op, Reg) and op.parent == "eax"
+                 for op in test.operands))
+        or (test.mnemonic == "cmp" and len(test.operands) == 2
+            and isinstance(test.operands[0], Imm)
+            and test.operands[0].symbol is None
+            and test.operands[0].value == 0
+            and isinstance(test.operands[1], Reg)
+            and test.operands[1].parent == "eax"))
+    if not test_ok:
+        return None
+    jcc = ins_list[call_index + 3]
+    if not jcc.is_conditional or not isinstance(jcc.operands[0], Label):
+        return None
+    if jcc.mnemonic in ("je", "jz"):
+        return call_index + 3, False    # taken: eax == 0, lock NOT acquired
+    if jcc.mnemonic in ("jne", "jnz"):
+        return call_index + 3, True
+    return None
+
+
+def _walk_locks(program: Program, report: VerifyReport, name: str,
+                entry: int) -> int:
+    """DFS one function with the held-lock set as abstract state (a tuple
+    of acquire-site indices, most recent last). Returns the number of
+    acquire sites walked."""
+    ins_list = program.instructions
+    n = len(ins_list)
+    seen: Dict[int, Tuple[int, ...]] = {}
+    reported: Set[str] = set()
+    acquires = 0
+
+    def complain(index: int, key: str, dedup: str, message: str):
+        if dedup not in reported:
+            reported.add(dedup)
+            report.add("locks", index, f"{message} (function {name!r})",
+                       key=key)
+
+    work: List[Tuple[int, Tuple[int, ...]]] = [(entry, ())]
+    while work:
+        i, held = work.pop()
+        while True:
+            if i >= n:
+                break                   # stack pass reports the fall-off
+            if i in seen:
+                if seen[i] != held:
+                    complain(i, "locks.inconsistent", f"join:{i}",
+                             f"inconsistent lockset at join "
+                             f"({len(seen[i])} vs {len(held)} lock(s) held)")
+                break
+            seen[i] = held
+            ins = ins_list[i]
+            if ins.is_call:
+                target = _direct_call_target(ins)
+                if target == _TRYLOCK:
+                    acquires += 1
+                    match = _match_trylock_check(program, i)
+                    if match is None:
+                        complain(i, "locks.unchecked_trylock", f"try:{i}",
+                                 "spin_trylock result is not checked "
+                                 "before proceeding")
+                        i += 1          # analyzed as not acquired
+                        continue
+                    jcc_index, taken_is_held = match
+                    jcc = ins_list[jcc_index]
+                    target_index = program.labels.get(jcc.operands[0].name)
+                    # the cleanup/test/jcc triple belongs to the idiom;
+                    # record it under the pre-branch lockset
+                    for j in range(i + 1, jcc_index + 1):
+                        seen.setdefault(j, held)
+                    token = i
+                    if target_index is not None and target_index < n:
+                        work.append((target_index,
+                                     held + (token,) if taken_is_held
+                                     else held))
+                    held = held if taken_is_held else held + (token,)
+                    i = jcc_index + 1
+                    continue
+                if target == _UNLOCK:
+                    if held:
+                        held = held[:-1]
+                    else:
+                        complain(i, "locks.release_unheld", f"rel:{i}",
+                                 f"{_UNLOCK} with no lock held")
+                elif target == _BLOCKING_ACQUIRE:
+                    acquires += 1
+                    if held:
+                        complain(i, "locks.blocking_call", f"blk:{i}",
+                                 f"blocking acquire {target!r} while "
+                                 f"{len(held)} spinlock(s) held")
+                    held = held + (i,)
+                elif target in BLOCKING_CALLS and held:
+                    complain(i, "locks.blocking_call", f"blk:{i}",
+                             f"call to may-block routine {target!r} while "
+                             f"{len(held)} spinlock(s) held")
+                elif target == STACK_FAULT_SYMBOL:
+                    break               # noreturn: driver aborted
+            elif ins.is_return:
+                if held:
+                    complain(i, "locks.held_at_return", f"ret:{i}",
+                             f"{len(held)} spinlock(s) still held at ret")
+                break
+            elif ins.mnemonic == "jmp":
+                if ins.indirect:
+                    break               # routed transfer; flow pass enforces
+                target_index = program.labels.get(ins.operands[0].name)
+                if target_index is None or target_index >= n:
+                    break               # flow pass reports it
+                i = target_index
+                continue
+            elif ins.is_conditional:
+                target_index = program.labels.get(ins.operands[0].name)
+                if target_index is not None and target_index < n:
+                    work.append((target_index, held))
+            i += 1
+    return acquires
+
+
+def _locks_pass(program: Program, report: VerifyReport,
+                entries: Sequence[Tuple[str, int]]):
+    stats = report.pass_stats("locks")
+    stats["functions"] = len(entries)
+    acquires = 0
+    for name, entry in entries:
+        acquires += _walk_locks(program, report, name, entry)
+    stats["acquires_walked"] = acquires
+
+
+# ---------------------------------------------------------------------------
 # Annotation cross-checking (annotated mode only)
 # ---------------------------------------------------------------------------
 
@@ -656,14 +836,26 @@ def verify_program(program: Program,
         if ins.indirect and is_routed_indirect(program, i)
     }
     entries = _function_entries(program)
-    translated_in = _translated_in_states(program, translate_points, entries)
+    cfg = ControlFlowGraph(program)
+    translated_in = _translated_in_states(program, translate_points, entries,
+                                          cfg=cfg)
+    sanctioned = _sanctioned_indices(program, sites, stack_sites,
+                                     translate_points, routed)
+    absres = analyze_program(program, sites=sites,
+                             translate_points=translate_points,
+                             entries=[index for _, index in entries],
+                             cfg=cfg)
 
     _svm_pass(program, report, protect_stack, sites, stack_sites,
-              translate_points, routed, translated_in)
+              translate_points, routed, translated_in, sanctioned, absres)
     _flow_pass(program, report, sites, stack_sites, translate_points, routed)
     _stack_pass(program, report, protect_stack, entries)
     _clobber_pass(program, report, sites, stack_sites)
+    range_pass(program, report, absres, sanctioned)
+    provenance_pass(program, report, absres, sanctioned)
+    _locks_pass(program, report, entries)
     if annotations is not None:
         _annotation_pass(program, report, annotations, sites, stack_sites,
                          translate_points, routed)
+    report.proofs = list(absres.proofs)
     return report

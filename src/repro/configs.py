@@ -282,11 +282,13 @@ def build_domU_twin(n_nics: int = 5, interrupt_batch: int = 8,
                     costs: Optional[CostModel] = None,
                     iommu: bool = False,
                     rx_batch_budget: int = RX_BATCH_BUDGET,
-                    tx_batch_max: int = TX_BATCH_MAX) -> SystemUnderTest:
+                    tx_batch_max: int = TX_BATCH_MAX,
+                    elide: bool = False) -> SystemUnderTest:
     """``n_upcalls``: how many fast-path routines are served by upcalls
     instead of hypervisor implementations (0 = the full TwinDrivers
     configuration; figure 10 sweeps 0..9). ``rx_batch_budget`` /
-    ``tx_batch_max`` tune the §5.3 batching fast path."""
+    ``tx_batch_max`` tune the §5.3 batching fast path. ``elide`` turns on
+    proof-based stlb check elision (prove-then-elide, off by default)."""
     if not 0 <= n_upcalls <= len(UPCALL_SWEEP_ORDER):
         raise ValueError("n_upcalls out of range")
     costs = costs or CostModel()
@@ -307,6 +309,7 @@ def build_domU_twin(n_nics: int = 5, interrupt_batch: int = 8,
         pool_size=max(256, 96 * n_nics),
         rx_batch_budget=rx_batch_budget,
         tx_batch_max=tx_batch_max,
+        elide=elide,
     )
     for nic in nics:
         twin.attach_nic(nic)

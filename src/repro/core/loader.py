@@ -100,6 +100,21 @@ def allocate_runtime_symbols(alloc_fn) -> Dict[str, int]:
     return {name: alloc_fn(size) for name, size in RUNTIME_DATA_SYMBOLS}
 
 
+def install_elision_hooks(loaded: LoadedProgram, svm: SvmManager,
+                          elided_indices) -> None:
+    """Count proof-based check elisions at runtime: each execution of a
+    ``mov __svm_anchorK, r2`` replacement is one stlb lookup the static
+    proof made unnecessary. Hooks compile into the handler once, so the
+    uninstrumented hot path is untouched."""
+    counter = svm._c_elided
+
+    def bump(_cpu, _c=counter):
+        _c.value += 1
+
+    for index in elided_indices:
+        loaded.instrument[index] = bump
+
+
 class SvmRuntime:
     """Per-instance SVM runtime: the natives the rewritten code calls and
     the data slots it reads/writes."""
@@ -240,7 +255,8 @@ class HypervisorLoader:
              verify: bool = True,
              verify_report=None,
              annotations=None,
-             protect_stack: bool = False) -> HypervisorDriver:
+             protect_stack: bool = False,
+             elided_indices=()) -> HypervisorDriver:
         """``support_bindings`` maps support-routine names to hypervisor
         native addresses; anything else becomes an upcall stub via
         ``upcall_factory(name, dom0_native_addr)``.
@@ -250,7 +266,12 @@ class HypervisorLoader:
         the verifier runs here (in hostile mode unless rewriter
         ``annotations`` are given). A binary with violations is refused
         with :class:`~repro.analysis.report.VerificationError`; pass
-        ``verify=False`` to load unverified (tests/benchmarks only)."""
+        ``verify=False`` to load unverified (tests/benchmarks only).
+
+        When loading an elision-transformed binary the caller must supply
+        the *pre-elision* ``verify_report`` (the transformed code contains
+        bare translated accesses the verifier would reject by design) plus
+        the transform's ``elided_indices`` for runtime accounting."""
         if verify:
             # direct submodule import: safe during partial package init
             from ..analysis.report import VerificationError
@@ -289,6 +310,8 @@ class HypervisorLoader:
         resolved = rewritten.resolve({**data_symbols, **tentative.symbols})
         loaded = machine.load_program(resolved, self.code_base,
                                       extern=import_map, name=name)
+        if elided_indices:
+            install_elision_hooks(loaded, runtime.svm, elided_indices)
 
         # Hypervisor driver stack with guard pages on both sides.
         table = machine.hypervisor_table

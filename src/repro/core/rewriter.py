@@ -53,6 +53,11 @@ N_SPILL_SLOTS = 4
 STACK_LO_SYMBOL = "__svm_stack_lo"
 STACK_HI_SYMBOL = "__svm_stack_hi"
 STACK_FAULT_SYMBOL = "__svm_stack_fault"
+#: Per-anchor translation slots for proof-based check elision (see
+#: :func:`apply_elision`): anchor site ``K`` stores its freshly checked
+#: translated pointer here, elided sites reload it instead of re-running
+#: the ten-instruction stlb check. Allocated per-binary by the loader.
+ANCHOR_SYMBOL = "__svm_anchor{}"
 
 RUNTIME_DATA_SYMBOLS = (
     (STLB_SYMBOL, 4096 * 8),
@@ -657,3 +662,159 @@ def rewrite_driver(program: Program,
     """Convenience: rewrite ``program`` with a fresh :class:`Rewriter`."""
     return Rewriter(protect_stack=protect_stack,
                     stlb_entries=stlb_entries).rewrite(program)
+
+
+# ---------------------------------------------------------------------------
+# Proof-based check elision (prove-then-elide)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ElisionResult:
+    """What :func:`apply_elision` did to one verified binary."""
+
+    sites_elided: int = 0
+    anchors: int = 0
+    #: data symbols the loader must allocate per instance: ((name, size),)
+    anchor_symbols: Tuple[Tuple[str, int], ...] = ()
+    #: output-program indices of the ``mov __svm_anchorK, r2`` replacements
+    #: (runtime elision accounting hooks onto these: each execution is one
+    #: stlb check the proof made unnecessary)
+    elided_indices: Tuple[int, ...] = ()
+    #: output-program indices of the ``mov r2, __svm_anchorK`` stores
+    #: inserted into the anchor sites
+    anchor_indices: Tuple[int, ...] = ()
+
+
+def _elision_r2(program: Program, lea: int) -> str:
+    """The site's translated-pointer register, read off the figure-4 xor
+    (``xor __stlb+4(r1), r2``) — validating the shape on the way."""
+    n = len(program.instructions)
+    if lea + 9 >= n or program.instructions[lea].mnemonic != "lea":
+        raise ValueError(f"no fast-path site at instruction {lea}")
+    xor = program.instructions[lea + 8]
+    mem = xor.memory_operand()
+    if xor.mnemonic != "xor" or mem is None or mem.symbol != STLB_SYMBOL \
+            or not isinstance(xor.operands[1], Reg):
+        raise ValueError(f"no fast-path xor at instruction {lea + 8}")
+    return xor.operands[1].parent
+
+
+def apply_elision(program: Program, proofs) -> Tuple[Program, ElisionResult]:
+    """Consume the verifier's :class:`~repro.analysis.absint.ProofAnnotation`
+    list: replace each proven site's ten-instruction stlb check with a
+    single reload of its anchor's stored translation, and make each anchor
+    site store its freshly checked pointer.
+
+    The transformation is justified by the proofs, so it must run on the
+    **already verified** binary — the output intentionally contains bare
+    translated accesses the verifier would reject. An elided site becomes::
+
+        mov  __svm_anchorK, r2          # the anchor's checked translation
+        <access Mem(base=r2, index, scale, disp=delta)>
+
+    and its anchor grows one store between the xor and its access::
+
+        xor  __stlb+4(r1), r2
+        mov  r2, __svm_anchorK          # publish for the elided sites
+        <original access (r2)>
+
+    Spill saves/restores and ``pushf``/``popf`` wrapping are kept (the
+    replacement clobbers a subset of what the original did, and writes no
+    flags); the retry label is remapped to the replacement, leaving the
+    per-site slow-path tail block as unreachable dead code."""
+    anchor_prefix = ANCHOR_SYMBOL.format("")
+    for label in program.labels:
+        if label.startswith(anchor_prefix):
+            raise ValueError(f"binary already defines {label!r}")
+    for ins in program.instructions:
+        for op in ins.operands:
+            sym = getattr(op, "symbol", None) or getattr(op, "name", None)
+            if isinstance(sym, str) and sym.startswith(anchor_prefix):
+                raise ValueError(
+                    f"binary already references {sym!r}: refusing to elide")
+
+    proofs = sorted(proofs, key=lambda p: p.site_lea)
+    by_site: Dict[int, object] = {}
+    for p in proofs:
+        if p.site_lea in by_site:
+            raise ValueError(f"duplicate proof for site {p.site_lea}")
+        if p.access != p.site_lea + 9:
+            raise ValueError(f"proof access {p.access} does not follow "
+                             f"site {p.site_lea}")
+        by_site[p.site_lea] = p
+    anchor_leas = sorted({p.anchor_lea for p in proofs})
+    if any(lea in by_site for lea in anchor_leas):
+        raise ValueError("a site cannot be both elided and an anchor")
+    anchor_ids = {lea: k for k, lea in enumerate(anchor_leas)}
+    r2_of = {lea: _elision_r2(program, lea)
+             for lea in list(by_site) + anchor_leas}
+
+    skip_owner: Dict[int, int] = {}
+    for p in proofs:
+        for j in range(p.site_lea + 1, p.site_lea + 9):
+            skip_owner[j] = p.site_lea
+    access_proof = {p.access: p for p in proofs}
+    store_after = {lea + 8: lea for lea in anchor_leas}
+
+    new_ins: List[Instruction] = []
+    index_map: Dict[int, int] = {}
+    repl_start: Dict[int, int] = {}
+    elided_indices: List[int] = []
+    anchor_indices: List[int] = []
+    for i, ins in enumerate(program.instructions):
+        owner = skip_owner.get(i)
+        if owner is not None:
+            index_map[i] = repl_start[owner]
+            continue
+        index_map[i] = len(new_ins)
+        p = by_site.get(i)
+        if p is not None:
+            repl_start[i] = len(new_ins)
+            elided_indices.append(len(new_ins))
+            sym = ANCHOR_SYMBOL.format(anchor_ids[p.anchor_lea])
+            new_ins.append(Instruction(
+                "mov", (Mem(symbol=sym), Reg(r2_of[i]))))
+            continue
+        p = access_proof.get(i)
+        if p is not None:
+            r2 = r2_of[p.site_lea]
+            translated = Mem(base=r2, index=p.index,
+                             scale=p.scale if p.index is not None else 1,
+                             disp=p.delta)
+            new_ops = tuple(
+                translated if (isinstance(op, Mem) and op.symbol is None
+                               and op.base == r2 and op.index is None)
+                else op
+                for op in ins.operands)
+            if translated not in new_ops:
+                raise ValueError(
+                    f"access at {i} does not use the site's translated "
+                    f"pointer %{r2}")
+            new_ins.append(ins.replaced(operands=new_ops))
+        else:
+            new_ins.append(ins)
+        anchor = store_after.get(i)
+        if anchor is not None:
+            anchor_indices.append(len(new_ins))
+            sym = ANCHOR_SYMBOL.format(anchor_ids[anchor])
+            new_ins.append(Instruction(
+                "mov", (Reg(r2_of[anchor]), Mem(symbol=sym))))
+    index_map[len(program.instructions)] = len(new_ins)
+
+    elided = Program(
+        instructions=new_ins,
+        labels={label: index_map[i] for label, i in program.labels.items()},
+        globals_=program.globals_,
+        comm=dict(program.comm),
+        name=f"{program.name}.elided",
+    )
+    result = ElisionResult(
+        sites_elided=len(proofs),
+        anchors=len(anchor_leas),
+        anchor_symbols=tuple((ANCHOR_SYMBOL.format(k), 4)
+                             for k in range(len(anchor_leas))),
+        elided_indices=tuple(elided_indices),
+        anchor_indices=tuple(anchor_indices),
+    )
+    return elided, result

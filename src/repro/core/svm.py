@@ -138,6 +138,10 @@ class SvmManager:
         self._c_flush = registry.counter(f"svm.{name}.flush")
         self._c_invalidate = registry.counter(f"svm.{name}.invalidate")
         self._c_reclaim = registry.counter(f"svm.{name}.reclaim")
+        #: stlb checks skipped at runtime because the verifier proved the
+        #: site's address stays inside an anchor's checked page pair
+        #: (see :func:`repro.core.rewriter.apply_elision`).
+        self._c_elided = registry.counter(f"svm.{name}.elided")
         self._table_space = AddressSpace(
             f"{name}-table", machine.phys, machine.hypervisor_table
         )
@@ -182,7 +186,13 @@ class SvmManager:
             "flush": self._c_flush.value,
             "invalidate": self._c_invalidate.value,
             "reclaim": self._c_reclaim.value,
+            "elided": self._c_elided.value,
         }
+
+    @property
+    def elided(self) -> int:
+        """Runtime stlb lookups avoided via proof-based check elision."""
+        return self._c_elided.value
 
     # -- table memory -------------------------------------------------------------
 

@@ -46,9 +46,10 @@ from .loader import (
     SvmRuntime,
     allocate_runtime_symbols,
 )
+from .loader import install_elision_hooks
 from .paravirt import ParavirtNetDevice
 from .recovery import RecoveryManager, RecoveryPolicy
-from .rewriter import STLB_SYMBOL, rewrite_driver
+from .rewriter import STLB_SYMBOL, apply_elision, rewrite_driver
 from .svm import SvmManager, SvmMapExhausted, SvmProtectionFault
 from .upcall import UpcallAborted, UpcallManager
 
@@ -81,7 +82,8 @@ class TwinDriverManager:
                  recovery: bool = True,
                  recovery_policy: Optional[RecoveryPolicy] = None,
                  rx_batch_budget: int = DEFAULT_RX_BATCH_BUDGET,
-                 tx_batch_max: int = DEFAULT_TX_BATCH_MAX):
+                 tx_batch_max: int = DEFAULT_TX_BATCH_MAX,
+                 elide: bool = False):
         """``upcall_routines``: fast-path routine names to serve via
         upcalls instead of hypervisor implementations (figure 10).
         ``protect_stack`` enables the §4.5.1 extension (bounds checks on
@@ -97,7 +99,13 @@ class TwinDriverManager:
         get the raw §4.5 abort semantics (tests).
         ``rx_batch_budget`` caps packets delivered per guest per
         :meth:`flush_rx` pass (NAPI-style); ``tx_batch_max`` caps frames
-        per :meth:`guest_transmit_batch`."""
+        per :meth:`guest_transmit_batch`.
+        ``elide`` enables proof-based check elision: sites the verifier's
+        abstract interpretation proved to stay inside an anchor's checked
+        page pair reload the anchor's stored translation instead of
+        re-running the stlb check. Requires ``verify=True`` (the proofs
+        come from the verification report); both instances load the same
+        transformed binary so ``code_offset`` stays a single constant."""
         self.xen = xen
         self.machine = xen.machine
         self.dom0_kernel = dom0_kernel
@@ -123,9 +131,26 @@ class TwinDriverManager:
             self.verify_report = verify_program(
                 self.rewritten, annotations=self.rewrite_stats.annotations,
                 protect_stack=protect_stack)
+        # prove-then-elide: consume the verifier's proofs to drop stlb
+        # re-checks on proven sites. ``self.rewritten`` stays pre-elision
+        # (it is what recovery re-verifies); ``self.loadable`` is what
+        # both instances actually load.
+        self.elision = None
+        self.loadable = self.rewritten
+        if elide:
+            if not verify or self.verify_report is None:
+                raise ValueError("elide=True requires verify=True: the "
+                                 "elision transform consumes the proofs")
+            self.loadable, self.elision = apply_elision(
+                self.rewritten, self.verify_report.proofs)
 
         # 2. dom0 identity runtime + VM instance
         dom0_syms = allocate_runtime_symbols(dom0_kernel.alloc_module_data)
+        if self.elision is not None:
+            # per-instance anchor slots (the identity instance stores raw
+            # dom0 pointers, the hypervisor instance stores translated
+            # ones — they must not share storage)
+            self._alloc_anchor_slots(dom0_syms, dom0_kernel.alloc_module_data)
         self.identity_svm = SvmManager(
             self.machine, dom0_syms[STLB_SYMBOL],
             dom0_kernel.domain.aspace, identity=True, name="dom0-stlb",
@@ -140,14 +165,21 @@ class TwinDriverManager:
         self.dom0_runtime.set_stack_bounds(_L.KERNEL_STACK_BASE,
                                            _L.KERNEL_STACK_TOP)
         self.vm_module = dom0_kernel.load_driver(
-            self.rewritten,
+            self.loadable,
             extra_symbols=dom0_syms,
             extra_imports=self.dom0_runtime.imports,
         )
+        if self.elision is not None:
+            install_elision_hooks(self.vm_module.loaded, self.identity_svm,
+                                  self.elision.elided_indices)
 
         # 3. hypervisor side
         self.hyp_alloc = HypAllocator(self.machine)
         hyp_syms = allocate_runtime_symbols(self.hyp_alloc.alloc)
+        if self.elision is not None:
+            # placed in hyp runtime symbols so the loader's runtime
+            # override wins over the dom0 addresses in vm_module
+            self._alloc_anchor_slots(hyp_syms, self.hyp_alloc.alloc)
         self.svm = SvmManager(
             self.machine, hyp_syms[STLB_SYMBOL],
             dom0_kernel.domain.aspace, identity=False,
@@ -172,10 +204,12 @@ class TwinDriverManager:
         }
         loader = HypervisorLoader(xen, HYP_CODE_BASE, self.hyp_alloc)
         self.hyp_driver = loader.load(
-            self.rewritten, self.vm_module, self.hyp_runtime,
+            self.loadable, self.vm_module, self.hyp_runtime,
             support_bindings, upcall_factory=self.upcalls.make_stub,
             verify=verify, verify_report=self.verify_report,
             protect_stack=protect_stack,
+            elided_indices=(self.elision.elided_indices
+                            if self.elision is not None else ()),
         )
 
         # guests & NICs
@@ -210,6 +244,15 @@ class TwinDriverManager:
         )
 
     # ------------------------------------------------------------------ setup
+
+    def _alloc_anchor_slots(self, syms: Dict[str, int], alloc_fn) -> None:
+        """Allocate this instance's ``__svm_anchorK`` slots into ``syms``.
+        Elided sites reload them on every access, so they are cache-hot."""
+        addrs = [alloc_fn(size) for _, size in self.elision.anchor_symbols]
+        for (name, size), addr in zip(self.elision.anchor_symbols, addrs):
+            syms[name] = addr
+        if addrs:
+            self.machine.cpu.add_hot_range(min(addrs), max(addrs) + 4)
 
     def attach_nic(self, nic: E1000Device) -> int:
         """Probe + open the NIC through the VM instance in dom0, then take
@@ -265,7 +308,17 @@ class TwinDriverManager:
         """Replace a quarantined hypervisor instance with a freshly loaded
         one at the same code base (``code_offset`` stays constant, so
         indirect-call translation is unchanged). The caller is expected to
-        have re-verified the binary (recovery passes its report in)."""
+        have re-verified the binary (recovery passes its report in).
+        Under elision the *pre-elision* binary is what gets re-verified —
+        the transform is a pure function of its proofs — and the elided
+        binary is what gets reloaded."""
+        if verify_report is None and self.elision is not None:
+            # the elided binary intentionally fails hostile verification;
+            # prove the pre-elision binary instead, as recovery does
+            from ..analysis.verifier import verify_program
+            verify_report = verify_program(
+                self.rewritten, annotations=self.rewrite_stats.annotations,
+                protect_stack=self.protect_stack)
         self.machine.code.unregister(self.hyp_driver.loaded)
         support_bindings = {
             name: addr for name, addr in self.hyp_support.addresses.items()
@@ -273,11 +326,13 @@ class TwinDriverManager:
         }
         loader = HypervisorLoader(self.xen, HYP_CODE_BASE, self.hyp_alloc)
         self.hyp_driver = loader.load(
-            self.rewritten, self.vm_module, self.hyp_runtime,
+            self.loadable, self.vm_module, self.hyp_runtime,
             support_bindings, upcall_factory=self.upcalls.make_stub,
             verify_report=verify_report,
             annotations=self.rewrite_stats.annotations,
             protect_stack=self.protect_stack,
+            elided_indices=(self.elision.elided_indices
+                            if self.elision is not None else ()),
         )
 
     def _identity_translate_code(self, addr: int) -> int:

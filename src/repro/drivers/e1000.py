@@ -215,15 +215,16 @@ e1000_probe:
     # install entry points: the function pointers the kernel (and later
     # the TwinDrivers hypervisor instance) calls through
     movl $e1000_xmit_frame, NDEV_XMIT(%ebx)
-    movl $e1000_clean_rx, ADP_CLEAN_RX(%esi)
-    movl $e1000_clean_tx, ADP_CLEAN_TX(%esi)
 
-    # watchdog timer
+    # watchdog timer (stored before the clean pointers: ascending
+    # adapter offsets keep the accesses inside one proven page window)
     pushl $0
     pushl $TIMER_SIZE
     call kmalloc
     addl $8, %esp
     movl %eax, ADP_WATCHDOG(%esi)
+    movl $e1000_clean_rx, ADP_CLEAN_RX(%esi)
+    movl $e1000_clean_tx, ADP_CLEAN_TX(%esi)
     pushl %eax
     call init_timer
     addl $4, %esp
@@ -323,6 +324,9 @@ e1000_alloc_rx_buffers:
     pushl %esi
     pushl %edi
     movl 8(%ebp), %esi              # adapter
+    # anchor the adapter at offset 0 before the loop: the ring-index
+    # fields sit above it, so their checks elide on every iteration
+    movl ADP_NETDEV(%esi), %eax
 .rx_fill_loop:
     movl ADP_RX_FILL(%esi), %edx    # fill index
     leal 1(%edx), %ecx
@@ -390,6 +394,12 @@ e1000_xmit_frame:
     movl 12(%ebp), %edx             # netdev
     movl NDEV_PRIV(%edx), %esi      # adapter
 
+    # touch the lowest-offset field of each hot structure first: every
+    # later access then lands above this one inside the same page, so
+    # the verifier can anchor the whole access chain on one stlb check
+    movl SKB_DATA(%ebx), %eax
+    movl ADP_HW(%esi), %eax
+
     incl e1000_xmit_calls
 
     leal ADP_TX_LOCK(%esi), %eax
@@ -450,12 +460,14 @@ e1000_xmit_frame:
     leal (%eax,%edi,8), %eax        # i*4 + i*8 = i*12
     leal SKB_FRAGS(%ebx,%eax,1), %ecx
     pushl %edx
-    pushl $DMA_TO_DEVICE
-    movl SKB_FRAG_SIZE(%ecx), %eax
-    pushl %eax
-    movl SKB_FRAG_OFF(%ecx), %eax
-    pushl %eax
+    # read the frag fields in ascending offset order (page, offset,
+    # size) so the first access anchors the other two for the verifier
     movl SKB_FRAG_PAGE(%ecx), %eax
+    movl SKB_FRAG_OFF(%ecx), %edx
+    movl SKB_FRAG_SIZE(%ecx), %ecx
+    pushl $DMA_TO_DEVICE
+    pushl %ecx
+    pushl %edx
     pushl %eax
     call dma_map_page
     addl $16, %esp
@@ -612,6 +624,8 @@ e1000_clean_tx:
     pushl %esi
     pushl %edi
     movl 8(%ebp), %esi              # adapter
+    # adapter anchor at offset 0 (see e1000_xmit_frame)
+    movl ADP_NETDEV(%esi), %eax
 .clean_tx_loop:
     movl ADP_TX_CLEAN(%esi), %ebx
     cmpl ADP_TX_NEXT(%esi), %ebx
@@ -620,6 +634,7 @@ e1000_clean_tx:
     movl %ebx, %edi
     shll $4, %edi
     addl %ecx, %edi                 # edi = &desc
+    movl DESC_ADDR(%edi), %eax      # descriptor anchor at offset 0
     movl DESC_FLAGS(%edi), %eax
     testl $DESC_DD, %eax
     je .clean_tx_done
@@ -693,12 +708,15 @@ e1000_clean_rx:
     pushl %esi
     pushl %edi
     movl 8(%ebp), %esi              # adapter
+    # adapter anchor at offset 0 (see e1000_xmit_frame)
+    movl ADP_NETDEV(%esi), %eax
 .clean_rx_loop:
     movl ADP_RX_NEXT(%esi), %ebx
     movl ADP_RX_RING(%esi), %ecx
     movl %ebx, %edi
     shll $4, %edi
     addl %ecx, %edi                 # edi = &desc
+    movl DESC_ADDR(%edi), %eax      # descriptor anchor at offset 0
     movl DESC_FLAGS(%edi), %eax
     testl $DESC_DD, %eax
     je .clean_rx_done
@@ -716,10 +734,11 @@ e1000_clean_rx:
     testl %edx, %edx
     je .clean_rx_advance
 
-    # inline skb_put(skb, desc.len): tail += len, len = len
+    # inline skb_put(skb, desc.len): len = len, tail += len
+    # (len first: its lower offset anchors the tail update)
     movl DESC_LEN(%edi), %eax
-    addl %eax, SKB_TAIL(%edx)
     movl %eax, SKB_LEN(%edx)
+    addl %eax, SKB_TAIL(%edx)
 
     # stats
     incl ADP_RXP(%esi)

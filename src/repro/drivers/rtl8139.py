@@ -127,6 +127,7 @@ rtl8139_probe:
 .probe_txbuf:
     cmpl $4, %edi
     jae .probe_txbuf_done
+    andl $3, %edi                   # defensive slot mask (bounds the index)
     leal -4(%ebp), %eax
     pushl %eax
     pushl $TX_SLOT_BYTES
@@ -180,6 +181,7 @@ rtl8139_open:
 .open_tsad:
     cmpl $4, %ecx
     jae .open_tsad_done
+    andl $3, %ecx                   # defensive slot mask (bounds the index)
     movl RTL_TXDMA0(%esi,%ecx,4), %eax
     movl %eax, R_TSAD0(%edi,%ecx,4)
     incl %ecx
@@ -223,6 +225,11 @@ rtl8139_xmit:
     movl 8(%ebp), %ebx              # skb
     movl 12(%ebp), %edx             # netdev
     movl NDEV_PRIV(%edx), %esi      # adapter
+
+    # touch the lowest-offset field of each hot structure first so the
+    # verifier can anchor the whole access chain on one stlb check
+    movl SKB_DATA(%ebx), %eax
+    movl RTL_HW(%esi), %eax
 
     leal RTL_LOCK(%esi), %eax
     pushl %eax
@@ -344,9 +351,11 @@ rtl8139_intr:
     testl %eax, %eax
     je .rtl_intr_no_rx              # alloc failure: leave ring as-is
 
-    # inline skb_put(skb, len)
-    addl %edx, SKB_TAIL(%eax)
+    # inline skb_put(skb, len); the data-pointer read anchors the
+    # higher-offset len/tail fields for the verifier
+    movl SKB_DATA(%eax), %ecx
     movl %edx, SKB_LEN(%eax)
+    addl %edx, SKB_TAIL(%eax)
 
     # copy payload: ring record body -> skb data (dwords + remainder)
     pushl %esi
@@ -367,11 +376,11 @@ rtl8139_intr:
     popl %edi
     popl %esi
 
+    # advance: off = align4(off + 4 + len); wrap like the device
+    # (the low-offset RXOFF read also anchors the stats fields)
+    movl RTL_RXOFF(%esi), %ecx
     incl RTL_RXP(%esi)
     addl %edx, RTL_RXB(%esi)
-
-    # advance: off = align4(off + 4 + len); wrap like the device
-    movl RTL_RXOFF(%esi), %ecx
     leal 7(%ecx,%edx,1), %ecx
     andl $-4, %ecx
     cmpl $RX_WRAP_THRESHOLD, %ecx
@@ -463,6 +472,7 @@ rtl8139_close:
 .close_txbuf:
     cmpl $4, %ecx
     jae .close_done
+    andl $3, %ecx                   # defensive slot mask (bounds the index)
     pushl %ecx
     pushl $TX_SLOT_BYTES
     movl RTL_TXBUF0(%esi,%ecx,4), %eax

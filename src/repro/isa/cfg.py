@@ -115,6 +115,29 @@ class ControlFlowGraph:
 
     # -- queries ----------------------------------------------------------------
 
+    def reachable_from(self, entries) -> Set[int]:
+        """Block start indices reachable from the given entry *instruction*
+        indices (each is mapped to its containing block; indices outside the
+        program are ignored). Used by forward dataflow solvers to seed their
+        worklists and to distinguish dead blocks, which need pessimistic
+        treatment, from analyzed ones."""
+        n = len(self.program.instructions)
+        seen: Set[int] = set()
+        stack: List[int] = []
+        for index in entries:
+            if 0 <= index < n:
+                start = self.block_of(index).start
+                if start not in seen:
+                    seen.add(start)
+                    stack.append(start)
+        while stack:
+            node = stack.pop()
+            for succ in self.blocks[node].successors:
+                if succ not in seen:
+                    seen.add(succ)
+                    stack.append(succ)
+        return seen
+
     def block_of(self, index: int) -> BasicBlock:
         starts = sorted(self.blocks)
         lo, hi = 0, len(starts) - 1

@@ -116,6 +116,10 @@ class LoadedProgram:
         self.handlers: List[Optional[Callable[["Cpu"], None]]] = (
             [None] * len(program.instructions)
         )
+        #: optional per-instruction observers, wrapped into the compiled
+        #: handler once at compile time so uninstrumented instructions pay
+        #: nothing in the hot loop. Populate before first execution.
+        self.instrument: Dict[int, Callable[["Cpu"], None]] = {}
         self.symbols = {
             label: (self.addrs[i] if i < len(self.addrs) else self.end)
             for label, i in program.labels.items()
@@ -551,9 +555,17 @@ class Cpu:
         self.eip = loaded.next_addrs[index]
         handler = loaded.handlers[index]
         if handler is None:
-            handler = loaded.handlers[index] = _compile_instruction(
+            handler = _compile_instruction(
                 loaded.program.instructions[index], loaded, index
             )
+            hook = loaded.instrument.get(index)
+            if hook is not None:
+                inner = handler
+
+                def handler(cpu, _hook=hook, _inner=inner):
+                    _hook(cpu)
+                    _inner(cpu)
+            loaded.handlers[index] = handler
         handler(self)
 
     def _branch_target(self, instr: Instruction, loaded: LoadedProgram,

@@ -1,8 +1,10 @@
 """The ``python -m repro.analysis.lint`` entry point, run in-process."""
 
+import json
+
 import pytest
 
-from repro.analysis.lint import main
+from repro.analysis.lint import LINT_SCHEMA, main
 
 
 class TestLintCli:
@@ -32,3 +34,27 @@ class TestLintCli:
     def test_no_arguments_is_an_error(self, capsys):
         with pytest.raises(SystemExit):
             main([])
+
+    def test_elide_report_and_json(self, tmp_path, capsys):
+        path = tmp_path / "report.json"
+        assert main(["e1000", "--elide-report", "--json", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "elide e1000:" in out and "sites proven" in out
+        doc = json.loads(path.read_text())
+        assert doc["schema"] == LINT_SCHEMA
+        assert doc["ok"]
+        (target,) = doc["targets"]
+        assert target["findings"] == []
+        assert target["elision"]["coverage"] >= 0.60
+        assert (target["elision"]["instructions_after"]
+                < target["elision"]["instructions_before"])
+
+    def test_corpus_json_records_expected_keys(self, tmp_path, capsys):
+        path = tmp_path / "corpus.json"
+        assert main(["--corpus", "--json", str(path)]) == 0
+        capsys.readouterr()
+        doc = json.loads(path.read_text())
+        assert len(doc["corpus"]) >= 14
+        assert all(c["rejected"] for c in doc["corpus"])
+        keys = {c["expect_key"] for c in doc["corpus"] if c["expect_key"]}
+        assert "range.cross_page" in keys and "locks.blocking_call" in keys

@@ -77,10 +77,30 @@ class TestNegativeCorpus:
             assert 0 <= finding.index < len(entry.program.instructions)
             assert f"@{finding.index}" in finding.format()
 
-    def test_corpus_covers_at_least_four_classes(self):
+    def test_corpus_covers_all_seven_classes(self):
         corpus = build_negative_corpus()
-        assert len(corpus) >= 4
-        assert len({e.expect_pass for e in corpus}) == 4  # one per pass
+        assert len(corpus) >= 14
+        # syntactic (PR 1) plus the semantic abstract-interpretation passes
+        assert {e.expect_pass for e in corpus} == {
+            "svm", "flow", "stack", "clobber",
+            "range", "provenance", "locks",
+        }
+
+    @pytest.mark.parametrize(
+        "entry",
+        [e for e in build_negative_corpus() if e.expect_key is not None],
+        ids=lambda e: e.name)
+    def test_semantic_entries_rejected_with_exact_key(self, entry):
+        """The semantic corpus binaries are clean to every syntactic
+        pass; only the expected range/provenance/locks property — with
+        the exact finding key — may reject them."""
+        report = verify_program(entry.program,
+                                protect_stack=entry.protect_stack)
+        assert not report.ok, entry.name
+        assert any(f.key == entry.expect_key for f in report.errors), \
+            report.format()
+        assert {f.passname for f in report.errors} == {entry.expect_pass}, \
+            report.format()
 
 
 class TestPatternMatchers:
