@@ -1,37 +1,87 @@
-"""Validate benchmark JSON results against the repro-bench-result/v1 schema.
+"""Validate benchmark results and gate them against committed baselines.
 
 Usage::
 
-    python benchmarks/check_results.py [results_dir]
+    python benchmarks/check_results.py [results_dir]           # schema check
+    python benchmarks/check_results.py --gate                  # + perf gate
+    python benchmarks/check_results.py --update-baselines     # refresh
 
-Exits non-zero if any ``.json`` file under the results directory fails
-validation, or if the directory contains no JSON results at all. CI runs
-this after the benchmark step, before uploading the artifact.
+Plain mode validates every ``.json`` under the results directory against
+the ``repro-bench-result/v1`` schema (exits non-zero on any failure or
+an empty directory) — CI runs this after the benchmark step, before
+uploading the artifact.
+
+``--gate`` additionally diffs every numeric metric against the committed
+per-benchmark baselines in ``benchmarks/baselines/``. The simulator's
+cycle metrics are deterministic run to run, so the default tolerance
+band is tight (±5% relative) and reliably catches a 10% cycle
+regression; per-metric overrides in a baseline file widen or narrow
+individual bands. Each gate run appends one entry to
+``benchmarks/results/trajectory.json`` (schema
+``repro-perf-trajectory/v1``) so the history of gate verdicts rides
+along with the results artifact.
+
+``--update-baselines`` rewrites the baseline files from the current
+results (run it deliberately, after a reviewed perf change; existing
+per-metric overrides are preserved).
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 import os
 import sys
+import time
+from typing import Dict, List, Optional, Tuple
 
 sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
 
 from benchmarks.common import RESULTS_DIR, validate_result  # noqa: E402
 
+BASELINES_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                             "baselines")
 
-def check_dir(results_dir: str) -> int:
-    if not os.path.isdir(results_dir):
-        print(f"error: no results directory at {results_dir}")
-        return 1
+BASELINE_SCHEMA = "repro-perf-baseline/v1"
+TRAJECTORY_SCHEMA = "repro-perf-trajectory/v1"
+
+#: default relative tolerance band around each baseline value.
+DEFAULT_TOLERANCE = 0.05
+
+#: metric-name fragments excluded from gating: host wall-clock and other
+#: non-deterministic timings have no stable baseline.
+NONDETERMINISTIC_FRAGMENTS = ("wall", "host", "seconds", "_time", "time_")
+
+
+def flatten_metrics(metrics: Dict, prefix: str = "") -> Dict[str, float]:
+    """Dotted-key view of the numeric leaves of a metrics tree; strings,
+    lists and booleans are not gateable and are skipped."""
+    flat: Dict[str, float] = {}
+    for key, value in metrics.items():
+        dotted = f"{prefix}{key}"
+        if isinstance(value, dict):
+            flat.update(flatten_metrics(value, prefix=dotted + "."))
+        elif isinstance(value, bool):
+            continue
+        elif isinstance(value, (int, float)):
+            flat[dotted] = float(value)
+    return flat
+
+
+def gateable(name: str) -> bool:
+    lowered = name.lower()
+    return not any(frag in lowered for frag in NONDETERMINISTIC_FRAGMENTS)
+
+
+def load_results(results_dir: str) -> Tuple[List[str], List[Tuple[str, Dict]]]:
+    """Return (schema failure messages, [(benchmark name, doc)])."""
+    failures: List[str] = []
+    docs: List[Tuple[str, Dict]] = []
     paths = sorted(
         os.path.join(results_dir, f)
-        for f in os.listdir(results_dir) if f.endswith(".json")
+        for f in os.listdir(results_dir)
+        if f.endswith(".json") and f != "trajectory.json"
     )
-    if not paths:
-        print(f"error: no JSON results under {results_dir}")
-        return 1
-    failures = 0
     for path in paths:
         name = os.path.basename(path)
         try:
@@ -39,15 +89,183 @@ def check_dir(results_dir: str) -> int:
                 doc = json.load(fh)
             validate_result(doc)
         except (ValueError, json.JSONDecodeError) as exc:
-            print(f"FAIL {name}: {exc}")
-            failures += 1
+            failures.append(f"FAIL {name}: {exc}")
             continue
-        print(f"ok   {name}: benchmark={doc['benchmark']} "
-              f"metrics={len(doc['metrics'])} obs={len(doc['obs'])}")
-    print(f"{len(paths) - failures}/{len(paths)} results valid")
-    return 1 if failures else 0
+        docs.append((doc["benchmark"], doc))
+    return failures, docs
+
+
+# -- the gate ----------------------------------------------------------------
+
+
+def load_baseline(baselines_dir: str, benchmark: str) -> Optional[Dict]:
+    path = os.path.join(baselines_dir, f"{benchmark}.json")
+    if not os.path.exists(path):
+        return None
+    with open(path) as fh:
+        doc = json.load(fh)
+    if doc.get("schema") != BASELINE_SCHEMA:
+        raise ValueError(f"{path}: schema must be {BASELINE_SCHEMA!r}")
+    return doc
+
+
+def gate_benchmark(benchmark: str, doc: Dict,
+                   baseline: Optional[Dict]) -> Tuple[List[str], List[str]]:
+    """Compare one result against its baseline.
+
+    Returns ``(regressions, notes)``: regressions fail the gate, notes
+    (missing baselines, new metrics) are informational.
+    """
+    if baseline is None:
+        return [], [f"{benchmark}: no baseline committed — not gated"]
+    tolerance = float(baseline.get("tolerance", DEFAULT_TOLERANCE))
+    overrides = baseline.get("overrides", {})
+    want = baseline.get("metrics", {})
+    got = {k: v for k, v in flatten_metrics(doc["metrics"]).items()
+           if gateable(k)}
+    regressions: List[str] = []
+    notes: List[str] = []
+    for key, base_value in sorted(want.items()):
+        tol = float(overrides.get(key, tolerance))
+        if key not in got:
+            regressions.append(
+                f"{benchmark}:{key}: metric disappeared "
+                f"(baseline {base_value})")
+            continue
+        value = got[key]
+        if base_value == 0:
+            if value != 0:
+                regressions.append(
+                    f"{benchmark}:{key}: {value} vs baseline 0")
+            continue
+        drift = (value - base_value) / abs(base_value)
+        if abs(drift) > tol:
+            regressions.append(
+                f"{benchmark}:{key}: {value:g} vs baseline {base_value:g} "
+                f"({drift:+.1%}, band ±{tol:.0%})")
+    for key in sorted(set(got) - set(want)):
+        notes.append(f"{benchmark}:{key}: new metric, not in baseline")
+    return regressions, notes
+
+
+def append_trajectory(results_dir: str, ok: bool, checked: int,
+                      regressions: List[str]) -> str:
+    path = os.path.join(results_dir, "trajectory.json")
+    doc = {"schema": TRAJECTORY_SCHEMA, "runs": []}
+    if os.path.exists(path):
+        try:
+            with open(path) as fh:
+                loaded = json.load(fh)
+            if loaded.get("schema") == TRAJECTORY_SCHEMA:
+                doc = loaded
+        except (ValueError, json.JSONDecodeError):
+            pass                      # corrupt history: start fresh
+    doc["runs"].append({
+        "seq": len(doc["runs"]),
+        "timestamp": int(time.time()),
+        "ok": ok,
+        "benchmarks_gated": checked,
+        "regressions": regressions,
+    })
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
+def update_baselines(docs: List[Tuple[str, Dict]], baselines_dir: str) -> int:
+    os.makedirs(baselines_dir, exist_ok=True)
+    for benchmark, doc in docs:
+        existing = load_baseline(baselines_dir, benchmark)
+        baseline = {
+            "schema": BASELINE_SCHEMA,
+            "benchmark": benchmark,
+            "tolerance": (existing or {}).get("tolerance",
+                                              DEFAULT_TOLERANCE),
+            "overrides": (existing or {}).get("overrides", {}),
+            "metrics": {k: v
+                        for k, v in flatten_metrics(doc["metrics"]).items()
+                        if gateable(k)},
+        }
+        path = os.path.join(baselines_dir, f"{benchmark}.json")
+        with open(path, "w") as fh:
+            json.dump(baseline, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"baseline {benchmark}: {len(baseline['metrics'])} metrics "
+              f"-> {path}")
+    return 0
+
+
+# -- entrypoints -------------------------------------------------------------
+
+
+def check_dir(results_dir: str, baselines_dir: str = BASELINES_DIR,
+              gate: bool = False) -> int:
+    if not os.path.isdir(results_dir):
+        print(f"error: no results directory at {results_dir}")
+        return 1
+    failures, docs = load_results(results_dir)
+    for line in failures:
+        print(line)
+    if not failures and not docs:
+        print(f"error: no JSON results under {results_dir}")
+        return 1
+    for benchmark, doc in docs:
+        print(f"ok   {benchmark}.json: metrics={len(doc['metrics'])} "
+              f"obs={len(doc['obs'])}")
+    print(f"{len(docs)}/{len(docs) + len(failures)} results valid")
+    if failures:
+        return 1
+    if not gate:
+        return 0
+
+    regressions: List[str] = []
+    notes: List[str] = []
+    checked = 0
+    for benchmark, doc in docs:
+        baseline = load_baseline(baselines_dir, benchmark)
+        if baseline is not None:
+            checked += 1
+        regs, ns = gate_benchmark(benchmark, doc, baseline)
+        regressions.extend(regs)
+        notes.extend(ns)
+    for line in notes:
+        print(f"note {line}")
+    for line in regressions:
+        print(f"REGRESSION {line}")
+    ok = not regressions
+    append_trajectory(results_dir, ok, checked, regressions)
+    print(f"gate: {checked} benchmarks gated, "
+          f"{len(regressions)} regressions -> "
+          f"{'PASS' if ok else 'FAIL'}")
+    return 0 if ok else 1
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="validate benchmark results; optionally gate "
+                    "against committed perf baselines")
+    parser.add_argument("results_dir", nargs="?", default=RESULTS_DIR)
+    parser.add_argument("--results-dir", dest="results_dir_opt",
+                        default=None, help="same as the positional")
+    parser.add_argument("--baselines-dir", default=BASELINES_DIR)
+    parser.add_argument("--gate", action="store_true",
+                        help="fail on out-of-band metric drift and append "
+                             "to results/trajectory.json")
+    parser.add_argument("--update-baselines", action="store_true",
+                        help="rewrite baselines from the current results")
+    args = parser.parse_args(argv)
+    results_dir = args.results_dir_opt or args.results_dir
+    if args.update_baselines:
+        failures, docs = load_results(results_dir)
+        for line in failures:
+            print(line)
+        if failures or not docs:
+            return 1
+        return update_baselines(docs, args.baselines_dir)
+    return check_dir(results_dir, baselines_dir=args.baselines_dir,
+                     gate=args.gate)
 
 
 if __name__ == "__main__":
-    target = sys.argv[1] if len(sys.argv) > 1 else RESULTS_DIR
-    sys.exit(check_dir(target))
+    sys.exit(main())

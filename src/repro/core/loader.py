@@ -105,7 +105,9 @@ def install_elision_hooks(loaded: LoadedProgram, svm: SvmManager,
     """Count proof-based check elisions at runtime: each execution of a
     ``mov __svm_anchorK, r2`` replacement is one stlb lookup the static
     proof made unnecessary. Hooks compile into the handler once, so the
-    uninstrumented hot path is untouched."""
+    uninstrumented hot path is untouched. The sites are also tagged in
+    the cycle-attribution profiler so anchor-reload cost shows up as an
+    ``svm.anchor`` leaf in flamegraphs."""
     counter = svm._c_elided
 
     def bump(_cpu, _c=counter):
@@ -113,6 +115,7 @@ def install_elision_hooks(loaded: LoadedProgram, svm: SvmManager,
 
     for index in elided_indices:
         loaded.instrument[index] = bump
+    svm.machine.obs.profiler.tag_sites(loaded, elided_indices, "svm.anchor")
 
 
 class SvmRuntime:

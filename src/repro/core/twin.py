@@ -35,6 +35,7 @@ from ..obs.events import (
     SPAN_PACKET_RX,
     SPAN_PACKET_TX,
 )
+from ..obs.health import VIRQ_DEFER_HISTOGRAM
 from ..osmodel.netdev import NetDevice
 from ..osmodel.skbuff import SkBuff
 from ..xen.hypervisor import HYP_CODE_BASE, HYP_SVM_MAP_BASE, Hypervisor
@@ -220,7 +221,9 @@ class TwinDriverManager:
         self.nics_by_irq: Dict[int, E1000Device] = {}
         self._rx_queue: List[Tuple[ParavirtNetDevice, int]] = []
         self.rx_dropped_no_guest = 0
-        self._deferred_irqs: List[int] = []
+        #: parked NIC interrupts: (irq, cycle-clock at defer time), so the
+        #: replay path can observe delivery latency into the SLO histogram
+        self._deferred_irqs: List[Tuple[int, int]] = []
 
         # fast-path batching knobs (§5.3: one copy pass + one virtual
         # interrupt per scheduled guest, not per packet)
@@ -233,6 +236,9 @@ class TwinDriverManager:
         registry = self.machine.obs.registry
         self._h_rx_batch = registry.histogram("twin.rx_batch_size")
         self._h_tx_batch = registry.histogram("twin.tx_batch_size")
+        #: deferred-virq replay latency (simulated cycles); the health
+        #: watchdog checks its p99 against an SLO
+        self._h_virq_defer = registry.histogram(VIRQ_DEFER_HISTOGRAM)
 
         # deferred NIC interrupts are replayed as soon as dom0 re-enables
         # its virtual interrupt flag (or is next scheduled with it set)
@@ -362,7 +368,7 @@ class TwinDriverManager:
         if not self.dom0_kernel.domain.virq_enabled:
             # dom0 masked driver interrupts (it may hold a shared lock):
             # defer until the flag is re-enabled.
-            self._deferred_irqs.append(irq)
+            self._deferred_irqs.append((irq, self.machine.account.total))
             return
         entry_vm, arg = self.dom0_kernel.irq_handlers[irq]
         entry = self.hyp_driver.entry_for_vm_address(entry_vm)
@@ -385,7 +391,9 @@ class TwinDriverManager:
 
     def retry_deferred_interrupts(self):
         pending, self._deferred_irqs = self._deferred_irqs, []
-        for irq in pending:
+        now = self.machine.account.total
+        for irq, deferred_at in pending:
+            self._h_virq_defer.observe(now - deferred_at)
             self._run_interrupt(irq)
 
     def _on_dom0_virq_unmask(self):
@@ -452,11 +460,12 @@ class TwinDriverManager:
             # skb — these writes go through the stlb and can fault too
             skb.put(len(header))
             self.hyp_support.view.write_bytes(skb.data, header)
-            self.xen.charge_xen(costs.copy_cost(len(header)))
+            self.xen.charge_xen(costs.copy_cost(len(header)),
+                                phase="twin:tx_copy")
             # ... chain the rest of the guest packet as page fragments
             for page, off, size in frags:
                 skb.add_frag(page, off, size)
-                self.xen.charge_xen(costs.frag_chain)
+                self.xen.charge_xen(costs.frag_chain, phase="twin:tx_frag")
             if entry is None:
                 entry = self._xmit_entry(dev)
             result = self.hyp_driver.invoke(
@@ -537,7 +546,7 @@ class TwinDriverManager:
         refcount is raised so each delivery drops one reference. Unicast
         frames with no owning guest are dropped and counted."""
         costs = self.xen.costs
-        self.xen.charge_xen(costs.twin_rx_demux)
+        self.xen.charge_xen(costs.twin_rx_demux, phase="twin:rx_demux")
         skb = SkBuff(self.hyp_support.view, skb_addr)
         # eth_type_trans already pulled the header: MAC is at data - 14.
         dst_mac = self.hyp_support.view.read_bytes(skb.data - L.ETH_HLEN,
@@ -599,8 +608,14 @@ class TwinDriverManager:
                 span = (tracer.begin_span(SPAN_PACKET_RX, len=len(payload))
                         if tracer.enabled else None)
                 self.xen.charge_xen(costs.copy_cost(len(payload))
-                                    + costs.twin_rx_copy_extra)
+                                    + costs.twin_rx_copy_extra,
+                                    phase="twin:rx_copy")
+                prof = self.machine.obs.profiler
+                if prof.enabled:
+                    prof.push_phase("twin:rx_dom0_share")
                 self.machine.account.charge("dom0", costs.twin_rx_dom0_share)
+                if prof.enabled:
+                    prof.pop_phase()
                 self.hyp_support.dev_kfree_skb_any(skb_addr)
                 self._charge_support("dev_kfree_skb_any")
                 payloads.append(payload)
@@ -625,7 +640,8 @@ class TwinDriverManager:
 
     def _charge_support(self, name: str):
         self.hyp_support.note_call(name, direct=True)
-        self.xen.charge_xen(self.xen.costs.support_cost(name))
+        self.xen.charge_xen(self.xen.costs.support_cost(name),
+                            phase=f"support:{name}")
 
     @property
     def aborted(self) -> bool:

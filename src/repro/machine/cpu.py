@@ -247,6 +247,9 @@ class Cpu:
         self.cycle_scale = 1.0
         #: trace ring (set by Machine); None for bare test CPUs.
         self.tracer = None
+        #: cycle-attribution profiler (set by Machine); None for bare
+        #: test CPUs. Guarded exactly like the tracer on hot paths.
+        self.profiler = None
         #: (LoadedProgram, registry-epoch) of the last fetch — straight-line
         #: execution skips the registry bisect entirely.
         self._prog_cache: Optional[Tuple[LoadedProgram, int]] = None
@@ -524,16 +527,24 @@ class Cpu:
         tracer = self.tracer
         if tracer is not None and tracer.enabled:
             tracer.emit(NATIVE_CALL, name=routine.name)
-        self.charge(self.costs.native_call)
-        if routine.cost:
-            self.charge_raw(routine.cost, routine.category)
-        if routine.category is not None:
-            self.push_category(routine.category)
+        prof = self.profiler
+        profiled = prof is not None and prof.enabled
+        if profiled:
+            prof.push_phase("native:" + routine.name)
         try:
-            result = routine.fn(self)
-        finally:
+            self.charge(self.costs.native_call)
+            if routine.cost:
+                self.charge_raw(routine.cost, routine.category)
             if routine.category is not None:
-                self.pop_category()
+                self.push_category(routine.category)
+            try:
+                result = routine.fn(self)
+            finally:
+                if routine.category is not None:
+                    self.pop_category()
+        finally:
+            if profiled:
+                prof.pop_phase()
         if result is not None:
             self.regs["eax"] = result & MASK32
         self.eip = self.pop()

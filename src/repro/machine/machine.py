@@ -51,6 +51,10 @@ class Machine:
         self.cpu = Cpu(self.phys, self.code, self.natives, self.account,
                        costs=costs)
         self.cpu.tracer = self.obs.tracer
+        # the profiler shadows account.charge when enabled; bind it to
+        # this machine's CPU (pc capture + symbolization) and account
+        self.obs.profiler.bind(self.cpu, self.account)
+        self.cpu.profiler = self.obs.profiler
         self.cpu_hz = cpu_hz
         #: hypervisor page table, shared into every domain's address space.
         self.hypervisor_table = PageTable()

@@ -109,6 +109,10 @@ class PacketProfile:
     #: non-cycle registry counter movement over the measured batch
     #: (stlb misses, support calls, upcalls, ...), per packet batch.
     counters: Dict[str, int] = field(default_factory=dict)
+    #: full cycle-attribution profile (``repro-profile/v1``) when the
+    #: measurement ran with the profiler enabled; its per-category sums
+    #: are asserted bit-equal to ``cycles`` at capture time.
+    attribution: Optional[Dict] = None
 
     @property
     def per_packet(self) -> Dict[str, float]:

@@ -34,7 +34,9 @@ from .export import (
     render_spans,
     render_tail,
 )
+from .health import HEALTH_SCHEMA, HealthMonitor, WatchdogFault
 from .metrics import Counter, Histogram, MetricsRegistry
+from .prof import PROFILE_SCHEMA, Profiler
 from .tracer import Span, TraceEvent, Tracer
 
 
@@ -46,6 +48,9 @@ class Obs:
         self.registry = MetricsRegistry()
         self.tracer = Tracer(clock=clock, capacity=trace_capacity,
                              registry=self.registry)
+        #: cycle-attribution profiler; inert until bound to a machine
+        #: (Machine.__init__) and enabled.
+        self.profiler = Profiler(registry=self.registry)
 
     # -- tracing toggle -----------------------------------------------------
 
@@ -58,6 +63,14 @@ class Obs:
 
     def disable_tracing(self):
         self.tracer.enabled = False
+
+    # -- profiling toggle ---------------------------------------------------
+
+    def enable_profiling(self):
+        self.profiler.enable()
+
+    def disable_profiling(self):
+        self.profiler.disable()
 
     def set_clock(self, clock: Callable[[], int]):
         self.tracer.clock = clock
@@ -85,13 +98,18 @@ class Obs:
 
 __all__ = [
     "Counter",
+    "HEALTH_SCHEMA",
+    "HealthMonitor",
     "Histogram",
     "MetricsRegistry",
     "Obs",
+    "PROFILE_SCHEMA",
+    "Profiler",
     "Span",
     "TRACE_SCHEMA",
     "TraceEvent",
     "Tracer",
+    "WatchdogFault",
     "chrome_trace",
     "events",
     "load_trace",

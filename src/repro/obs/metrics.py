@@ -6,9 +6,12 @@ per-instruction cycle-charging path. The registry is the single source
 of truth the profile workloads (figures 7/8), the benchmark JSON results
 and the trace exporters all read from.
 
-Histograms use power-of-two buckets (bucket ``i`` holds values ``v``
-with ``v.bit_length() == i``), which is exact enough for cycle/latency
-distributions and needs no configuration.
+Histograms use log-linear buckets: values below 8 get exact singleton
+buckets, larger values split each power-of-two range into 4 linear
+sub-buckets. A reported quantile is the upper bound of the bucket the
+quantile lands in, so it never undershoots and overshoots by at most
+25% (``true <= reported <= 1.25 * true``) — tight enough for
+cycle/latency distributions and needs no configuration.
 """
 
 from __future__ import annotations
@@ -34,7 +37,17 @@ class Counter:
 
 
 class Histogram:
-    """Power-of-two-bucketed distribution of non-negative integers."""
+    """Log-linear-bucketed distribution of non-negative integers.
+
+    Values below 8 land in exact singleton buckets (key == value).
+    Larger values with ``b = value.bit_length()`` split the range
+    ``[2^(b-1), 2^b)`` into 4 equal sub-buckets; the key is
+    ``4*b + sub`` (>= 16, so the two key spaces never collide and
+    sorting keys sorts value ranges). Each sub-bucket spans a quarter
+    of its power-of-two range, so a bucket's upper bound is at most
+    1.25x its lower bound — quantiles never undershoot and overshoot
+    by at most 25%.
+    """
 
     __slots__ = ("name", "count", "total", "min", "max", "buckets")
 
@@ -46,6 +59,22 @@ class Histogram:
         self.max: Optional[int] = None
         self.buckets: Dict[int, int] = {}
 
+    @staticmethod
+    def bucket_key(value: int) -> int:
+        if value < 8:
+            return value
+        b = int(value).bit_length()
+        sub = (value - (1 << (b - 1))) >> (b - 3)
+        return 4 * b + sub
+
+    @staticmethod
+    def bucket_bound(key: int) -> int:
+        """Inclusive upper bound of the bucket ``key``."""
+        if key < 8:
+            return key
+        b, sub = key >> 2, key & 3
+        return (1 << (b - 1)) + ((sub + 1) << (b - 3)) - 1
+
     def observe(self, value: int):
         if value < 0:
             raise ValueError("histograms record non-negative values")
@@ -55,8 +84,16 @@ class Histogram:
             self.min = value
         if self.max is None or value > self.max:
             self.max = value
-        b = int(value).bit_length()
-        self.buckets[b] = self.buckets.get(b, 0) + 1
+        k = self.bucket_key(value)
+        self.buckets[k] = self.buckets.get(k, 0) + 1
+
+    def reset(self):
+        """Drop all observations in place (references stay valid)."""
+        self.count = 0
+        self.total = 0
+        self.min = None
+        self.max = None
+        self.buckets.clear()
 
     @property
     def mean(self) -> float:
@@ -70,10 +107,10 @@ class Histogram:
             return 0
         target = q * self.count
         seen = 0
-        for b in sorted(self.buckets):
-            seen += self.buckets[b]
+        for k in sorted(self.buckets):
+            seen += self.buckets[k]
             if seen >= target:
-                return (1 << b) - 1
+                return min(self.bucket_bound(k), self.max or 0)
         return self.max or 0
 
     def summary(self) -> Dict[str, object]:
@@ -85,7 +122,8 @@ class Histogram:
             "max": self.max or 0,
             "p50": self.quantile(0.5),
             "p99": self.quantile(0.99),
-            "buckets": {str(b): n for b, n in sorted(self.buckets.items())},
+            "buckets": {str(self.bucket_bound(k)): n
+                        for k, n in sorted(self.buckets.items())},
         }
 
 
@@ -138,11 +176,11 @@ class MetricsRegistry:
         }
 
     def reset(self, prefix: str = ""):
-        """Zero counters and drop histogram contents under ``prefix``
-        (counter objects stay valid — hot-path references survive)."""
+        """Zero counters and histograms under ``prefix`` in place —
+        both keep object identity, so hot-path references survive."""
         for name, c in self._counters.items():
             if name.startswith(prefix):
                 c.value = 0
-        for name in list(self._histograms):
+        for name, h in self._histograms.items():
             if name.startswith(prefix):
-                self._histograms[name] = Histogram(name)
+                h.reset()

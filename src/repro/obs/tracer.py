@@ -86,6 +86,8 @@ class Tracer:
         self._next_span = 1
         #: completed spans, oldest first, bounded by span_capacity.
         self._spans: List[Span] = []
+        #: completed spans evicted from ``_spans`` by the capacity bound.
+        self.spans_dropped = 0
 
     # -- state --------------------------------------------------------------
 
@@ -104,10 +106,14 @@ class Tracer:
         return self._span_stack[-1].id if self._span_stack else 0
 
     def clear(self):
+        """Forget everything, including span-id state — repeated runs in
+        one process get identical span ids after a clear."""
         self._ring = [None] * self.capacity
         self._emitted = 0
         self._span_stack = []
+        self._next_span = 1
         self._spans = []
+        self.spans_dropped = 0
 
     # -- emission -----------------------------------------------------------
 
@@ -148,8 +154,12 @@ class Tracer:
 
     def _complete(self, span: Span):
         self._spans.append(span)
-        if len(self._spans) > self.span_capacity:
-            del self._spans[: len(self._spans) - self.span_capacity]
+        overflow = len(self._spans) - self.span_capacity
+        if overflow > 0:
+            del self._spans[:overflow]
+            self.spans_dropped += overflow
+            if self.registry is not None:
+                self.registry.counter("trace.spans_dropped").value += overflow
         if self.enabled:
             ev = TraceEvent(self._emitted, span.t1, SPAN_END, span.parent,
                             {"id": span.id, "name": span.name,

@@ -103,9 +103,23 @@ class Kernel:
     def memory_view(self):
         return self.domain.aspace
 
-    def charge(self, cycles: int, category: Optional[str] = None):
-        self.machine.account.charge(category or self.domain.category,
-                                    int(cycles))
+    def charge(self, cycles: int, category: Optional[str] = None,
+               phase: Optional[str] = None):
+        """Charge modelled kernel cycles; ``phase`` names the kernel
+        stage for the cycle-attribution profiler (profiler-guarded, so
+        the disabled path is unchanged)."""
+        prof = self.machine.obs.profiler
+        if phase is not None and prof.enabled:
+            # pre-namespaced phases (netback:tx) pass through verbatim
+            prof.push_phase(phase if ":" in phase else "kernel:" + phase)
+            try:
+                self.machine.account.charge(
+                    category or self.domain.category, int(cycles))
+            finally:
+                prof.pop_phase()
+        else:
+            self.machine.account.charge(category or self.domain.category,
+                                        int(cycles))
 
     @property
     def jiffies(self) -> int:
@@ -194,9 +208,10 @@ class Kernel:
     def _rx_deliver_local(self, skb_addr: int):
         """Local protocol-stack delivery: TCP/IP receive processing."""
         skb = SkBuff(self.memory_view(), skb_addr)
-        self.charge(self.costs.kernel_rx_stack)
+        self.charge(self.costs.kernel_rx_stack, phase="rx_stack")
         if self.paravirtual:
-            self.charge(self.costs.pv_kernel_rx_overhead, "Xen")
+            self.charge(self.costs.pv_kernel_rx_overhead, "Xen",
+                        phase="pv_rx_overhead")
         self.rx_delivered += 1
         self.rx_bytes += skb.len
         self.free_skb(skb_addr)
@@ -221,9 +236,10 @@ class Kernel:
                      payload: Optional[bytes] = None) -> bool:
         """One MTU-or-less TCP segment through the stack and the driver."""
         ndev = self.netdev(netdev_addr)
-        self.charge(self.costs.kernel_tx_stack)
+        self.charge(self.costs.kernel_tx_stack, phase="tx_stack")
         if self.paravirtual:
-            self.charge(self.costs.pv_kernel_tx_overhead, "Xen")
+            self.charge(self.costs.pv_kernel_tx_overhead, "Xen",
+                        phase="pv_tx_overhead")
         skb = self.build_tx_skb(ndev, payload_len, dst_mac, payload)
         return self.transmit_skb(skb, ndev)
 

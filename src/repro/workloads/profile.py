@@ -8,6 +8,13 @@ The measurement itself is a thin view over the machine-wide metrics
 registry: the category breakdown is the delta of the ``cycles.*``
 counters and every other counter that moved (stlb misses, support calls,
 upcalls, NIC stats) lands in :attr:`PacketProfile.counters`.
+
+With ``profiled=True`` the measured batch also runs under the
+cycle-attribution profiler (:mod:`repro.obs.prof`): the per-category
+figure numbers are then taken **from the profiler's sample sums**, which
+are verified bit-equal to the registry counter movement before being
+used — the figures are regenerated from attribution data, not from the
+hand-maintained account, and any disagreement raises.
 """
 
 from __future__ import annotations
@@ -15,16 +22,23 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Optional
 
 from ..configs import SystemUnderTest, build
-from ..metrics.cycles import CYCLES_PREFIX, PacketProfile
+from ..metrics.cycles import CATEGORIES, CYCLES_PREFIX, PacketProfile
 from ..xen.costs import CostModel
 
 DEFAULT_WARMUP = 128
 DEFAULT_PACKETS = 512
 
 
+class AttributionMismatch(RuntimeError):
+    """The profiler's per-category sums disagree with the ``cycles.*``
+    counter movement — by construction this should be impossible, so it
+    indicates a charge that bypassed ``CycleAccount.charge``."""
+
+
 def profile_direction(system: SystemUnderTest, direction: str,
                       packets: int = DEFAULT_PACKETS,
-                      warmup: int = DEFAULT_WARMUP) -> PacketProfile:
+                      warmup: int = DEFAULT_WARMUP,
+                      profiled: bool = False) -> PacketProfile:
     if direction not in ("tx", "rx"):
         raise ValueError("direction must be 'tx' or 'rx'")
     op = (system.transmit_packets if direction == "tx"
@@ -35,9 +49,16 @@ def profile_direction(system: SystemUnderTest, direction: str,
             f"{system.name}: only {done}/{warmup} warmup packets flowed"
         )
     registry = system.machine.obs.registry
+    profiler = system.machine.obs.profiler
+    if profiled:
+        profiler.reset()
+        profiler.enable()
     snap = registry.counters_snapshot()
     done = op(packets)
     moved = registry.delta_since(snap)
+    attribution: Optional[Dict] = None
+    if profiled:
+        profiler.disable()
     if done < packets:
         raise RuntimeError(
             f"{system.name}: only {done}/{packets} packets flowed"
@@ -47,12 +68,32 @@ def profile_direction(system: SystemUnderTest, direction: str,
              if name.startswith(CYCLES_PREFIX)}
     counters = {name: value for name, value in moved.items()
                 if value and not name.startswith(CYCLES_PREFIX)}
+    if profiled:
+        attribution = profiler.snapshot(meta={
+            "config": system.name,
+            "direction": direction,
+            "packets": packets,
+            "warmup": warmup,
+        })
+        prof_cycles = attribution["categories"]
+        for category in CATEGORIES:
+            got = prof_cycles.get(category, 0)
+            want = delta.get(category, 0)
+            if got != want:
+                raise AttributionMismatch(
+                    f"{system.name}/{direction}: profiler attributed "
+                    f"{got} cycles to {category!r} but the account moved "
+                    f"{want} — a charge bypassed CycleAccount.charge"
+                )
+        # the figure numbers now come from the attribution data itself
+        delta = {c: prof_cycles.get(c, 0) for c in CATEGORIES}
     return PacketProfile(
         config=system.name,
         direction=direction,
         packets=packets,
         cycles=delta,
         counters=counters,
+        attribution=attribution,
     )
 
 
@@ -61,21 +102,24 @@ def profile_config(name: str, direction: str,
                    warmup: int = DEFAULT_WARMUP,
                    n_nics: int = 1,
                    costs: Optional[CostModel] = None,
+                   profiled: bool = False,
                    **build_kwargs) -> PacketProfile:
     """Build a fresh system (single NIC, like the paper's profile run) and
     measure one direction."""
     system = build(name, n_nics=n_nics, costs=costs, **build_kwargs)
     return profile_direction(system, direction, packets=packets,
-                             warmup=warmup)
+                             warmup=warmup, profiled=profiled)
 
 
-def figure7_profiles(packets: int = DEFAULT_PACKETS) -> List[PacketProfile]:
+def figure7_profiles(packets: int = DEFAULT_PACKETS,
+                     profiled: bool = False) -> List[PacketProfile]:
     """Transmit cycles/packet for all four configurations (figure 7)."""
-    return [profile_config(name, "tx", packets=packets)
+    return [profile_config(name, "tx", packets=packets, profiled=profiled)
             for name in ("linux", "dom0", "domU-twin", "domU")]
 
 
-def figure8_profiles(packets: int = DEFAULT_PACKETS) -> List[PacketProfile]:
+def figure8_profiles(packets: int = DEFAULT_PACKETS,
+                     profiled: bool = False) -> List[PacketProfile]:
     """Receive cycles/packet for all four configurations (figure 8)."""
-    return [profile_config(name, "rx", packets=packets)
+    return [profile_config(name, "rx", packets=packets, profiled=profiled)
             for name in ("linux", "dom0", "domU-twin", "domU")]

@@ -57,6 +57,7 @@ class Hypervisor:
         self._irq_handlers: Dict[int, Callable[[int], None]] = {}
         # mechanism counters live in the machine-wide registry
         self._tracer = machine.obs.tracer
+        self._profiler = machine.obs.profiler
         self._c_switch = machine.obs.registry.counter("xen.switch")
         self._c_hypercall = machine.obs.registry.counter("xen.hypercall")
         self._c_event = machine.obs.registry.counter("xen.event_send")
@@ -74,8 +75,21 @@ class Hypervisor:
 
     # -- accounting helpers ------------------------------------------------------
 
-    def charge_xen(self, cycles: int):
-        self.machine.account.charge("Xen", int(cycles))
+    def charge_xen(self, cycles: int, phase: Optional[str] = None):
+        """Charge hypervisor cycles; ``phase`` names the mechanism for
+        the cycle-attribution profiler (guarded like tracing — the
+        disabled path is one attribute test)."""
+        prof = self._profiler
+        if phase is not None and prof.enabled:
+            # callers may pass an already-namespaced phase (twin:rx_copy,
+            # support:netdev_alloc_skb); bare names are hypervisor phases
+            prof.push_phase(phase if ":" in phase else "xen:" + phase)
+            try:
+                self.machine.account.charge("Xen", int(cycles))
+            finally:
+                prof.pop_phase()
+        else:
+            self.machine.account.charge("Xen", int(cycles))
 
     # -- counter views (registry-backed) -----------------------------------------
 
@@ -111,7 +125,7 @@ class Hypervisor:
         """Synchronous domain switch; charges the big TLB/cache cost."""
         if self.current is domain:
             return
-        self.charge_xen(self.costs.domain_switch)
+        self.charge_xen(self.costs.domain_switch, phase="domain_switch")
         self._c_switch.value += 1
         if self._tracer.enabled:
             previous = self.current.name if self.current else None
@@ -139,7 +153,7 @@ class Hypervisor:
         self._c_hypercall.value += 1
         if self._tracer.enabled:
             self._tracer.emit(HYPERCALL, name=name)
-        self.charge_xen(self.costs.hypercall)
+        self.charge_xen(self.costs.hypercall, phase="hypercall")
 
     # -- event channels --------------------------------------------------------------------
 
@@ -150,7 +164,7 @@ class Hypervisor:
         interrupt' used by upcalls: delivery happens immediately, in the
         target domain's context. Asynchronous events are queued and
         delivered when the domain is next scheduled."""
-        self.charge_xen(self.costs.event_channel_send)
+        self.charge_xen(self.costs.event_channel_send, phase="event_send")
         self._c_event.value += 1
         if self._tracer.enabled:
             self._tracer.emit(EVENT_SEND, domain=domain.name, port=port,
@@ -167,7 +181,7 @@ class Hypervisor:
         handler = domain.event_handlers.get(port)
         if handler is None:
             raise KeyError(f"domain {domain.name} has no handler on port {port}")
-        self.charge_xen(self.costs.virq_delivery)
+        self.charge_xen(self.costs.virq_delivery, phase="virq_delivery")
         self._c_virq.value += 1
         if self._tracer.enabled:
             self._tracer.emit(VIRQ, domain=domain.name, port=port)
@@ -179,8 +193,11 @@ class Hypervisor:
         buffers and raises a single virtual interrupt). A batch of one
         costs exactly ``virq_delivery``; each additional packet adds only
         its ring-descriptor bookkeeping."""
-        self.charge_xen(self.costs.virq_coalesced
-                        + (npackets - 1) * self.costs.virq_coalesced_per_packet)
+        self.charge_xen(
+            self.costs.virq_coalesced
+            + (npackets - 1) * self.costs.virq_coalesced_per_packet,
+            phase="virq_coalesced",
+        )
         self._c_virq_coalesced.value += 1
         if self._tracer.enabled:
             self._tracer.emit(VIRQ_COALESCED, domain=domain.name,
@@ -194,7 +211,7 @@ class Hypervisor:
             handler = domain.event_handlers.get(port)
             if handler is None:
                 continue
-            self.charge_xen(self.costs.virq_delivery)
+            self.charge_xen(self.costs.virq_delivery, phase="virq_delivery")
             self._c_virq.value += 1
             if self._tracer.enabled:
                 self._tracer.emit(VIRQ, domain=domain.name, port=port)
@@ -211,7 +228,8 @@ class Hypervisor:
         self._irq_handlers[irq] = handler
 
     def _dispatch_irq(self, irq: int):
-        self.charge_xen(self.costs.interrupt_virtualization)
+        self.charge_xen(self.costs.interrupt_virtualization,
+                        phase="interrupt")
         handler = self._irq_handlers.get(irq)
         if handler is not None:
             handler(irq)
@@ -219,7 +237,7 @@ class Hypervisor:
     # -- softirqs ------------------------------------------------------------------------------------
 
     def raise_softirq(self, fn: Callable[[], None]):
-        self.charge_xen(self.costs.softirq_schedule)
+        self.charge_xen(self.costs.softirq_schedule, phase="softirq")
         self._c_softirq.value += 1
         if self._tracer.enabled:
             self._tracer.emit(SOFTIRQ, pending=len(self._softirqs) + 1)
@@ -233,13 +251,14 @@ class Hypervisor:
     # -- grant operations (charged wrappers) ------------------------------------------------------------
 
     def grant_map(self, granter: Domain, ref: int, grantee: Domain) -> int:
-        self.charge_xen(self.costs.grant_map)
+        self.charge_xen(self.costs.grant_map, phase="grant_map")
         return self.grant_tables[granter.domid].map(ref, grantee.domid)
 
     def grant_unmap(self, granter: Domain, ref: int, grantee: Domain):
-        self.charge_xen(self.costs.grant_unmap)
+        self.charge_xen(self.costs.grant_unmap, phase="grant_unmap")
         self.grant_tables[granter.domid].unmap(ref, grantee.domid)
 
     def grant_copy_packet(self, granter: Domain, ref: int, grantee: Domain) -> int:
-        self.charge_xen(self.costs.grant_copy_per_packet)
+        self.charge_xen(self.costs.grant_copy_per_packet,
+                        phase="grant_copy")
         return self.grant_tables[granter.domid].copy_frame(ref, grantee.domid)

@@ -1,6 +1,10 @@
 """The metrics registry: counters, histograms, snapshots."""
 
+import math
+
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.obs.metrics import Counter, Histogram, MetricsRegistry
 
@@ -53,21 +57,42 @@ class TestHistogram:
         assert h.min == 1 and h.max == 100
         assert h.mean == pytest.approx(26.75)
 
-    def test_power_of_two_buckets(self):
+    def test_log_linear_buckets(self):
         h = Histogram("lat")
-        h.observe(0)
-        h.observe(1)
-        h.observe(7)
-        h.observe(8)
-        assert h.buckets == {0: 1, 1: 1, 3: 1, 4: 1}
+        for v in (0, 1, 7, 8, 9, 15):
+            h.observe(v)
+        # values < 8 get exact singleton buckets; 8..15 split into 4
+        # sub-buckets keyed 4*bit_length + sub
+        assert h.buckets == {0: 1, 1: 1, 7: 1, 16: 2, 19: 1}
+        assert Histogram.bucket_bound(16) == 9
+        assert Histogram.bucket_bound(19) == 15
 
     def test_quantiles(self):
         h = Histogram("lat")
         for _ in range(99):
             h.observe(10)
         h.observe(1000)
-        assert h.quantile(0.5) == 15        # bucket upper bound of 10
-        assert h.quantile(1.0) == 1023
+        assert h.quantile(0.5) == 11        # sub-bucket upper bound of 10
+        assert h.quantile(1.0) == 1000      # clamped to the observed max
+
+    def test_quantile_bound_is_tight(self):
+        # worst case: the smallest value of a sub-bucket reports the
+        # sub-bucket's upper bound — at most 25% above the true value
+        for v in (8, 33, 1024, 2 ** 20 + 1):
+            h = Histogram("lat")
+            h.observe(v)
+            h.observe(v * 100)              # keep max from clamping p50
+            assert v <= h.quantile(0.5) <= 1.25 * v
+
+    def test_reset_in_place(self):
+        h = Histogram("lat")
+        h.observe(5)
+        h.observe(100)
+        h.reset()
+        assert h.count == 0 and h.total == 0
+        assert h.min is None and h.max is None and h.buckets == {}
+        h.observe(3)
+        assert h.count == 1 and h.quantile(1.0) == 3
 
     def test_negative_rejected(self):
         with pytest.raises(ValueError):
@@ -83,8 +108,43 @@ class TestHistogram:
         snap = reg.snapshot()
         assert snap["histograms"]["span.tx.cycles"]["count"] == 1
 
-    def test_reset_replaces_histograms(self):
+    def test_reset_keeps_histogram_identity(self):
+        # hot paths cache the Histogram object; reset must not orphan it
         reg = MetricsRegistry()
-        reg.histogram("span.tx.cycles").observe(7)
+        hot = reg.histogram("span.tx.cycles")
+        hot.observe(7)
         reg.reset("span.")
-        assert reg.histogram("span.tx.cycles").count == 0
+        assert reg.histogram("span.tx.cycles") is hot
+        assert hot.count == 0
+        hot.observe(3)                      # cached reference still live
+        assert reg.histogram("span.tx.cycles").count == 1
+
+
+class TestQuantileProperty:
+    """ISSUE 7: reported quantiles must never undershoot the true value
+    and never exceed twice it (the log-linear buckets are in fact within
+    25%, but 2x is the contract)."""
+
+    @settings(max_examples=200, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=2 ** 40),
+                    min_size=1, max_size=200),
+           st.floats(min_value=0.01, max_value=1.0))
+    def test_true_quantile_le_reported_le_twice(self, values, q):
+        h = Histogram("lat")
+        for v in values:
+            h.observe(v)
+        ordered = sorted(values)
+        # the q-quantile element the bucket walk targets: the smallest
+        # element whose cumulative count reaches q * n
+        true = ordered[math.ceil(q * len(ordered)) - 1]
+        reported = h.quantile(q)
+        assert true <= reported <= 2 * true or (true == 0 and reported == 0)
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=2 ** 40),
+                    min_size=1, max_size=200))
+    def test_max_quantile_exact(self, values):
+        h = Histogram("lat")
+        for v in values:
+            h.observe(v)
+        assert h.quantile(1.0) == max(values)

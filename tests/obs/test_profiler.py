@@ -1,0 +1,196 @@
+"""Cycle-attribution profiler: bit-exact sums, zero-cost disable, and
+the symbolization/tagging machinery.
+
+The central invariant (ISSUE 7): per-category sample sums equal the
+``cycles.*`` counter movement over the enabled window **bit-exactly**,
+for every configuration, both drivers, with and without check elision.
+The profiler records by shadowing ``CycleAccount.charge`` with an
+instance attribute, so when disabled the account object is structurally
+identical to a never-profiled one.
+"""
+
+import pytest
+
+from repro.core import ParavirtNetDevice, TwinDriverManager
+from repro.drivers import RTL8139_SPEC
+from repro.machine import Machine
+from repro.metrics.cycles import CATEGORIES, CycleAccount
+from repro.obs.prof import PROFILE_SCHEMA, Profiler
+from repro.osmodel import Kernel
+from repro.workloads.profile import profile_config
+from repro.xen import Hypervisor
+
+GUEST_MAC = b"\x00\x16\x3e\xaa\x00\x01"
+
+
+def make_rtl_twin(elide=False):
+    m = Machine()
+    xen = Hypervisor(m)
+    dom0 = xen.create_domain("dom0", is_dom0=True)
+    k0 = Kernel(m, dom0, costs=xen.costs, paravirtual=True)
+    guest = xen.create_domain("guest")
+    kg = Kernel(m, guest, costs=xen.costs, paravirtual=True)
+    twin = TwinDriverManager(xen, k0, driver=RTL8139_SPEC, elide=elide)
+    nic = m.add_nic(model="rtl8139")
+    twin.attach_nic(nic)
+    dev = ParavirtNetDevice(twin, kg, mac=GUEST_MAC)
+    xen.switch_to(guest)
+    return m, xen, twin, dev, nic
+
+
+def run_profiled_window(m, work):
+    """Warmup already done by the caller; profile ``work()`` and return
+    (profiler category sums, account counter movement)."""
+    prof = m.obs.profiler
+    prof.reset()
+    prof.enable()
+    before = m.account.snapshot()
+    work()
+    moved = m.account.delta_since(before)
+    prof.disable()
+    return prof.category_totals(), moved
+
+
+class TestBitExactAttribution:
+    """Sample sums == account movement, to the cycle, for every config."""
+
+    @pytest.mark.parametrize("config", ["linux", "dom0", "domU", "domU-twin"])
+    @pytest.mark.parametrize("direction", ["tx", "rx"])
+    def test_e1000_configs(self, config, direction):
+        # profile_direction itself raises AttributionMismatch on any
+        # disagreement; assert the equality here too, explicitly.
+        profile = profile_config(config, direction, packets=24, warmup=12,
+                                 profiled=True)
+        doc = profile.attribution
+        assert doc["schema"] == PROFILE_SCHEMA
+        for c in CATEGORIES:
+            assert doc["categories"].get(c, 0) == profile.cycles.get(c, 0)
+        assert doc["total"] == sum(profile.cycles.values())
+        assert doc["total"] > 0
+
+    @pytest.mark.parametrize("elide", [False, True])
+    def test_e1000_twin_elision(self, elide):
+        profile = profile_config("domU-twin", "tx", packets=24, warmup=12,
+                                 profiled=True, elide=elide)
+        doc = profile.attribution
+        anchors = [s for s in doc["samples"] if s["stack"][-1] == "svm.anchor"]
+        if elide:
+            # elided check sites carry the extra leaf frame
+            assert anchors and all(s["layer"] == "e1000" for s in anchors)
+        else:
+            assert not anchors
+
+    @pytest.mark.parametrize("elide", [False, True])
+    def test_rtl8139_twin(self, elide):
+        m, xen, twin, dev, nic = make_rtl_twin(elide=elide)
+        frame = GUEST_MAC + b"\x00" * 6 + b"\x08\x00" + bytes(600)
+        for _ in range(8):                       # warmup outside the window
+            assert dev.transmit(600)
+            assert m.wire.inject(nic, frame)
+
+        def work():
+            for _ in range(16):
+                assert dev.transmit(600)
+                assert m.wire.inject(nic, frame)
+
+        totals, moved = run_profiled_window(m, work)
+        for c in CATEGORIES:
+            assert totals.get(c, 0) == moved.get(c, 0)
+        assert sum(totals.values()) > 0
+        doc = m.obs.profiler.snapshot()
+        syms = {s["symbol"] for s in doc["samples"]}
+        assert any("rtl8139" in s for s in syms)
+
+
+class TestZeroCostDisable:
+    def test_disabled_account_is_structurally_clean(self):
+        profile = profile_config("domU-twin", "tx", packets=8, warmup=4,
+                                 profiled=True)
+        assert profile.attribution is not None
+        # after profile_direction disables the profiler, the account's
+        # charge resolves to the plain class method again: nothing in the
+        # instance dict, no wrapper anywhere on the hot path
+        system_account = CycleAccount()
+        assert "charge" not in system_account.__dict__
+
+    def test_enable_installs_and_disable_removes_the_shadow(self):
+        m = Machine()
+        prof = m.obs.profiler
+        assert "charge" not in m.account.__dict__
+        prof.enable()
+        assert "charge" in m.account.__dict__
+        m.account.charge("Xen", 7)
+        assert prof.category_totals() == {"Xen": 7}
+        prof.disable()
+        assert "charge" not in m.account.__dict__
+        m.account.charge("Xen", 5)              # not recorded
+        assert prof.category_totals() == {"Xen": 7}
+
+    def test_enable_is_idempotent(self):
+        m = Machine()
+        prof = m.obs.profiler
+        prof.enable()
+        shadow = m.account.__dict__["charge"]
+        prof.enable()
+        assert m.account.__dict__["charge"] is shadow
+        prof.disable()
+        prof.disable()
+
+    def test_unbound_profiler_refuses_to_enable(self):
+        with pytest.raises(RuntimeError):
+            Profiler().enable()
+
+
+class TestResetAndContext:
+    def test_reset_clears_samples_and_rebinds_while_enabled(self):
+        m = Machine()
+        prof = m.obs.profiler
+        prof.enable()
+        m.account.charge("Xen", 3)
+        prof.reset()
+        assert prof.total == 0
+        m.account.charge("domU", 11)            # still recording
+        assert prof.category_totals() == {"domU": 11}
+        prof.disable()
+
+    def test_phase_frames_shape_the_stack(self):
+        m = Machine()
+        prof = m.obs.profiler
+        prof.enable()
+        prof.push_phase("xen:hypercall")
+        m.account.charge("Xen", 9)
+        prof.pop_phase()
+        m.account.charge("Xen", 2)
+        prof.disable()
+        stacks = {tuple(s["stack"]): s["cycles"]
+                  for s in prof.snapshot()["samples"]}
+        assert stacks[("Xen", "xen:hypercall")] == 9
+        assert stacks[("Xen",)] == 2
+
+    def test_tag_sites_keys_on_fall_through_address(self):
+        class FakeLoaded:
+            next_addrs = [0x1000, 0x1004, 0x1008]
+
+        m = Machine()
+        prof = m.obs.profiler
+        prof.tag_sites(FakeLoaded(), [0, 2], "svm.anchor")
+        assert prof._site_tags == {0x1000: "svm.anchor",
+                                   0x1008: "svm.anchor"}
+
+
+class TestSymbolization:
+    def test_driver_samples_resolve_to_function_symbols(self):
+        profile = profile_config("domU-twin", "tx", packets=16, warmup=8,
+                                 profiled=True)
+        syms = {s["symbol"] for s in profile.attribution["samples"]
+                if s["layer"] == "e1000" and s["pc"] is not None}
+        assert any(s.endswith("e1000_xmit_frame") for s in syms)
+
+    def test_sentinel_pc_maps_to_none(self):
+        profile = profile_config("linux", "tx", packets=8, warmup=4,
+                                 profiled=True)
+        # kernel-model charges happen with no driver code in flight:
+        # their pc is the parked sentinel and must not leak a raw address
+        no_code = [s for s in profile.attribution["samples"]
+                   if s["symbol"].startswith("kernel:")]
+        assert no_code and all(s["pc"] is None for s in no_code)

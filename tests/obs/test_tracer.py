@@ -142,6 +142,32 @@ class TestSpans:
         spans = tracer.spans()
         assert len(spans) == 3
         assert [s.args["i"] for s in spans] == [7, 8, 9]
+        assert tracer.spans_dropped == 7
+
+    def test_spans_dropped_counter_reaches_registry(self):
+        registry = MetricsRegistry()
+        tracer = Tracer(capacity=64, span_capacity=2, registry=registry)
+        tracer.enabled = True
+        for i in range(5):
+            tracer.end_span(tracer.begin_span("s", i=i))
+        assert tracer.spans_dropped == 3
+        assert registry.counter("trace.spans_dropped").value == 3
+
+    def test_clear_resets_span_ids(self):
+        # repeated bench runs in one process must see identical span ids
+        tracer, _ = make_tracer()
+        tracer.enabled = True
+
+        def run():
+            tracer.end_span(tracer.begin_span("a"))
+            tracer.end_span(tracer.begin_span("b"))
+            return [s.id for s in tracer.spans()]
+
+        first = run()
+        tracer.clear()
+        tracer.enabled = True
+        assert run() == first == [1, 2]
+        assert tracer.spans_dropped == 0
 
 
 class TestMachineIntegration:
