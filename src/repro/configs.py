@@ -148,9 +148,11 @@ def _apply_batch(nics: List[E1000Device], interrupt_batch: int):
 
 def build_native_linux(n_nics: int = 5, interrupt_batch: int = 8,
                        costs: Optional[CostModel] = None,
-                       iommu: bool = False) -> SystemUnderTest:
+                       iommu: bool = False,
+                       jit: bool = False) -> SystemUnderTest:
     costs = costs or CostModel()
     machine = Machine()
+    machine.cpu.jit_enabled = jit
     if iommu:
         machine.attach_iommu()
     machine.cpu.cycle_scale = costs.driver_cycle_scale
@@ -184,9 +186,11 @@ def build_native_linux(n_nics: int = 5, interrupt_batch: int = 8,
 
 def build_dom0(n_nics: int = 5, interrupt_batch: int = 8,
                costs: Optional[CostModel] = None,
-               iommu: bool = False) -> SystemUnderTest:
+               iommu: bool = False,
+               jit: bool = False) -> SystemUnderTest:
     costs = costs or CostModel()
     machine = Machine()
+    machine.cpu.jit_enabled = jit
     if iommu:
         machine.attach_iommu()
     xen = Hypervisor(machine, costs=costs)
@@ -224,9 +228,11 @@ def build_dom0(n_nics: int = 5, interrupt_batch: int = 8,
 
 def build_domU_standard(n_nics: int = 5, interrupt_batch: int = 8,
                         costs: Optional[CostModel] = None,
-                        iommu: bool = False) -> SystemUnderTest:
+                        iommu: bool = False,
+                        jit: bool = False) -> SystemUnderTest:
     costs = costs or CostModel()
     machine = Machine()
+    machine.cpu.jit_enabled = jit
     if iommu:
         machine.attach_iommu()
     xen = Hypervisor(machine, costs=costs)
@@ -283,16 +289,21 @@ def build_domU_twin(n_nics: int = 5, interrupt_batch: int = 8,
                     iommu: bool = False,
                     rx_batch_budget: int = RX_BATCH_BUDGET,
                     tx_batch_max: int = TX_BATCH_MAX,
-                    elide: bool = False) -> SystemUnderTest:
+                    elide: bool = False,
+                    jit: bool = False) -> SystemUnderTest:
     """``n_upcalls``: how many fast-path routines are served by upcalls
     instead of hypervisor implementations (0 = the full TwinDrivers
     configuration; figure 10 sweeps 0..9). ``rx_batch_budget`` /
     ``tx_batch_max`` tune the §5.3 batching fast path. ``elide`` turns on
-    proof-based stlb check elision (prove-then-elide, off by default)."""
+    proof-based stlb check elision (prove-then-elide, off by default).
+    ``jit`` turns on superblock trace compilation in the interpreter
+    (host wall-time only; simulated cycles are bit-identical either
+    way, off by default)."""
     if not 0 <= n_upcalls <= len(UPCALL_SWEEP_ORDER):
         raise ValueError("n_upcalls out of range")
     costs = costs or CostModel()
     machine = Machine()
+    machine.cpu.jit_enabled = jit
     if iommu:
         machine.attach_iommu()
     xen = Hypervisor(machine, costs=costs)

@@ -27,6 +27,7 @@ from ..isa.instructions import Instruction
 from ..isa.operands import Imm, Label, Mem, Reg
 from ..isa.program import Program
 from ..isa.registers import SUBREGISTERS
+from .jit import JitState, compile_superblock
 from .memory import PhysicalMemory
 from .paging import AddressSpace
 
@@ -93,6 +94,52 @@ class NativeRoutine:
         return f"<native {self.name}>"
 
 
+class _InstrumentMap(dict):
+    """``index -> hook`` mapping that invalidates compiled state on every
+    mutation. The PR 4 dispatch cache bakes the hook into the handler
+    closure at first execution; without invalidation, a hook registered
+    *after* warm-up (inline probes, elision counters attached to a
+    running instance) silently never fires. Mutating this map drops the
+    affected handlers and every superblock of the owning program."""
+
+    def __init__(self, owner: "LoadedProgram"):
+        super().__init__()
+        self._owner = owner
+
+    def __setitem__(self, index, hook):
+        super().__setitem__(index, hook)
+        self._owner._instrument_changed((index,))
+
+    def __delitem__(self, index):
+        super().__delitem__(index)
+        self._owner._instrument_changed((index,))
+
+    def pop(self, index, *default):
+        had = index in self
+        result = super().pop(index, *default)
+        if had:
+            self._owner._instrument_changed((index,))
+        return result
+
+    def clear(self):
+        indices = tuple(self)
+        super().clear()
+        if indices:
+            self._owner._instrument_changed(indices)
+
+    def update(self, *args, **kwargs):
+        incoming = dict(*args, **kwargs)
+        super().update(incoming)
+        if incoming:
+            self._owner._instrument_changed(tuple(incoming))
+
+    def setdefault(self, index, default=None):
+        if index in self:
+            return self[index]
+        self[index] = default
+        return default
+
+
 class LoadedProgram:
     """A program laid out at a base address with resolved branch targets."""
 
@@ -118,8 +165,17 @@ class LoadedProgram:
         )
         #: optional per-instruction observers, wrapped into the compiled
         #: handler once at compile time so uninstrumented instructions pay
-        #: nothing in the hot loop. Populate before first execution.
-        self.instrument: Dict[int, Callable[["Cpu"], None]] = {}
+        #: nothing in the hot loop. Mutations invalidate the affected
+        #: handlers (and all superblocks), so hooks registered after
+        #: warm-up take effect on the next fetch.
+        self.instrument: Dict[int, Callable[["Cpu"], None]] = (
+            _InstrumentMap(self)
+        )
+        #: instrument generation, bumped on every hook change; running
+        #: superblocks re-check it after hook/native boundaries.
+        self._igen = 0
+        #: lazily-created per-program JIT state (see ``jit_state``).
+        self._jit: Optional[JitState] = None
         self.symbols = {
             label: (self.addrs[i] if i < len(self.addrs) else self.end)
             for label, i in program.labels.items()
@@ -141,6 +197,28 @@ class LoadedProgram:
 
     def symbol(self, name: str) -> int:
         return self.symbols[name]
+
+    def _instrument_changed(self, indices):
+        """A hook was added/removed: drop the baked handlers for those
+        sites and every superblock (traces may run through them)."""
+        self._igen += 1
+        n = len(self.handlers)
+        for index in indices:
+            if 0 <= index < n:
+                self.handlers[index] = None
+        if self._jit is not None:
+            self._jit.counts.clear()
+            self._jit.superblocks.clear()
+
+    def jit_state(self, epoch: int) -> JitState:
+        """This program's superblock cache, valid for registry ``epoch``
+        (stale state from before a reload/re-verification is reset)."""
+        js = self._jit
+        if js is None:
+            js = self._jit = JitState(self, epoch)
+        elif js.epoch != epoch:
+            js.reset(epoch)
+        return js
 
 
 class CodeRegistry:
@@ -253,6 +331,15 @@ class Cpu:
         #: (LoadedProgram, registry-epoch) of the last fetch — straight-line
         #: execution skips the registry bisect entirely.
         self._prog_cache: Optional[Tuple[LoadedProgram, int]] = None
+        #: trace-JIT (superblock compilation): off by default, enabled
+        #: per-configuration via ``configs.build(..., jit=True)``.
+        self.jit_enabled = False
+        #: block-head executions before a trace is compiled.
+        self.jit_threshold = 16
+        #: compile-time stats (kept off the metrics registry so enabling
+        #: the JIT does not perturb any observable counter set).
+        self.jit_compiles = 0
+        self.jit_blacklisted = 0
 
     # -- accounting ----------------------------------------------------------
 
@@ -512,12 +599,73 @@ class Cpu:
             self.eip = saved_eip
 
     def _run_loop(self):
+        if self.jit_enabled:
+            self._run_loop_jit()
+            return
         budget = self.max_steps_per_call
         steps = 0
         while self.eip != SENTINEL_RETURN:
             self.step()
             steps += 1
             if steps > budget:
+                raise CpuBudgetExceeded(
+                    f"driver executed more than {budget} instructions"
+                )
+
+    def _run_loop_jit(self):
+        """The superblock dispatcher. Hot block heads are counted and
+        promoted to compiled traces; everything else (cold code, heads
+        under a charge shadow or a changed cycle scale, blacklisted
+        heads) falls back to ``step()``, whose behaviour defines
+        correctness. The budget is measured in executed instructions,
+        like the interpreter loop's step count."""
+        budget = self.max_steps_per_call
+        start = self.executed
+        code = self.code
+        threshold = self.jit_threshold
+        account_dict = self.account.__dict__
+        while True:
+            eip = self.eip
+            if eip == SENTINEL_RETURN:
+                return
+            loaded = None
+            cache = self._prog_cache
+            if cache is not None and cache[1] == code.epoch:
+                candidate = cache[0]
+                if candidate.base <= eip < candidate.end:
+                    loaded = candidate
+            if loaded is None:
+                # registry miss/stale: step() re-resolves (and raises
+                # the right fault for unmapped/native addresses)
+                self.step()
+            else:
+                js = loaded.jit_state(code.epoch)
+                sb = js.superblocks.get(eip)
+                if sb is None:
+                    if eip in js.leaders:
+                        count = js.counts.get(eip, 0) + 1
+                        if count >= threshold:
+                            compiled = compile_superblock(self, loaded, eip)
+                            js.counts.pop(eip, None)
+                            if compiled is None:
+                                js.superblocks[eip] = False
+                                self.jit_blacklisted += 1
+                            else:
+                                js.superblocks[eip] = compiled
+                                self.jit_compiles += 1
+                                continue
+                        else:
+                            js.counts[eip] = count
+                    self.step()
+                elif sb is False:
+                    self.step()
+                elif ("charge" not in account_dict
+                        and sb.scale == self.cycle_scale):
+                    sb.entries += 1
+                    sb.fn(self)
+                else:
+                    self.step()
+            if self.executed - start > budget:
                 raise CpuBudgetExceeded(
                     f"driver executed more than {budget} instructions"
                 )
@@ -566,18 +714,22 @@ class Cpu:
         self.eip = loaded.next_addrs[index]
         handler = loaded.handlers[index]
         if handler is None:
-            handler = _compile_instruction(
-                loaded.program.instructions[index], loaded, index
-            )
-            hook = loaded.instrument.get(index)
-            if hook is not None:
-                inner = handler
-
-                def handler(cpu, _hook=hook, _inner=inner):
-                    _hook(cpu)
-                    _inner(cpu)
-            loaded.handlers[index] = handler
+            handler = _handler_for(loaded, index)
         handler(self)
+
+    def jit_stats(self) -> Dict[str, int]:
+        """Aggregate superblock statistics across cached programs (from
+        the current prog-cache; compile counters are CPU-lifetime)."""
+        stats = {"compiles": self.jit_compiles,
+                 "blacklisted": self.jit_blacklisted,
+                 "superblocks": 0, "entries": 0}
+        cache = self._prog_cache
+        if cache is not None and cache[0]._jit is not None:
+            for sb in cache[0]._jit.superblocks.values():
+                if sb:
+                    stats["superblocks"] += 1
+                    stats["entries"] += sb.entries
+        return stats
 
     def _branch_target(self, instr: Instruction, loaded: LoadedProgram,
                        index: int) -> int:
@@ -824,6 +976,24 @@ _CONDITIONS: Dict[str, Callable[[Dict[str, bool]], bool]] = {
     "js": lambda f: f["sf"],
     "jns": lambda f: not f["sf"],
 }
+
+
+def _handler_for(loaded: LoadedProgram, index: int) -> Callable[[Cpu], None]:
+    """Compile (and cache) the handler for one instruction, wrapping the
+    instrument hook registered for that site. Shared by ``step()`` and
+    the superblock compiler so both see identical hook semantics."""
+    handler = _compile_instruction(
+        loaded.program.instructions[index], loaded, index
+    )
+    hook = loaded.instrument.get(index)
+    if hook is not None:
+        inner = handler
+
+        def handler(cpu, _hook=hook, _inner=inner):
+            _hook(cpu)
+            _inner(cpu)
+    loaded.handlers[index] = handler
+    return handler
 
 
 def _ea_thunk(mem: Mem) -> Callable[[Cpu], int]:

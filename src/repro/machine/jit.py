@@ -1,0 +1,1019 @@
+"""Trace-JIT: superblock compilation for the twin interpreter.
+
+PR 4 replaced the mnemonic-dispatch interpreter with per-instruction
+compiled closures (~26%). This module is the next rung on the same
+ladder, the one the dynamic-translation literature (QEMU's TCG, the
+software-only passthrough line of work) climbs after per-instruction
+caching: *superblocks*. When a basic-block head gets hot, the chain of
+blocks starting there is compiled into a single straight-line Python
+function — operand thunks fused into expressions, per-instruction
+``charge()`` calls batched into one accumulated charge per block, the
+registry/handler/dispatch overhead of ``step()`` paid once per entry
+instead of once per instruction. The 10-instruction SVM fast path (and
+its proof-elided anchor-reload form) inlines like any other run of
+straight-line code, which is the point: that sequence dominates the
+twin driver's dynamic instruction count.
+
+Correctness contract (the part worth reading twice):
+
+* **Cycle accounting is bit-identical.** ``Cpu.charge`` rounds each
+  charge independently (``int(round(c * cycle_scale))``), so batching
+  must sum the *per-charge rounded* values, never round the sum. Every
+  constant cost is pre-scaled at compile time; data-dependent costs
+  (hot-range memory pricing, MMIO) replicate the interpreter's exact
+  decision procedure. The accumulator is flushed before anything that
+  can observe the clock — native routines (the tracer timestamps spans
+  with ``account.total``) and MMIO dispatch (device models emit
+  events) — and a ``finally`` flush covers faults, so totals and
+  ordering across observable boundaries match ``step()`` exactly.
+* **Side exits are precise.** Before any operation that can fault or
+  escape (memory access, native call, delegated handler), the emitted
+  code materializes ``cpu.eip`` (the faulting instruction's
+  fall-through, exactly what ``step()`` leaves there) and
+  ``cpu.executed``. Registers and flags are always architectural —
+  superblocks write them in interpreter order, never cache them.
+* **Superblocks never run under a charge shadow.** The dispatcher
+  checks ``"charge" not in account.__dict__`` (the profiler or any
+  other shadow) and ``sb.scale == cpu.cycle_scale`` before entering;
+  otherwise it falls back to ``step()``, whose behaviour is the
+  definition of correct.
+* **Invalidation.** Superblocks cache on the ``LoadedProgram`` keyed by
+  the ``CodeRegistry`` epoch (reload/recovery/re-verification bumps it,
+  exactly like the PR 4 handler tables) and by the program's
+  instrument generation (hooks registered after warm-up must fire).
+  Both are also re-checked after any mid-trace native call, because a
+  native can reload programs or install shadows.
+
+Trace shape: straight-line through fall-throughs and followed direct
+jumps; conditional branches are predicted not-taken and compile to a
+guarded side exit; a branch back to the trace head turns the whole
+trace into a capped loop (the common ``while`` shape of the driver's
+copy and descriptor-ring loops); indirect branches, traps and
+unsupported forms end the trace *before* the instruction so ``step()``
+executes it from an architecturally clean state.
+"""
+
+from __future__ import annotations
+
+from struct import Struct
+from typing import Dict, List, Optional
+
+from ..isa.instructions import Instruction
+from ..isa.operands import Imm, Mem, Reg
+from ..isa.registers import SUBREGISTERS
+
+MASK32 = 0xFFFFFFFF
+
+#: growth caps: instructions per trace, and loop iterations a compiled
+#: back-edge may take before returning to the dispatcher (which
+#: re-checks the call budget).
+MAX_TRACE_INSTRS = 512
+LOOP_CAP = 1024
+
+#: little-endian accessors baked into every superblock namespace for the
+#: inline RAM fast path (one frame-dict ``get`` + one struct call).
+_MEM_HELPERS = {
+    "u2": Struct("<H").unpack_from,
+    "u4": Struct("<I").unpack_from,
+    "p2": Struct("<H").pack_into,
+    "p4": Struct("<I").pack_into,
+}
+
+_FULL_REGS = frozenset(
+    ("eax", "ecx", "edx", "ebx", "esp", "ebp", "esi", "edi"))
+
+#: condition expressions over the hoisted flags dict ``f`` — same truth
+#: tables as ``Cpu.condition``.
+_COND_EXPR = {
+    "je": "f['zf']", "jz": "f['zf']",
+    "jne": "not f['zf']", "jnz": "not f['zf']",
+    "jl": "f['sf'] != f['of']",
+    "jge": "f['sf'] == f['of']",
+    "jle": "f['zf'] or f['sf'] != f['of']",
+    "jg": "not f['zf'] and f['sf'] == f['of']",
+    "jb": "f['cf']",
+    "jae": "not f['cf']",
+    "jbe": "f['cf'] or f['zf']",
+    "ja": "not (f['cf'] or f['zf'])",
+    "js": "f['sf']",
+    "jns": "not f['sf']",
+}
+
+
+class Superblock:
+    """One compiled trace: entry point plus the metadata the dispatcher
+    needs to decide whether it may run."""
+
+    __slots__ = ("fn", "head", "scale", "n_instrs", "source", "entries")
+
+    def __init__(self, fn, head: int, scale: float, n_instrs: int,
+                 source: str):
+        self.fn = fn
+        self.head = head
+        self.scale = scale
+        self.n_instrs = n_instrs
+        self.source = source
+        self.entries = 0
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        return (f"<superblock @{self.head:#010x} {self.n_instrs} instrs "
+                f"{self.entries} entries>")
+
+
+class JitState:
+    """Per-LoadedProgram JIT state: hot counters keyed by block-head
+    address, compiled superblocks, and the registry epoch they are
+    valid for. ``False`` in ``superblocks`` blacklists a head whose
+    trace could not be compiled."""
+
+    __slots__ = ("epoch", "counts", "superblocks", "leaders")
+
+    def __init__(self, loaded, epoch: int):
+        self.leaders = _block_leaders(loaded)
+        self.counts: Dict[int, int] = {}
+        self.superblocks: Dict[int, object] = {}
+        self.epoch = epoch
+
+    def reset(self, epoch: int):
+        self.counts.clear()
+        self.superblocks.clear()
+        self.epoch = epoch
+
+
+def _block_leaders(loaded) -> frozenset:
+    """Addresses where a superblock may start: function entries, branch
+    targets, and fall-throughs of control flow (so side-exit landing
+    pads are themselves promotable — nested loops each get their own
+    trace)."""
+    addrs = loaded.addrs
+    if not addrs:
+        return frozenset()
+    leaders = {addrs[0]}
+    for addr in loaded.symbols.values():
+        if addr in loaded.addr_to_index:
+            leaders.add(addr)
+    for i, instr in enumerate(loaded.program.instructions):
+        if instr.is_control_flow:
+            if i + 1 < len(addrs):
+                leaders.add(addrs[i + 1])
+            target = loaded.targets.get(i)
+            if target is not None and target in loaded.addr_to_index:
+                leaders.add(target)
+    return frozenset(leaders)
+
+
+class _Unsupported(Exception):
+    """Raised by the emitter to end the trace before an instruction."""
+
+
+class _Emitter:
+    """Generates the superblock's Python source for one trace."""
+
+    def __init__(self, cpu, loaded, head_index: int):
+        self.cpu = cpu
+        self.loaded = loaded
+        self.head_index = head_index
+        self.head_addr = loaded.addrs[head_index]
+        self.costs = cpu.costs
+        self.scale = cpu.cycle_scale
+        self.lines: List[str] = []
+        self.ns: Dict[str, object] = {}
+        #: compile-time-constant scaled cycles not yet materialized
+        self.buf = 0
+        #: the runtime accumulator ``acc`` may be non-zero
+        self.acc_dirty = False
+        #: instructions consumed but not yet added to ``cpu.executed``
+        self.pending = 0
+        #: compile-time knowledge of ``cpu.eip`` on the main path
+        self.cur_eip: Optional[int] = self.head_addr
+        self.tmp = 0
+        self.uses_mem = False
+        self.uses_natives = False
+        self.has_backedge = False
+        self.n_instrs = 0
+
+    # -- infrastructure ------------------------------------------------------
+
+    def scaled(self, cycles: int) -> int:
+        return int(round(cycles * self.scale))
+
+    def emit(self, text: str, ind: int = 0):
+        self.lines.append("    " * ind + text)
+
+    def temp(self, prefix: str = "t") -> str:
+        self.tmp += 1
+        return f"{prefix}{self.tmp}"
+
+    def bake(self, prefix: str, obj) -> str:
+        name = f"{prefix}{len(self.ns)}"
+        self.ns[name] = obj
+        return name
+
+    def charge_const(self, cycles: int):
+        self.buf += self.scaled(cycles)
+
+    def sync(self, next_addr: int, ind: int = 0):
+        """Materialize eip/executed/buffered charges before a
+        potentially-faulting or observing operation."""
+        if self.buf:
+            self.emit(f"acc += {self.buf}", ind)
+            self.buf = 0
+            self.acc_dirty = True
+        if self.cur_eip != next_addr:
+            self.emit(f"cpu.eip = {next_addr}", ind)
+            self.cur_eip = next_addr
+        if self.pending:
+            self.emit(f"cpu.executed += {self.pending}", ind)
+            self.pending = 0
+
+    def flush(self, ind: int = 0):
+        """Push the accumulator into the account (before anything that
+        observes the simulated clock)."""
+        if self.buf and not self.acc_dirty:
+            self.emit(f"charge(cat, {self.buf})", ind)
+            self.buf = 0
+            return
+        if self.buf:
+            self.emit(f"acc += {self.buf}", ind)
+            self.buf = 0
+            self.acc_dirty = True
+        if self.acc_dirty:
+            self.emit("charge(cat, acc)", ind)
+            self.emit("acc = 0", ind)
+            self.acc_dirty = False
+
+    def emit_side_exit(self, eip_expr: str, ind: int):
+        """Exit code inside a conditional branch: materialize state and
+        return (the ``finally`` flush drains ``acc``). Compile-time
+        state is untouched — the fall-through path continues."""
+        if self.buf:
+            self.emit(f"acc += {self.buf}", ind)
+        self.emit(f"cpu.eip = {eip_expr}", ind)
+        if self.pending:
+            self.emit(f"cpu.executed += {self.pending}", ind)
+        self.emit("return", ind)
+
+    def end_trace(self, eip_expr: str, ind: int = 0):
+        """Unconditional trace end on the main path."""
+        if self.buf:
+            self.emit(f"acc += {self.buf}", ind)
+            self.buf = 0
+        self.emit(f"cpu.eip = {eip_expr}", ind)
+        if self.pending:
+            self.emit(f"cpu.executed += {self.pending}", ind)
+            self.pending = 0
+        self.emit("return", ind)
+
+    def rehoist(self, ind: int = 0):
+        """Re-read translation state after anything that can run model
+        code (a native, a hook, an MMIO dispatch): an upcall may have
+        switched ``cpu.address_space``, and any of them may have
+        remapped pages, so the micro-TLB is dropped. Forces the memory
+        hoists on: later memory ops in the trace depend on the re-read
+        even when none were emitted yet."""
+        self.uses_mem = True
+        self.emit("trans = cpu.address_space.translate", ind)
+        self.emit("asr = cpu.address_space.read_bytes", ind)
+        self.emit("asw = cpu.address_space.write_bytes", ind)
+        self.emit("tlb.clear()", ind)
+
+    def native_guard(self, next_addr: int, ind: int = 0):
+        """After a mid-trace native call or delegated handler: bail to
+        the dispatcher unless the world still matches what the rest of
+        the trace was compiled against."""
+        self.emit(
+            f"if (cpu.eip != {next_addr} or cpu.code.epoch != ep0 "
+            f"or L._igen != ig0 or cpu._category[-1] != cat "
+            f"or 'charge' in accd):", ind)
+        self.emit("return", ind + 1)
+        self.rehoist(ind)
+        self.cur_eip = next_addr
+
+    # -- operand expressions -------------------------------------------------
+
+    def reg_read(self, name: str, size: int) -> str:
+        mask = (1 << (size * 8)) - 1
+        if name in _FULL_REGS:
+            if size == 4:
+                return f"r['{name}']"
+            return f"(r['{name}'] & {mask})"
+        parent = SUBREGISTERS[name]
+        sub = 0xFF if len(name) == 2 and name[1] == "l" else 0xFFFF
+        return f"(r['{parent}'] & {sub & mask})"
+
+    def reg_read_full(self, name: str) -> str:
+        """``get_reg`` semantics (used for effective addresses and
+        branch targets): full value for GPRs, masked for subregisters."""
+        if name in _FULL_REGS:
+            return f"r['{name}']"
+        parent = SUBREGISTERS[name]
+        sub = 0xFF if len(name) == 2 and name[1] == "l" else 0xFFFF
+        return f"(r['{parent}'] & {sub})"
+
+    def reg_write(self, name: str, size: int, expr: str, ind: int = 0):
+        mask = (1 << (size * 8)) - 1
+        if name in _FULL_REGS:
+            if size == 4:
+                self.emit(f"r['{name}'] = ({expr}) & {MASK32}", ind)
+            else:
+                self.emit(
+                    f"r['{name}'] = (r['{name}'] & {MASK32 ^ mask}) "
+                    f"| (({expr}) & {mask})", ind)
+            return
+        parent = SUBREGISTERS[name]
+        if len(name) == 2 and name[1] == "l":
+            sub = 0xFF
+        else:
+            sub = 0xFFFF
+        self.emit(
+            f"r['{parent}'] = (r['{parent}'] & {MASK32 ^ sub}) "
+            f"| (({expr}) & {sub & mask})", ind)
+
+    def ea_expr(self, mem: Mem) -> str:
+        if mem.symbol is not None:
+            raise _Unsupported("unresolved data symbol")
+        parts = []
+        if mem.base is not None:
+            parts.append(self.reg_read_full(mem.base))
+        if mem.index is not None:
+            idx = self.reg_read_full(mem.index)
+            parts.append(f"{idx} * {mem.scale}" if mem.scale != 1 else idx)
+        if mem.disp or not parts:
+            parts.append(str(mem.disp))
+        if len(parts) == 1 and mem.base is None and mem.index is None:
+            return str(mem.disp & MASK32)
+        return f"({' + '.join(parts)}) & {MASK32}"
+
+    # -- memory --------------------------------------------------------------
+
+    def emit_cost(self, va: str, ind: int):
+        """Inline ``Cpu._mem_cost`` pricing into the accumulator."""
+        memc = self.scaled(self.costs.mem)
+        hotc = self.scaled(self.costs.mem_hot)
+        c = self.temp("c")
+        self.emit(f"{c} = {memc}", ind)
+        self.emit("for lohi in hr:", ind)
+        self.emit(f"if lohi[0] <= {va} < lohi[1]:", ind + 1)
+        self.emit(f"{c} = {hotc}", ind + 2)
+        self.emit("break", ind + 2)
+        self.emit(f"acc += {c}", ind)
+        self.acc_dirty = True
+
+    def _ram_read(self, va: str, pa: str, v: str, d: str, size: int,
+                  pa_expr: Optional[str], ind: int):
+        """RAM access body: unpack straight out of the frame bytearray
+        (one dict ``get`` + one ``Struct`` call); ``pr`` remains the
+        fallback for unallocated frames (BusError). ``pa_expr`` (TLB
+        hit) defers the physical address to the non-straddle branch."""
+        if size > 1:
+            self.emit(f"if ({va} & 4095) + {size} > 4096:", ind)
+            self.emit(
+                f"{v} = int.from_bytes(asr({va}, {size}), 'little')",
+                ind + 1)
+            self.emit("else:", ind)
+            if pa_expr is not None:
+                self.emit(f"{pa} = {pa_expr}", ind + 1)
+            self.emit(f"{d} = fget({pa} >> 12)", ind + 1)
+            un = "u2" if size == 2 else "u4"
+            self.emit(
+                f"{v} = {un}({d}, {pa} & 4095)[0] "
+                f"if {d} is not None else pr({pa}, {size})", ind + 1)
+        else:
+            if pa_expr is not None:
+                self.emit(f"{pa} = {pa_expr}", ind)
+            self.emit(f"{d} = fget({pa} >> 12)", ind)
+            self.emit(
+                f"{v} = {d}[{pa} & 4095] "
+                f"if {d} is not None else pr({pa}, 1)", ind)
+
+    def mem_read(self, ea: str, size: int, next_addr: int,
+                 ind: int = 0) -> str:
+        """Inline ``Cpu.read_mem``; returns the value variable.
+
+        Repeat translations of a page are served by the per-entry
+        micro-TLB ``tlb`` (vpage -> frame base, read and write keys
+        disjoint). Only pages whose physical page intersects no MMIO
+        region are cached, so a hit is always plain RAM; the TLB is
+        dropped at every point model code can run (:meth:`rehoist`).
+        Faults keep interpreter semantics: a miss calls ``trans``
+        (PageFault / ProtectionFault) with state already synced."""
+        self.uses_mem = True
+        self.sync(next_addr, ind)
+        va = self.temp("va")
+        pa = self.temp("pa")
+        v = self.temp("v")
+        d = self.temp("d")
+        e = self.temp("e")
+        self.emit(f"{va} = {ea}", ind)
+        self.emit(f"{e} = tlb.get({va} >> 12)", ind)
+        self.emit(f"if {e} is not None:", ind)
+        self.emit_cost(va, ind + 1)
+        self._ram_read(va, pa, v, d, size,
+                       pa_expr=f"{e} + ({va} & 4095)", ind=ind + 1)
+        self.emit("else:", ind)
+        self.emit(f"{pa} = trans({va})", ind + 1)
+        self.emit(f"if mio({pa}) is None:", ind + 1)
+        self.emit(f"if not mpg({pa} >> 12):", ind + 2)
+        self.emit(f"tlb[{va} >> 12] = {pa} - ({va} & 4095)", ind + 3)
+        self.emit_cost(va, ind + 2)
+        self._ram_read(va, pa, v, d, size, pa_expr=None, ind=ind + 2)
+        self.emit("else:", ind + 1)
+        self.emit(f"acc += {self.scaled(self.costs.mmio)}", ind + 2)
+        self.emit("charge(cat, acc)", ind + 2)
+        self.emit("acc = 0", ind + 2)
+        if size > 1:
+            self.emit(f"if ({va} & 4095) + {size} > 4096:", ind + 2)
+            self.emit(
+                f"{v} = int.from_bytes(asr({va}, {size}), 'little')",
+                ind + 3)
+            self.emit("else:", ind + 2)
+            self.emit(f"{v} = pr({pa}, {size})", ind + 3)
+        else:
+            self.emit(f"{v} = pr({pa}, 1)", ind + 2)
+        # the device model may have re-entered the kernel and remapped
+        # pages or switched address spaces
+        self.rehoist(ind + 2)
+        self.acc_dirty = True        # branches disagree; finally covers it
+        return v
+
+    def _ram_write(self, va: str, pa: str, d: str, value: str, size: int,
+                   pa_expr: Optional[str], ind: int):
+        """RAM write body: pack straight into the frame bytearray."""
+        mask = (1 << (size * 8)) - 1
+        if size > 1:
+            self.emit(f"if ({va} & 4095) + {size} > 4096:", ind)
+            self.emit(
+                f"asw({va}, (({value}) & {mask}).to_bytes({size}, "
+                f"'little'))", ind + 1)
+            self.emit("else:", ind)
+            if pa_expr is not None:
+                self.emit(f"{pa} = {pa_expr}", ind + 1)
+            self.emit(f"{d} = fget({pa} >> 12)", ind + 1)
+            self.emit(f"if {d} is None:", ind + 1)
+            self.emit(f"pw({pa}, {size}, {value})", ind + 2)
+            self.emit("else:", ind + 1)
+            pk = "p2" if size == 2 else "p4"
+            self.emit(f"{pk}({d}, {pa} & 4095, ({value}) & {mask})",
+                      ind + 2)
+        else:
+            if pa_expr is not None:
+                self.emit(f"{pa} = {pa_expr}", ind)
+            self.emit(f"{d} = fget({pa} >> 12)", ind)
+            self.emit(f"if {d} is None:", ind)
+            self.emit(f"pw({pa}, 1, {value})", ind + 1)
+            self.emit("else:", ind)
+            self.emit(f"{d}[{pa} & 4095] = ({value}) & 255", ind + 1)
+
+    def mem_write(self, ea: str, size: int, value: str, next_addr: int,
+                  ind: int = 0):
+        """Inline ``Cpu.write_mem``: micro-TLB (write keys offset by
+        ``2**20``, so read permission never satisfies a write) and the
+        packed RAM fast path, mirroring :meth:`mem_read`."""
+        self.uses_mem = True
+        self.sync(next_addr, ind)
+        va = self.temp("va")
+        pa = self.temp("pa")
+        d = self.temp("d")
+        e = self.temp("e")
+        mask = (1 << (size * 8)) - 1
+        self.emit(f"{va} = {ea}", ind)
+        self.emit(f"{e} = tlb.get(({va} >> 12) + 1048576)", ind)
+        self.emit(f"if {e} is not None:", ind)
+        self.emit_cost(va, ind + 1)
+        self._ram_write(va, pa, d, value, size,
+                        pa_expr=f"{e} + ({va} & 4095)", ind=ind + 1)
+        self.emit("else:", ind)
+        self.emit(f"{pa} = trans({va}, True)", ind + 1)
+        self.emit(f"if mio({pa}) is None:", ind + 1)
+        self.emit(f"if not mpg({pa} >> 12):", ind + 2)
+        self.emit(f"tlb[({va} >> 12) + 1048576] = {pa} - ({va} & 4095)",
+                  ind + 3)
+        self.emit_cost(va, ind + 2)
+        self._ram_write(va, pa, d, value, size, pa_expr=None, ind=ind + 2)
+        self.emit("else:", ind + 1)
+        self.emit(f"acc += {self.scaled(self.costs.mmio)}", ind + 2)
+        self.emit("charge(cat, acc)", ind + 2)
+        self.emit("acc = 0", ind + 2)
+        if size > 1:
+            self.emit(f"if ({va} & 4095) + {size} > 4096:", ind + 2)
+            self.emit(
+                f"asw({va}, (({value}) & {mask}).to_bytes({size}, "
+                f"'little'))", ind + 3)
+            self.emit("else:", ind + 2)
+            self.emit(f"pw({pa}, {size}, {value})", ind + 3)
+        else:
+            self.emit(f"pw({pa}, 1, {value})", ind + 2)
+        self.rehoist(ind + 2)
+        self.acc_dirty = True
+
+    # -- operand read/write (mirrors the PR 4 thunks) ------------------------
+
+    def read_operand(self, op, size: int, next_addr: int,
+                     ind: int = 0) -> str:
+        mask = (1 << (size * 8)) - 1
+        if isinstance(op, Imm):
+            if op.symbol is not None:
+                raise _Unsupported("unresolved immediate symbol")
+            return str(op.value & mask)
+        if isinstance(op, Reg):
+            return self.reg_read(op.name, size)
+        if isinstance(op, Mem):
+            return self.mem_read(self.ea_expr(op), size, next_addr, ind)
+        raise _Unsupported(f"unreadable operand {op!r}")
+
+    def as_var(self, expr: str, ind: int = 0) -> str:
+        """Bind an expression to a temp when it will be used twice."""
+        if expr.isidentifier() or expr.isdigit():
+            return expr
+        v = self.temp()
+        self.emit(f"{v} = {expr}", ind)
+        return v
+
+    def write_operand(self, op, size: int, value: str, next_addr: int,
+                      ind: int = 0):
+        if isinstance(op, Reg):
+            self.reg_write(op.name, size, value, ind)
+            return
+        if isinstance(op, Mem):
+            self.mem_write(self.ea_expr(op), size, value, next_addr, ind)
+            return
+        raise _Unsupported(f"unwritable operand {op!r}")
+
+    # -- flags ---------------------------------------------------------------
+
+    def emit_zsf(self, r: str, sign: int, ind: int):
+        self.emit(f"f['zf'] = {r} == 0", ind)
+        self.emit(f"f['sf'] = ({r} & {sign}) != 0", ind)
+
+    def emit_flags_add(self, a: str, b: str, size: int, ind: int,
+                       set_cf: bool = True) -> str:
+        bits = size * 8
+        mask = (1 << bits) - 1
+        sign = 1 << (bits - 1)
+        s = self.temp("s")
+        rv = self.temp("x")
+        self.emit(f"{s} = {a} + {b}", ind)
+        self.emit(f"{rv} = {s} & {mask}", ind)
+        if set_cf:
+            self.emit(f"f['cf'] = {s} > {mask}", ind)
+        self.emit(
+            f"f['of'] = ((~({a} ^ {b})) & ({a} ^ {rv}) & {sign}) != 0", ind)
+        self.emit_zsf(rv, sign, ind)
+        return rv
+
+    def emit_flags_sub(self, a: str, b: str, size: int, ind: int,
+                       set_cf: bool = True) -> str:
+        bits = size * 8
+        mask = (1 << bits) - 1
+        sign = 1 << (bits - 1)
+        rv = self.temp("x")
+        self.emit(f"{rv} = ({a} - {b}) & {mask}", ind)
+        if set_cf:
+            self.emit(f"f['cf'] = {a} < {b}", ind)
+        self.emit(
+            f"f['of'] = (({a} ^ {b}) & ({a} ^ {rv}) & {sign}) != 0", ind)
+        self.emit_zsf(rv, sign, ind)
+        return rv
+
+    def emit_flags_logic(self, expr: str, size: int, ind: int) -> str:
+        sign = 1 << (size * 8 - 1)
+        rv = self.temp("x")
+        self.emit(f"{rv} = {expr}", ind)
+        self.emit("f['cf'] = False", ind)
+        self.emit("f['of'] = False", ind)
+        self.emit_zsf(rv, sign, ind)
+        return rv
+
+    # -- per-instruction emission --------------------------------------------
+
+    def emit_instruction(self, index: int) -> Optional[int]:
+        """Emit one instruction; returns the next trace index, or None
+        when the trace ends here. Raises _Unsupported to end the trace
+        *before* this instruction."""
+        loaded = self.loaded
+        instr: Instruction = loaded.program.instructions[index]
+        m = instr.mnemonic
+        size = instr.size
+        next_addr = loaded.next_addrs[index]
+        next_index = index + 1
+
+        # forms that always end the trace before executing. All checks
+        # that can reject the instruction must run before any emission:
+        # a partially-emitted instruction would corrupt the trace.
+        if m in ("int3", "ud2", "hlt"):
+            raise _Unsupported("trap")
+        if instr.is_control_flow and instr.indirect:
+            raise _Unsupported("indirect branch")
+        for op in instr.operands:
+            if isinstance(op, (Mem, Imm)) and op.symbol is not None:
+                raise _Unsupported("unresolved symbol")
+        if m in ("mov", "movzb", "movzw", "movsx", "lea", "add", "sub",
+                 "and", "or", "xor", "imul", "inc", "dec", "neg", "not",
+                 "shl", "shr", "sar", "pop"):
+            if not isinstance(instr.dst, (Reg, Mem)):
+                raise _Unsupported("unwritable destination")
+        if m == "xchg" and not (isinstance(instr.src, (Reg, Mem))
+                                and isinstance(instr.dst, (Reg, Mem))):
+            raise _Unsupported("unwritable xchg operand")
+        if index in loaded.instrument:
+            if instr.is_control_flow:
+                raise _Unsupported("instrumented control flow")
+            return self.delegate(index, next_addr, next_index)
+
+        self.pending += 1
+        self.n_instrs += 1
+        self.charge_const(self.costs.alu)
+
+        if m in ("nop", "sti", "cli"):
+            return next_index
+        if m == "cld":
+            self.emit("cpu.df = False")
+            return next_index
+        if m == "std":
+            self.emit("cpu.df = True")
+            return next_index
+
+        if m == "mov":
+            v = self.read_operand(instr.src, size, next_addr)
+            self.write_operand(instr.dst, size, v, next_addr)
+            return next_index
+        if m in ("movzb", "movzw"):
+            v = self.read_operand(instr.src, size, next_addr)
+            self.write_operand(instr.dst, 4, v, next_addr)
+            return next_index
+        if m == "movsx":
+            bits = size * 8
+            sign = 1 << (bits - 1)
+            extend = MASK32 ^ ((1 << bits) - 1)
+            v = self.as_var(self.read_operand(instr.src, size, next_addr))
+            if v.isdigit():
+                value = int(v)
+                if value & sign:
+                    value |= extend
+                self.write_operand(instr.dst, 4, str(value), next_addr)
+                return next_index
+            self.emit(f"if {v} & {sign}:")
+            self.emit(f"{v} |= {extend}", 1)
+            self.write_operand(instr.dst, 4, v, next_addr)
+            return next_index
+        if m == "lea":
+            if not isinstance(instr.src, Mem):
+                raise _Unsupported("lea from non-memory operand")
+            ea = self.ea_expr(instr.src)
+            self.write_operand(instr.dst, 4, ea, next_addr)
+            return next_index
+        if m == "xchg":
+            a = self.as_var(
+                self.read_operand(instr.src, size, next_addr))
+            b = self.as_var(
+                self.read_operand(instr.dst, size, next_addr))
+            self.write_operand(instr.src, size, b, next_addr)
+            self.write_operand(instr.dst, size, a, next_addr)
+            return next_index
+
+        if m in ("add", "sub", "and", "or", "xor", "imul", "cmp", "test"):
+            a = self.as_var(
+                self.read_operand(instr.dst, size, next_addr))
+            b = self.as_var(
+                self.read_operand(instr.src, size, next_addr))
+            if m == "add":
+                rv = self.emit_flags_add(a, b, size, 0)
+            elif m in ("sub", "cmp"):
+                rv = self.emit_flags_sub(a, b, size, 0)
+            elif m in ("and", "test"):
+                rv = self.emit_flags_logic(f"{a} & {b}", size, 0)
+            elif m == "or":
+                rv = self.emit_flags_logic(f"{a} | {b}", size, 0)
+            elif m == "xor":
+                rv = self.emit_flags_logic(f"{a} ^ {b}", size, 0)
+            else:  # imul
+                mask = (1 << (size * 8)) - 1
+                sign = 1 << (size * 8 - 1)
+                fu = self.temp("s")
+                rv = self.temp("x")
+                self.emit(f"{fu} = {a} * {b}")
+                self.emit(f"{rv} = {fu} & {mask}")
+                self.emit(f"f['cf'] = f['of'] = {fu} != {rv}")
+                self.emit_zsf(rv, sign, 0)
+            if m not in ("cmp", "test"):
+                self.write_operand(instr.dst, size, rv, next_addr)
+            return next_index
+
+        if m in ("shl", "shr", "sar"):
+            if isinstance(instr.dst, Mem):
+                # a conditionally-skipped memory write would fork the
+                # accounting state; the handler does it exactly
+                return self.delegate(index, next_addr, next_index,
+                                     undo_inline=True)
+            bits = size * 8
+            mask = (1 << bits) - 1
+            sign = 1 << (bits - 1)
+            c = self.temp("n")
+            self.emit(
+                f"{c} = ({self.read_operand(instr.src, 1, next_addr)})"
+                f" & 31")
+            v = self.as_var(self.read_operand(instr.dst, size, next_addr))
+            rv = self.temp("x")
+            self.emit(f"if {c}:")
+            if m == "shl":
+                self.emit(f"{rv} = {v} << {c}", 1)
+                self.emit(f"f['cf'] = ({rv} & {1 << bits}) != 0", 1)
+                self.emit(f"{rv} &= {mask}", 1)
+            elif m == "shr":
+                self.emit(f"f['cf'] = (({v} >> ({c} - 1)) & 1) != 0", 1)
+                self.emit(f"{rv} = {v} >> {c}", 1)
+            else:  # sar
+                sg = self.temp("g")
+                self.emit(f"{sg} = {v} & {sign}", 1)
+                self.emit(f"{rv} = {v}", 1)
+                self.emit(f"for _ in range({c}):", 1)
+                self.emit(f"{rv} = ({rv} >> 1) | {sg}", 2)
+                self.emit(f"f['cf'] = (({v} >> ({c} - 1)) & 1) != 0", 1)
+                self.emit(f"{rv} &= {mask}", 1)
+            self.emit("f['of'] = False", 1)
+            self.emit(f"f['zf'] = {rv} == 0", 1)
+            self.emit(f"f['sf'] = ({rv} & {sign}) != 0", 1)
+            self.reg_write(instr.dst.name, size, rv, 1)
+            return next_index
+
+        if m in ("inc", "dec", "neg", "not"):
+            mask = (1 << (size * 8)) - 1
+            v = self.as_var(
+                self.read_operand(instr.dst, size, next_addr))
+            if m == "inc":
+                # inc/dec preserve CF: the interpreter saves/restores it
+                # around _flags_add, net effect is "don't touch cf"
+                rv = self.emit_flags_add(v, "1", size, 0, set_cf=False)
+            elif m == "dec":
+                rv = self.emit_flags_sub(v, "1", size, 0, set_cf=False)
+            elif m == "neg":
+                rv = self.emit_flags_sub("0", v, size, 0)
+            else:
+                rv = self.temp("x")
+                self.emit(f"{rv} = (~{v}) & {mask}")
+            self.write_operand(instr.dst, size, rv, next_addr)
+            return next_index
+
+        if m == "push":
+            v = self.as_var(self.read_operand(instr.src, 4, next_addr))
+            self.emit_push(v, next_addr)
+            return next_index
+        if m == "pop":
+            v = self.emit_pop(next_addr)
+            self.write_operand(instr.dst, 4, v, next_addr)
+            return next_index
+        if m == "pushf":
+            w = self.temp("w")
+            self.emit(
+                f"{w} = ((1 if f['cf'] else 0) | (64 if f['zf'] else 0)"
+                f" | (128 if f['sf'] else 0) | (2048 if f['of'] else 0)"
+                f" | (1024 if cpu.df else 0))")
+            self.emit_push(w, next_addr)
+            return next_index
+        if m == "popf":
+            v = self.emit_pop(next_addr)
+            self.emit(f"f['cf'] = ({v} & 1) != 0")
+            self.emit(f"f['zf'] = ({v} & 64) != 0")
+            self.emit(f"f['sf'] = ({v} & 128) != 0")
+            self.emit(f"f['of'] = ({v} & 2048) != 0")
+            self.emit(f"cpu.df = ({v} & 1024) != 0")
+            return next_index
+
+        if m == "call":
+            self.charge_const(self.costs.call)
+            target = loaded.targets.get(index)
+            if target is None:
+                raise _Unsupported("call without resolved target")
+            routine = self.cpu.natives.by_addr.get(target)
+            self.sync(next_addr)
+            self.emit_push(str(next_addr), next_addr)
+            if routine is None:
+                # transfer into interpreted code: the callee's head gets
+                # its own superblock, so end the trace here
+                self.end_trace(str(target))
+                return None
+            self.uses_natives = True
+            name = self.bake("N", routine)
+            self.flush()
+            self.emit(f"cpu._invoke_native({name})")
+            self.native_guard(next_addr)
+            return next_index
+        if m == "ret":
+            self.charge_const(self.costs.ret)
+            v = self.emit_pop(next_addr)
+            self.end_trace(v)
+            return None
+        if m == "jmp":
+            target = loaded.targets.get(index)
+            if target is None:
+                raise _Unsupported("jmp without resolved target")
+            routine = self.cpu.natives.by_addr.get(target)
+            if routine is not None:
+                # tail call: return address is the caller's, already on
+                # the stack; eip after the native is unknowable here
+                self.uses_natives = True
+                name = self.bake("N", routine)
+                self.sync(next_addr)
+                self.flush()
+                self.emit(f"cpu._invoke_native({name})")
+                self.emit("return")
+                return None
+            if target == self.head_addr:
+                self.emit_backedge(None)
+                return None
+            t_index = loaded.addr_to_index.get(target)
+            if t_index is None:
+                self.end_trace(str(target))
+                return None
+            self.cur_eip = None
+            return t_index
+        if instr.is_conditional:
+            target = loaded.targets.get(index)
+            if target is None:
+                raise _Unsupported("jcc without resolved target")
+            cond = _COND_EXPR[m]
+            if target == self.head_addr:
+                self.emit_backedge(cond)
+                self.cur_eip = None
+                return next_index
+            self.emit(f"if {cond}:")
+            self.emit_side_exit(str(target), 1)
+            self.cur_eip = None
+            return next_index
+
+        if instr.is_string:
+            return self.delegate(index, next_addr, next_index,
+                                 undo_inline=True)
+
+        raise _Unsupported(f"unhandled mnemonic {m!r}")
+
+    # -- composite helpers ---------------------------------------------------
+
+    def emit_push(self, value: str, next_addr: int, ind: int = 0):
+        sp = self.temp("sp")
+        self.emit(f"{sp} = (r['esp'] - 4) & {MASK32}", ind)
+        self.emit(f"r['esp'] = {sp}", ind)
+        self.mem_write(sp, 4, value, next_addr, ind)
+
+    def emit_pop(self, next_addr: int, ind: int = 0) -> str:
+        v = self.mem_read("r['esp']", 4, next_addr, ind)
+        self.emit(f"r['esp'] = (r['esp'] + 4) & {MASK32}", ind)
+        return v
+
+    def delegate(self, index: int, next_addr: int,
+                 next_index: int, undo_inline: bool = False) -> int:
+        """Run one instruction through its compiled PR 4 handler (string
+        ops, instrumented sites, shift-to-memory): sync and flush so the
+        handler sees exactly the state ``step()`` would give it."""
+        from .cpu import _handler_for    # deferred: avoids module cycle
+        if undo_inline:
+            # emit_instruction already consumed the instruction and its
+            # base ALU charge; the handler charges it itself
+            self.pending -= 1
+            self.n_instrs -= 1
+            self.buf -= self.scaled(self.costs.alu)
+        self.pending += 1
+        self.n_instrs += 1
+        self.sync(next_addr)
+        self.flush()
+        handler = self.loaded.handlers[index]
+        if handler is None:
+            handler = _handler_for(self.loaded, index)
+        name = self.bake("H", handler)
+        self.emit(f"{name}(cpu)")
+        if index in self.loaded.instrument:
+            # hooks are arbitrary code: re-validate the world
+            self.native_guard(next_addr)
+        else:
+            # the handler may touch MMIO and re-enter model code
+            self.rehoist()
+        return next_index
+
+    def emit_backedge(self, cond: Optional[str]):
+        """Branch back to the trace head: compile the trace as a capped
+        loop. Loop-top invariant: eip/executed/acc fully materialized."""
+        self.has_backedge = True
+        ind = 0
+        if cond is not None:
+            self.emit(f"if {cond}:")
+            ind = 1
+        if self.buf:
+            self.emit(f"acc += {self.buf}", ind)
+            if cond is None:
+                self.buf = 0
+        self.emit(f"cpu.eip = {self.head_addr}", ind)
+        if self.pending:
+            self.emit(f"cpu.executed += {self.pending}", ind)
+            if cond is None:
+                self.pending = 0
+        self.emit("charge(cat, acc)", ind)
+        self.emit("acc = 0", ind)
+        self.emit("it -= 1", ind)
+        self.emit("if it == 0:", ind)
+        self.emit("return", ind + 1)
+        self.emit("continue", ind)
+        if cond is None:
+            self.acc_dirty = False
+
+    # -- trace construction --------------------------------------------------
+
+    def build(self) -> Optional[str]:
+        """Walk the trace from the head, emitting each instruction.
+        Returns the superblock source, or None if no progress could be
+        compiled."""
+        loaded = self.loaded
+        n = len(loaded.program.instructions)
+        index = self.head_index
+        visited = set()
+        while True:
+            if index is None:
+                break
+            if index >= n:
+                # fell off the end of the program: step() faults there
+                self.end_trace(str(loaded.end))
+                break
+            if index in visited:
+                # rejoined an already-emitted address (jmp into the
+                # trace body): exit and let the dispatcher continue
+                self.end_trace(str(loaded.addrs[index]))
+                break
+            if self.n_instrs >= MAX_TRACE_INSTRS:
+                self.end_trace(str(loaded.addrs[index]))
+                break
+            visited.add(index)
+            mark = (len(self.lines), self.buf, self.pending,
+                    self.n_instrs, self.cur_eip, self.acc_dirty)
+            try:
+                index = self.emit_instruction(index)
+            except _Unsupported:
+                # roll back anything the rejected instruction emitted,
+                # then end the trace just before it
+                (n_lines, self.buf, self.pending, self.n_instrs,
+                 self.cur_eip, self.acc_dirty) = mark
+                del self.lines[n_lines:]
+                if self.n_instrs == 0:
+                    return None
+                self.end_trace(str(loaded.addrs[index]))
+                break
+        if self.n_instrs == 0:
+            return None
+        return self.render()
+
+    def render(self) -> str:
+        body = self.lines
+        prologue = [
+            "r = cpu.regs",
+            "f = cpu.flags",
+            "charge = cpu.account.charge",
+            "cat = cpu._category[-1]",
+            "acc = 0",
+        ]
+        if self.uses_mem:
+            prologue += [
+                "trans = cpu.address_space.translate",
+                "asr = cpu.address_space.read_bytes",
+                "asw = cpu.address_space.write_bytes",
+                "pr = cpu.phys.read",
+                "pw = cpu.phys.write",
+                "mio = cpu.phys.mmio_region_at",
+                "mpg = cpu.phys._mmio_pages.get",
+                "fget = cpu.phys._frames.get",
+                "hr = cpu.hot_ranges",
+                "tlb = {}",
+            ]
+        if self.uses_natives or self.ns:
+            prologue += [
+                "accd = cpu.account.__dict__",
+                "ep0 = cpu.code.epoch",
+                "ig0 = L._igen",
+            ]
+        if self.has_backedge:
+            body = ([f"it = {LOOP_CAP}", "while 1:"]
+                    + ["    " + line for line in body])
+        out = ["def __sb__(cpu):"]
+        out += ["    " + line for line in prologue]
+        out.append("    try:")
+        out += ["        " + line for line in body]
+        # every trace path ends in return/continue; this is unreachable
+        # but keeps the block syntactically closed for empty loop tails
+        out.append("        return")
+        out.append("    finally:")
+        out.append("        if acc:")
+        out.append("            charge(cat, acc)")
+        return "\n".join(out) + "\n"
+
+
+def compile_superblock(cpu, loaded, head_addr: int) -> Optional[Superblock]:
+    """Compile the trace starting at ``head_addr``; None if the head's
+    first instruction is not compilable (the dispatcher blacklists it)."""
+    head_index = loaded.addr_to_index[head_addr]
+    emitter = _Emitter(cpu, loaded, head_index)
+    source = emitter.build()
+    if source is None:
+        return None
+    emitter.ns["L"] = loaded
+    emitter.ns.update(_MEM_HELPERS)
+    code = compile(source, f"<sb {loaded.name}@{head_addr:#x}>", "exec")
+    exec(code, emitter.ns)
+    return Superblock(emitter.ns["__sb__"], head_addr, cpu.cycle_scale,
+                      emitter.n_instrs, source)

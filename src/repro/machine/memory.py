@@ -48,6 +48,10 @@ class PhysicalMemory:
         self._frames: Dict[int, bytearray] = {}
         self._next_frame = 1  # frame 0 reserved: catches null-ish DMA
         self._mmio: List[MMIORegion] = []
+        #: page -> tuple of regions intersecting that page (almost always
+        #: empty), filled lazily; regions are only ever added, so the
+        #: cache is simply cleared on registration.
+        self._mmio_pages: Dict[int, Tuple[MMIORegion, ...]] = {}
 
     # -- allocation --------------------------------------------------------------
 
@@ -78,10 +82,18 @@ class PhysicalMemory:
             if region.start < other.end and other.start < region.end:
                 raise ValueError("overlapping MMIO regions")
         self._mmio.append(region)
+        self._mmio_pages.clear()
         return region
 
     def mmio_region_at(self, paddr: int) -> Optional[MMIORegion]:
-        for region in self._mmio:
+        page = paddr >> PAGE_SHIFT
+        regions = self._mmio_pages.get(page)
+        if regions is None:
+            base = page << PAGE_SHIFT
+            regions = tuple(r for r in self._mmio
+                            if r.start < base + PAGE_SIZE and base < r.end)
+            self._mmio_pages[page] = regions
+        for region in regions:
             if region.contains(paddr):
                 return region
         return None

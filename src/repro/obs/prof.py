@@ -7,7 +7,10 @@ mechanism costs, or a kernel model. The profiler exploits that choke
 point: :meth:`Profiler.enable` shadows the account's ``charge`` with a
 recording closure (an *instance* attribute, so the class method and
 every disabled-mode code path stay byte-identical), and
-:meth:`Profiler.disable` deletes the shadow. While enabled, each charge
+:meth:`Profiler.disable` restores whatever ``charge`` resolved to
+before — the bare class method, or a pre-existing instance shadow such
+as a fault-injection hook, which the recorder chains to rather than
+bypassing. While enabled, each charge
 is attributed to a key of
 
     ``(category, context, pc)``
@@ -46,6 +49,10 @@ PROFILE_SCHEMA = "repro-profile/v1"
 #: avoid importing the machine layer into the observability layer).
 _SENTINEL_RETURN = 0xDEAD0000
 
+#: sentinel distinguishing "no prior ``charge`` shadow existed" from a
+#: saved shadow that is literally ``None``.
+_NO_SHADOW = object()
+
 
 class Profiler:
     """Cycle-attribution recorder for one machine's :class:`CycleAccount`.
@@ -61,6 +68,12 @@ class Profiler:
         self.registry = registry
         self._cpu = None
         self._account = None
+        #: the recording closure we installed (identity-checked on
+        #: disable so a foreign shadow stacked on top is detected).
+        self._installed = None
+        #: prior ``charge`` instance attribute, saved at enable time and
+        #: restored on disable (``_NO_SHADOW`` when there was none).
+        self._saved_shadow = _NO_SHADOW
         #: (category, context, pc) -> [cycles, charges]
         self._samples: Dict[Tuple, List[int]] = {}
         #: current coarse context, rebuilt as a tuple on (rare) push/pop
@@ -90,20 +103,29 @@ class Profiler:
     # -- recording -----------------------------------------------------------
 
     def enable(self):
-        """Install the recording charge. Idempotent."""
+        """Install the recording charge on top of whatever ``charge``
+        currently resolves to (the class method, or a prior instance
+        shadow such as a fault-injection hook, which is saved and
+        chained to). Double-enable is refused: the closure would record
+        every charge twice and ``disable`` could not unwind the pair."""
         if self._account is None:
             raise RuntimeError("profiler is not bound to a machine")
         if self.enabled:
-            return
+            raise RuntimeError(
+                "profiler is already enabled; disable() it first")
         account = self._account
-        base_charge = type(account).charge
+        # the currently-effective charge: a prior instance shadow if one
+        # is installed, else the plain bound class method. Chaining to
+        # it (instead of the raw class method) keeps stacked shadows --
+        # fault injection, a second recorder -- live while profiling.
+        self._saved_shadow = account.__dict__.get("charge", _NO_SHADOW)
+        prior_charge = account.charge
         cpu = self._cpu
         samples = self._samples
 
-        def recording_charge(category, cycles, _base=base_charge,
-                             _account=account, _cpu=cpu, _samples=samples,
-                             _prof=self):
-            _base(_account, category, cycles)
+        def recording_charge(category, cycles, _prior=prior_charge,
+                             _cpu=cpu, _samples=samples, _prof=self):
+            _prior(category, cycles)
             key = (category, _prof._ctx, _cpu.eip)
             cell = _samples.get(key)
             if cell is None:
@@ -113,14 +135,29 @@ class Profiler:
                 cell[1] += 1
 
         account.charge = recording_charge
+        self._installed = recording_charge
         self.enabled = True
 
     def disable(self):
-        """Remove the recording charge; the class method shows through
-        again and the disabled path is bit-identical to never-profiled."""
+        """Remove the recording charge and restore whatever shadowed
+        ``charge`` before :meth:`enable` (or the bare class method).
+        Idempotent when not enabled; raises if something else shadowed
+        ``charge`` on top of the profiler, since popping would delete
+        the wrong layer."""
         if not self.enabled:
             return
-        self._account.__dict__.pop("charge", None)
+        account = self._account
+        current = account.__dict__.get("charge")
+        if current is not self._installed:
+            raise RuntimeError(
+                "another charge shadow was installed on top of the "
+                "profiler; remove it before disable()")
+        if self._saved_shadow is _NO_SHADOW:
+            account.__dict__.pop("charge", None)
+        else:
+            account.charge = self._saved_shadow
+        self._installed = None
+        self._saved_shadow = _NO_SHADOW
         self.enabled = False
 
     def reset(self):

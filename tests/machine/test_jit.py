@@ -1,0 +1,405 @@
+"""Superblock trace JIT (ISSUE 8): formation, side exits, invalidation.
+
+The contract under test: with ``jit_enabled`` the interpreter's
+*observable* behaviour — registers, flags, memory, ``executed``, and
+every per-category cycle counter — is bit-identical to ``step()``;
+only host wall time changes. Plus the three ISSUE 8 bugfixes:
+instrument hooks on warm code, charge-shadow layering (the dispatcher
+side), and ``_prog_cache`` staleness across a mid-run reload.
+"""
+
+import pytest
+
+from repro.isa import assemble
+from repro.machine import AddressSpace, Machine, PageFault
+
+DATA = 0xC0000000
+STACK_TOP = 0xC0104000
+BASE = 0x08000000
+
+LOOP_SRC = """
+.globl f
+f: movl $0, %eax
+   movl $0, %ecx
+loop:
+   movl (%ebx,%ecx,4), %edx
+   addl %edx, %eax
+   incl %ecx
+   cmpl $16, %ecx
+   jne loop
+   shll $1, %eax
+   ret
+"""
+
+
+def make_machine(jit=False, threshold=2):
+    m = Machine()
+    space = AddressSpace("test", m.phys, m.hypervisor_table)
+    space.map_new_pages(DATA, 4)
+    space.map_new_pages(0xC0100000, 4)
+    m.cpu.address_space = space
+    m.cpu.jit_enabled = jit
+    m.cpu.jit_threshold = threshold
+    return m, space
+
+
+def machine_state(m):
+    return (dict(m.cpu.regs), dict(m.cpu.flags), m.cpu.df,
+            m.cpu.executed, m.account.cycles)
+
+
+def run_both(source, calls=1, args=(), setup=None, threshold=2):
+    """Run ``source`` on two fresh machines (interp vs JIT) and assert
+    the full observable state matches; returns (results, jit machine)."""
+    outs = []
+    machines = []
+    for jit in (False, True):
+        m, space = make_machine(jit=jit, threshold=threshold)
+        program = assemble(source)
+        loaded = m.load_linked_program(program, BASE)
+        if setup:
+            setup(m, space, loaded)
+        results = [m.cpu.call_function(loaded.symbol("f"), list(args),
+                                       stack_top=STACK_TOP)
+                   for _ in range(calls)]
+        outs.append((results, machine_state(m)))
+        machines.append(m)
+    assert outs[0] == outs[1]
+    return outs[1][0], machines[1]
+
+
+class TestSuperblockFormation:
+    def test_hot_loop_is_promoted_and_matches_interpreter(self):
+        def fill(m, space, loaded):
+            for i in range(16):
+                space.write(DATA + 4 * i, 4, i)
+            m.cpu.regs["ebx"] = DATA
+
+        results, m = run_both(LOOP_SRC, calls=8, setup=fill)
+        assert results[-1] == 2 * sum(range(16))
+        stats = m.cpu.jit_stats()
+        assert stats["compiles"] >= 1
+        assert stats["entries"] >= 1
+
+    def test_cold_code_never_compiles(self):
+        src = ".globl f\nf: movl $3, %eax\nret"
+        results, m = run_both(src, calls=1, threshold=50)
+        assert results == [3]
+        assert m.cpu.jit_stats()["compiles"] == 0
+
+    def test_jit_off_by_default(self):
+        m = Machine()
+        assert m.cpu.jit_enabled is False
+
+    def test_side_exit_when_branch_flips(self):
+        # the trace is laid out for the warm-up iteration count; calls
+        # with a different count must side-exit mid-superblock with
+        # registers, flags, and cycles exactly as step() leaves them
+        src = """
+.globl f
+f: movl 4(%esp), %ecx
+   movl $0, %eax
+loop:
+   addl %ecx, %eax
+   decl %ecx
+   cmpl $0, %ecx
+   jne loop
+   ret
+"""
+        for n in (9, 1, 30, 2):
+            expected = sum(range(1, n + 1))
+            outs = []
+            for jit in (False, True):
+                m, _ = make_machine(jit=jit)
+                loaded = m.load_linked_program(assemble(src), BASE)
+                for _ in range(6):       # warm with n=9 shape
+                    m.cpu.call_function(loaded.symbol("f"), [9],
+                                        stack_top=STACK_TOP)
+                r = m.cpu.call_function(loaded.symbol("f"), [n],
+                                        stack_top=STACK_TOP)
+                outs.append((r, machine_state(m)))
+            assert outs[0] == outs[1]
+            assert outs[1][0] == expected
+
+    def test_fault_mid_superblock_leaves_precise_state(self):
+        # the second call points the load at an unmapped page: the
+        # fault must surface at the same instruction with identical
+        # cycles charged in both modes
+        src = """
+.globl f
+f: movl $0, %eax
+   movl $0, %ecx
+loop:
+   addl (%ebx,%ecx,4), %eax
+   incl %ecx
+   cmpl $8, %ecx
+   jne loop
+   ret
+"""
+        outs = []
+        for jit in (False, True):
+            m, space = make_machine(jit=jit)
+            loaded = m.load_linked_program(assemble(src), BASE)
+            m.cpu.regs["ebx"] = DATA
+            for _ in range(6):
+                m.cpu.call_function(loaded.symbol("f"), [],
+                                    stack_top=STACK_TOP)
+            m.cpu.regs["ebx"] = 0x40000000        # unmapped
+            with pytest.raises(PageFault):
+                m.cpu.call_function(loaded.symbol("f"), [],
+                                    stack_top=STACK_TOP)
+            outs.append(machine_state(m))
+        assert outs[0] == outs[1]
+
+
+class TestDispatcherGuards:
+    def test_profiler_shadow_bypasses_superblocks_exactly(self):
+        # with a charge shadow installed the dispatcher must fall back
+        # to step() so per-charge attribution stays per-instruction
+        m, space = make_machine(jit=True)
+        loaded = m.load_linked_program(assemble(LOOP_SRC), BASE)
+        for i in range(16):
+            space.write(DATA + 4 * i, 4, i)
+        m.cpu.regs["ebx"] = DATA
+        for _ in range(6):
+            m.cpu.call_function(loaded.symbol("f"), [],
+                                stack_top=STACK_TOP)
+        entries_before = m.cpu.jit_stats()["entries"]
+        prof = m.obs.profiler
+        prof.enable()
+        before = m.account.snapshot()
+        m.cpu.call_function(loaded.symbol("f"), [], stack_top=STACK_TOP)
+        moved = m.account.delta_since(before)
+        prof.disable()
+        assert m.cpu.jit_stats()["entries"] == entries_before
+        assert prof.category_totals() == {
+            c: n for c, n in moved.items() if n}
+
+    def test_cycle_scale_change_recompiles_not_reuses(self):
+        # superblocks bake pre-scaled per-charge constants; a scale
+        # change must not reuse them
+        outs = []
+        for jit in (False, True):
+            m, space = make_machine(jit=jit)
+            loaded = m.load_linked_program(assemble(LOOP_SRC), BASE)
+            for i in range(16):
+                space.write(DATA + 4 * i, 4, i)
+            m.cpu.regs["ebx"] = DATA
+            for _ in range(6):
+                m.cpu.call_function(loaded.symbol("f"), [],
+                                    stack_top=STACK_TOP)
+            m.cpu.cycle_scale = 0.5
+            before = m.account.snapshot()
+            r = m.cpu.call_function(loaded.symbol("f"), [],
+                                    stack_top=STACK_TOP)
+            outs.append((r, m.account.delta_since(before)))
+        assert outs[0] == outs[1]
+
+
+class TestInstrumentHooks:
+    """ISSUE 8 satellite: hooks registered after warm-up must fire."""
+
+    SRC = ".globl f\nf: movl $5, %eax\naddl $1, %eax\nret"
+
+    @pytest.mark.parametrize("jit", [False, True])
+    def test_hook_added_on_warm_code_fires(self, jit):
+        m, _ = make_machine(jit=jit)
+        loaded = m.load_linked_program(assemble(self.SRC), BASE)
+        for _ in range(6):                        # warm: handlers cached
+            assert m.cpu.call_function(loaded.symbol("f"), [],
+                                       stack_top=STACK_TOP) == 6
+        hits = []
+        loaded.instrument[1] = lambda cpu: hits.append(cpu.eip)
+        for _ in range(4):
+            assert m.cpu.call_function(loaded.symbol("f"), [],
+                                       stack_top=STACK_TOP) == 6
+        assert len(hits) == 4
+
+    @pytest.mark.parametrize("jit", [False, True])
+    def test_hook_removal_stops_firing(self, jit):
+        m, _ = make_machine(jit=jit)
+        loaded = m.load_linked_program(assemble(self.SRC), BASE)
+        hits = []
+        loaded.instrument[1] = lambda cpu: hits.append(cpu.eip)
+        for _ in range(6):
+            m.cpu.call_function(loaded.symbol("f"), [],
+                                stack_top=STACK_TOP)
+        assert len(hits) == 6
+        del loaded.instrument[1]
+        for _ in range(4):
+            m.cpu.call_function(loaded.symbol("f"), [],
+                                stack_top=STACK_TOP)
+        assert len(hits) == 6
+
+    def test_hook_change_invalidates_superblocks(self):
+        m, space = make_machine(jit=True)
+        loaded = m.load_linked_program(assemble(LOOP_SRC), BASE)
+        for i in range(16):
+            space.write(DATA + 4 * i, 4, i)
+        m.cpu.regs["ebx"] = DATA
+        for _ in range(6):
+            m.cpu.call_function(loaded.symbol("f"), [],
+                                stack_top=STACK_TOP)
+        assert m.cpu.jit_stats()["superblocks"] >= 1
+        loaded.instrument[2] = lambda cpu: None
+        assert m.cpu.jit_stats()["superblocks"] == 0
+
+    def test_hook_does_not_perturb_cycles(self):
+        outs = []
+        for jit in (False, True):
+            m, _ = make_machine(jit=jit)
+            loaded = m.load_linked_program(assemble(self.SRC), BASE)
+            for _ in range(6):
+                m.cpu.call_function(loaded.symbol("f"), [],
+                                    stack_top=STACK_TOP)
+            loaded.instrument[1] = lambda cpu: None
+            before = m.account.snapshot()
+            for _ in range(4):
+                m.cpu.call_function(loaded.symbol("f"), [],
+                                    stack_top=STACK_TOP)
+            outs.append(m.account.delta_since(before))
+        assert outs[0] == outs[1]
+
+
+class TestReloadInvalidation:
+    """ISSUE 8 satellite: ``_prog_cache`` and superblocks across
+    recovery reload (unregister + reload at the same base)."""
+
+    V1 = ".globl f\nf: call swap\nmovl $1, %eax\nret"
+    V2 = ".globl f\nf: call swap\nmovl $2, %eax\nret"
+
+    @pytest.mark.parametrize("jit", [False, True])
+    def test_mid_run_reload_executes_new_program(self, jit):
+        m, _ = make_machine(jit=jit)
+        state = {"armed": False}
+
+        def swap(cpu):
+            if not state["armed"]:
+                return None
+            state["armed"] = False
+            m.code.unregister(state["loaded"])
+            state["loaded"] = m.load_program(
+                assemble(self.V2), BASE,
+                extern={"swap": m.natives.address_of("swap")})
+            return None
+
+        m.register_native("swap", swap)
+        state["loaded"] = m.load_program(
+            assemble(self.V1), BASE,
+            extern={"swap": m.natives.address_of("swap")})
+        f = state["loaded"].symbol("f")
+        for _ in range(6):                        # warm the v1 binary
+            assert m.cpu.call_function(f, [], stack_top=STACK_TOP) == 1
+        state["armed"] = True
+        # the reload happens *inside* this call: the very next fetch
+        # after the native returns must execute v2's instructions
+        assert m.cpu.call_function(f, [], stack_top=STACK_TOP) == 2
+        assert m.cpu.call_function(f, [], stack_top=STACK_TOP) == 2
+
+    def test_reregister_resets_superblocks(self):
+        m, space = make_machine(jit=True)
+        loaded = m.load_linked_program(assemble(LOOP_SRC), BASE)
+        for i in range(16):
+            space.write(DATA + 4 * i, 4, i)
+        m.cpu.regs["ebx"] = DATA
+        for _ in range(6):
+            m.cpu.call_function(loaded.symbol("f"), [],
+                                stack_top=STACK_TOP)
+        assert m.cpu.jit_stats()["superblocks"] >= 1
+        # recovery re-verification reloads the same binary: epoch bumps
+        m.code.unregister(loaded)
+        m.code.register(loaded)
+        before = m.account.snapshot()
+        r = m.cpu.call_function(loaded.symbol("f"), [],
+                                stack_top=STACK_TOP)
+        assert r == 2 * sum(range(16))
+        # the stale superblocks were dropped, then the head re-promoted
+        # against the new epoch
+        m2, space2 = make_machine(jit=False)
+        loaded2 = m2.load_linked_program(assemble(LOOP_SRC), BASE)
+        for i in range(16):
+            space2.write(DATA + 4 * i, 4, i)
+        m2.cpu.regs["ebx"] = DATA
+        for _ in range(6):
+            m2.cpu.call_function(loaded2.symbol("f"), [],
+                                 stack_top=STACK_TOP)
+        before2 = m2.account.snapshot()
+        m2.cpu.call_function(loaded2.symbol("f"), [], stack_top=STACK_TOP)
+        assert m.account.delta_since(before) == m2.account.delta_since(
+            before2)
+
+
+class TestNativesMidTrace:
+    def test_native_call_inside_hot_loop(self):
+        calls = []
+
+        src = """
+.globl f
+f: movl $0, %eax
+   movl $5, %ecx
+loop:
+   pushl %ecx
+   call tally
+   addl $4, %esp
+   addl %ecx, %eax
+   decl %ecx
+   cmpl $0, %ecx
+   jne loop
+   ret
+"""
+        outs = []
+        for jit in (False, True):
+            calls.clear()
+            m, _ = make_machine(jit=jit)
+            m.register_native("tally",
+                              lambda cpu: calls.append(
+                                  cpu.read_stack_arg(0)))
+            loaded = m.load_program(
+                assemble(src), BASE,
+                extern={"tally": m.natives.address_of("tally")})
+            for _ in range(6):
+                r = m.cpu.call_function(loaded.symbol("f"), [],
+                                        stack_top=STACK_TOP)
+            outs.append((r, list(calls), machine_state(m)))
+        assert outs[0] == outs[1]
+        assert outs[1][0] == sum(range(1, 6))
+
+    def test_native_raising_mid_superblock(self):
+        class Boom(Exception):
+            pass
+
+        src = """
+.globl f
+f: movl $0, %eax
+   movl $4, %ecx
+loop:
+   call maybe_boom
+   addl %ecx, %eax
+   decl %ecx
+   cmpl $0, %ecx
+   jne loop
+   ret
+"""
+        outs = []
+        for jit in (False, True):
+            m, _ = make_machine(jit=jit)
+            armed = {"on": False}
+
+            def maybe_boom(cpu):
+                if armed["on"]:
+                    raise Boom()
+                return None
+
+            m.register_native("maybe_boom", maybe_boom)
+            loaded = m.load_program(
+                assemble(src), BASE,
+                extern={"maybe_boom": m.natives.address_of("maybe_boom")})
+            for _ in range(6):
+                m.cpu.call_function(loaded.symbol("f"), [],
+                                    stack_top=STACK_TOP)
+            armed["on"] = True
+            with pytest.raises(Boom):
+                m.cpu.call_function(loaded.symbol("f"), [],
+                                    stack_top=STACK_TOP)
+            outs.append(machine_state(m))
+        assert outs[0] == outs[1]

@@ -126,12 +126,16 @@ class TestZeroCostDisable:
         m.account.charge("Xen", 5)              # not recorded
         assert prof.category_totals() == {"Xen": 7}
 
-    def test_enable_is_idempotent(self):
+    def test_enable_refuses_double_enable(self):
+        # ISSUE 8: double-enable used to silently keep the first shadow
+        # while a caller believed it had installed a fresh one; now it
+        # is refused outright. disable stays idempotent.
         m = Machine()
         prof = m.obs.profiler
         prof.enable()
         shadow = m.account.__dict__["charge"]
-        prof.enable()
+        with pytest.raises(RuntimeError):
+            prof.enable()
         assert m.account.__dict__["charge"] is shadow
         prof.disable()
         prof.disable()
@@ -139,6 +143,78 @@ class TestZeroCostDisable:
     def test_unbound_profiler_refuses_to_enable(self):
         with pytest.raises(RuntimeError):
             Profiler().enable()
+
+
+class TestShadowLayering:
+    """ISSUE 8: enable/disable must save and restore any pre-existing
+    ``charge`` instance shadow (fault-injection hooks, second
+    recorders) instead of deleting the wrong layer."""
+
+    @staticmethod
+    def _counting_shadow(account, log):
+        base = type(account).charge
+
+        def shadow(category, cycles):
+            log.append((category, cycles))
+            base(account, category, cycles)
+
+        return shadow
+
+    def test_prior_shadow_survives_enable_disable(self):
+        m = Machine()
+        prof = m.obs.profiler
+        log = []
+        hook = self._counting_shadow(m.account, log)
+        m.account.charge = hook                  # e.g. fault injection
+        prof.enable()
+        m.account.charge("Xen", 9)
+        # both layers observed the charge, and the account moved once
+        assert prof.category_totals() == {"Xen": 9}
+        assert log == [("Xen", 9)]
+        assert m.account.cycles["Xen"] == 9
+        prof.disable()
+        # the pre-existing hook is back on top, not deleted
+        assert m.account.__dict__["charge"] is hook
+        m.account.charge("Xen", 4)
+        assert log == [("Xen", 9), ("Xen", 4)]
+        assert prof.category_totals() == {"Xen": 9}   # no longer recording
+
+    def test_disable_refuses_foreign_shadow_on_top(self):
+        m = Machine()
+        prof = m.obs.profiler
+        prof.enable()
+        prior = m.account.charge                 # the profiler's closure
+        log = []
+        later = self._counting_shadow(m.account, log)
+        m.account.charge = later                 # stacked after enable
+        with pytest.raises(RuntimeError):
+            prof.disable()
+        assert prof.enabled                     # state untouched
+        # unwind in the right order and everything comes apart cleanly
+        m.account.charge = prior
+        prof.disable()
+        assert "charge" not in m.account.__dict__
+
+    def test_interleaved_recorders_chain(self):
+        # two profilers bound to the same account: the inner one chains
+        # through the outer one, so both attribute the same charges and
+        # the counters still move exactly once.
+        m = Machine()
+        outer = m.obs.profiler
+        inner = Profiler()
+        inner.bind(m.cpu, m.account)
+        outer.enable()
+        inner.enable()
+        m.account.charge("domU", 13)
+        assert outer.category_totals() == {"domU": 13}
+        assert inner.category_totals() == {"domU": 13}
+        assert m.account.cycles["domU"] == 13
+        inner.disable()
+        m.account.charge("domU", 2)
+        assert outer.category_totals() == {"domU": 15}
+        assert inner.category_totals() == {"domU": 13}
+        outer.disable()
+        assert "charge" not in m.account.__dict__
 
 
 class TestResetAndContext:
