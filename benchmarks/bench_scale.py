@@ -1,0 +1,175 @@
+"""Scalability sweep: per-packet Xen cost from 1 to 256 domU guests.
+
+Builds the ``scale`` configuration (SMP hypervisor with the credit
+scheduler, 4 vCPUs, 4 NICs with 4 RSS queues each) at increasing guest
+counts and measures steady-state per-packet Xen cycles on both the
+transmit and the receive path. The TwinDrivers argument is that the
+hypervisor driver cost is per *packet*, not per *guest*: sharded twin
+state (stlb partitions, per-queue batch budgets) and O(1) scheduling
+keep the per-packet cost flat as guests multiply. The bench asserts
+every swept guest count stays within ``FLAT_BAND`` (±10 %) of the
+smallest swept count on both directions.
+
+Transmit is driven through the scheduler (one run-queue work item per
+guest per round, each a 16-packet burst), receive by injecting frames
+round-robin across the NICs so RSS demux spreads them over the queue
+shards. ``rounds = ceil(ROUNDS_TARGET / guests)`` equalises the packet
+population across guest counts so small sweeps are not noise-dominated.
+
+The sweep is ``REPRO_SCALE_GUESTS`` (comma-separated) when set — CI's
+``scale-smoke`` job runs the ``1,16,64`` subset and gates it against
+``baselines/scale.json``, whose metric keys are restricted to that
+subset so smoke and full-sweep results both gate cleanly (extra guest
+counts surface as new-metric notes, never as regressions). Aggregate
+band numbers are reported as strings for the same reason: their value
+depends on which counts were swept.
+"""
+
+import math
+import os
+
+import pytest
+
+from repro.configs import build_scale
+
+from .common import header, report
+
+DEFAULT_SWEEP = (1, 4, 16, 64, 256)
+VCPUS = 4
+NUM_QUEUES = 4
+N_NICS = 4
+BURST = 16           # packets per transmit work item / rx injection round
+ROUNDS_TARGET = 64   # bursts per direction, spread over the guests
+FLAT_BAND = 0.10
+
+
+def sweep_counts():
+    env = os.environ.get("REPRO_SCALE_GUESTS", "")
+    if env.strip():
+        counts = tuple(sorted({int(tok) for tok in env.split(",") if tok.strip()}))
+    else:
+        counts = DEFAULT_SWEEP
+    if not counts or any(g < 1 for g in counts):
+        raise ValueError(f"bad REPRO_SCALE_GUESTS sweep: {counts!r}")
+    return counts
+
+
+def run_one(guests):
+    """Build a fresh scale config and push tx + rx traffic through it."""
+    sut = build_scale(n_guests=guests, vcpus=VCPUS, num_queues=NUM_QUEUES,
+                      n_nics=N_NICS)
+    xen = sut.xen
+    devices = sut.extras["devices"]
+    rounds = max(1, math.ceil(ROUNDS_TARGET / guests))
+
+    snap = sut.snapshot()
+    tx_packets = 0
+    for _ in range(rounds):
+        for dev in devices:
+            xen.scheduler.queue_work(
+                dev.kernel.domain,
+                (lambda d=dev: d.transmit_batch([1486] * BURST)))
+        xen.scheduler.run()
+        tx_packets += BURST * len(devices)
+    tx_delta = sut.delta_since(snap)
+
+    snap = sut.snapshot()
+    rx_packets = 0
+    ethertype = (0x0800).to_bytes(2, "big")
+    for _ in range(rounds):
+        for _ in range(BURST):
+            for i, dev in enumerate(devices):
+                nic = sut.nics[i % len(sut.nics)]
+                frame = (dev.mac + b"\x00\x22\x33\x44\x55\x66"
+                         + ethertype + bytes(1486))
+                nic.receive(frame)
+                rx_packets += 1
+        for nic in sut.nics:
+            nic.flush_interrupts()
+    rx_delta = sut.delta_since(snap)
+
+    return {
+        "guests": guests,
+        "rounds": rounds,
+        "tx_packets": tx_packets,
+        "rx_packets": rx_packets,
+        "xen_per_packet_tx": tx_delta["Xen"] / tx_packets,
+        "xen_per_packet_rx": rx_delta["Xen"] / rx_packets,
+        "delivered": sut.packets_delivered,
+        "sched": {
+            "quanta": xen.scheduler.quanta,
+            "steals": xen.scheduler.steals,
+            "refills": xen.scheduler.refills,
+        },
+    }
+
+
+def run_sweep():
+    return {guests: run_one(guests) for guests in sweep_counts()}
+
+
+@pytest.mark.benchmark(group="scale")
+def test_scale_flat_band(benchmark):
+    results = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+
+    base = results[min(results)]
+    lines = list(header(
+        f"Scale sweep: Xen cycles/packet vs guest count "
+        f"(vcpus={VCPUS}, queues={NUM_QUEUES})",
+        paper_col="guests", meas_col="tx / rx cyc"))
+    metrics = {}
+    deviations = {}
+    for guests, res in results.items():
+        dev_tx = res["xen_per_packet_tx"] / base["xen_per_packet_tx"] - 1.0
+        dev_rx = res["xen_per_packet_rx"] / base["xen_per_packet_rx"] - 1.0
+        deviations[guests] = (dev_tx, dev_rx)
+        lines.append(
+            f"  {'domU guests':34s} {guests:>10d}   "
+            f"{res['xen_per_packet_tx']:>6.0f} / {res['xen_per_packet_rx']:>6.0f}"
+            f"   (tx {dev_tx:+.1%}, rx {dev_rx:+.1%})")
+        metrics[f"guests_{guests}"] = {
+            "xen_cycles_per_packet_tx": res["xen_per_packet_tx"],
+            "xen_cycles_per_packet_rx": res["xen_per_packet_rx"],
+            "packets_tx": res["tx_packets"],
+            "packets_rx": res["rx_packets"],
+        }
+
+    worst_tx = max(deviations, key=lambda g: abs(deviations[g][0]))
+    worst_rx = max(deviations, key=lambda g: abs(deviations[g][1]))
+    # strings on purpose: these depend on which counts were swept, so
+    # they must stay invisible to the numeric baseline gate
+    metrics["flat_band"] = {
+        "reference_guests": str(min(results)),
+        "band": f"±{FLAT_BAND:.0%}",
+        "worst_tx": f"{deviations[worst_tx][0]:+.2%} at {worst_tx} guests",
+        "worst_rx": f"{deviations[worst_rx][1]:+.2%} at {worst_rx} guests",
+        "within_band": all(
+            abs(d) <= FLAT_BAND for pair in deviations.values() for d in pair),
+    }
+    lines.append("")
+    lines.append(f"  worst deviation vs {min(results)} guest(s): "
+                 f"tx {metrics['flat_band']['worst_tx']}, "
+                 f"rx {metrics['flat_band']['worst_rx']}")
+
+    report("scale", lines,
+           metrics=metrics,
+           config={"config": "scale", "sweep": sorted(results),
+                   "vcpus": VCPUS, "num_queues": NUM_QUEUES,
+                   "n_nics": N_NICS, "burst": BURST,
+                   "rounds_target": ROUNDS_TARGET,
+                   "flat_band": FLAT_BAND},
+           obs={str(g): res["sched"] for g, res in results.items()})
+
+    # the tentpole claim: per-packet Xen cost stays flat as guests scale
+    for guests, (dev_tx, dev_rx) in deviations.items():
+        assert abs(dev_tx) <= FLAT_BAND, (
+            f"tx Xen cycles/packet at {guests} guests deviates "
+            f"{dev_tx:+.1%} from {min(results)}-guest baseline")
+        assert abs(dev_rx) <= FLAT_BAND, (
+            f"rx Xen cycles/packet at {guests} guests deviates "
+            f"{dev_rx:+.1%} from {min(results)}-guest baseline")
+    # every injected frame must actually have been delivered to a guest
+    for guests, res in results.items():
+        assert res["delivered"] == res["rx_packets"], (
+            f"{guests} guests: {res['delivered']} delivered "
+            f"!= {res['rx_packets']} injected")

@@ -149,7 +149,12 @@ def _apply_batch(nics: List[E1000Device], interrupt_batch: int):
 def build_native_linux(n_nics: int = 5, interrupt_batch: int = 8,
                        costs: Optional[CostModel] = None,
                        iommu: bool = False,
-                       jit: bool = False) -> SystemUnderTest:
+                       jit: bool = False,
+                       vcpus: int = 1,
+                       num_queues: int = 1) -> SystemUnderTest:
+    if vcpus != 1:
+        raise ValueError("native linux has no hypervisor vCPUs to scale; "
+                         "vcpus= only applies to the Xen configurations")
     costs = costs or CostModel()
     machine = Machine()
     machine.cpu.jit_enabled = jit
@@ -163,7 +168,7 @@ def build_native_linux(n_nics: int = 5, interrupt_batch: int = 8,
     kernel = Kernel(machine, domain, costs=costs, paravirtual=False)
     machine.cpu.address_space = domain.aspace
     machine.intc.set_dispatcher(lambda irq: kernel.handle_irq(irq))
-    nics = [machine.add_nic() for _ in range(n_nics)]
+    nics = [machine.add_nic(num_queues=num_queues) for _ in range(n_nics)]
     _apply_batch(nics, interrupt_batch)
     module, netdevs = _open_native_driver(machine, kernel, nics)
 
@@ -187,16 +192,18 @@ def build_native_linux(n_nics: int = 5, interrupt_batch: int = 8,
 def build_dom0(n_nics: int = 5, interrupt_batch: int = 8,
                costs: Optional[CostModel] = None,
                iommu: bool = False,
-               jit: bool = False) -> SystemUnderTest:
+               jit: bool = False,
+               vcpus: int = 1,
+               num_queues: int = 1) -> SystemUnderTest:
     costs = costs or CostModel()
     machine = Machine()
     machine.cpu.jit_enabled = jit
     if iommu:
         machine.attach_iommu()
-    xen = Hypervisor(machine, costs=costs)
+    xen = Hypervisor(machine, costs=costs, vcpus=vcpus)
     dom0 = xen.create_domain("dom0", is_dom0=True)
     kernel = Kernel(machine, dom0, costs=costs, paravirtual=True)
-    nics = [machine.add_nic() for _ in range(n_nics)]
+    nics = [machine.add_nic(num_queues=num_queues) for _ in range(n_nics)]
     _apply_batch(nics, interrupt_batch)
     module, netdevs = _open_native_driver(machine, kernel, nics)
 
@@ -229,18 +236,20 @@ def build_dom0(n_nics: int = 5, interrupt_batch: int = 8,
 def build_domU_standard(n_nics: int = 5, interrupt_batch: int = 8,
                         costs: Optional[CostModel] = None,
                         iommu: bool = False,
-                        jit: bool = False) -> SystemUnderTest:
+                        jit: bool = False,
+                        vcpus: int = 1,
+                        num_queues: int = 1) -> SystemUnderTest:
     costs = costs or CostModel()
     machine = Machine()
     machine.cpu.jit_enabled = jit
     if iommu:
         machine.attach_iommu()
-    xen = Hypervisor(machine, costs=costs)
+    xen = Hypervisor(machine, costs=costs, vcpus=vcpus)
     dom0 = xen.create_domain("dom0", is_dom0=True)
     dom0_kernel = Kernel(machine, dom0, costs=costs, paravirtual=True)
     guest = xen.create_domain("guest")
     guest_kernel = Kernel(machine, guest, costs=costs, paravirtual=True)
-    nics = [machine.add_nic() for _ in range(n_nics)]
+    nics = [machine.add_nic(num_queues=num_queues) for _ in range(n_nics)]
     _apply_batch(nics, interrupt_batch)
     module, netdevs = _open_native_driver(machine, dom0_kernel, nics)
 
@@ -290,7 +299,9 @@ def build_domU_twin(n_nics: int = 5, interrupt_batch: int = 8,
                     rx_batch_budget: int = RX_BATCH_BUDGET,
                     tx_batch_max: int = TX_BATCH_MAX,
                     elide: bool = False,
-                    jit: bool = False) -> SystemUnderTest:
+                    jit: bool = False,
+                    vcpus: int = 1,
+                    num_queues: int = 1) -> SystemUnderTest:
     """``n_upcalls``: how many fast-path routines are served by upcalls
     instead of hypervisor implementations (0 = the full TwinDrivers
     configuration; figure 10 sweeps 0..9). ``rx_batch_budget`` /
@@ -298,7 +309,9 @@ def build_domU_twin(n_nics: int = 5, interrupt_batch: int = 8,
     proof-based stlb check elision (prove-then-elide, off by default).
     ``jit`` turns on superblock trace compilation in the interpreter
     (host wall-time only; simulated cycles are bit-identical either
-    way, off by default)."""
+    way, off by default). ``vcpus`` / ``num_queues`` enable the SMP +
+    multiqueue layer; the defaults of 1 reproduce every paper figure
+    bit-for-bit."""
     if not 0 <= n_upcalls <= len(UPCALL_SWEEP_ORDER):
         raise ValueError("n_upcalls out of range")
     costs = costs or CostModel()
@@ -306,12 +319,12 @@ def build_domU_twin(n_nics: int = 5, interrupt_batch: int = 8,
     machine.cpu.jit_enabled = jit
     if iommu:
         machine.attach_iommu()
-    xen = Hypervisor(machine, costs=costs)
+    xen = Hypervisor(machine, costs=costs, vcpus=vcpus)
     dom0 = xen.create_domain("dom0", is_dom0=True)
     dom0_kernel = Kernel(machine, dom0, costs=costs, paravirtual=True)
     guest = xen.create_domain("guest")
     guest_kernel = Kernel(machine, guest, costs=costs, paravirtual=True)
-    nics = [machine.add_nic() for _ in range(n_nics)]
+    nics = [machine.add_nic(num_queues=num_queues) for _ in range(n_nics)]
     _apply_batch(nics, interrupt_batch)
 
     twin = TwinDriverManager(
@@ -321,6 +334,7 @@ def build_domU_twin(n_nics: int = 5, interrupt_batch: int = 8,
         rx_batch_budget=rx_batch_budget,
         tx_batch_max=tx_batch_max,
         elide=elide,
+        num_queues=num_queues,
     )
     for nic in nics:
         twin.attach_nic(nic)
@@ -346,11 +360,89 @@ def build_domU_twin(n_nics: int = 5, interrupt_batch: int = 8,
     )
 
 
+# ---------------------------------------------------------------------------
+# scale configuration: many twin guests under the SMP scheduler
+# ---------------------------------------------------------------------------
+
+#: MAC prefix for scale-config guests (2-byte index suffix, so up to
+#: 65536 guests keep distinct, deterministic addresses).
+SCALE_MAC_PREFIX = b"\x00\x16\x3e\xab"
+
+
+def build_scale(n_guests: int = 16, vcpus: int = 4, num_queues: int = 4,
+                n_nics: int = 4, interrupt_batch: int = 8,
+                costs: Optional[CostModel] = None,
+                jit: bool = False) -> SystemUnderTest:
+    """N twin guests, each with its own domain and kernel, under the
+    credit scheduler on ``vcpus`` vCPUs with ``num_queues``-way RSS
+    twins (ROADMAP item 1: scale to hundreds of guests).
+
+    Unlike :func:`build_domU_twin` (one guest kernel, five devices —
+    the paper's 5-NIC streaming box), every guest here is a full domain
+    so the scheduler has real run queues to multiplex. Guest devices
+    spread round-robin over the NICs; drive traffic through
+    ``extras["devices"]`` and the scheduler, as ``bench_scale.py``
+    does."""
+    if n_guests < 1:
+        raise ValueError("need at least one guest")
+    costs = costs or CostModel()
+    machine = Machine()
+    machine.cpu.jit_enabled = jit
+    xen = Hypervisor(machine, costs=costs, vcpus=vcpus)
+    dom0 = xen.create_domain("dom0", is_dom0=True)
+    dom0_kernel = Kernel(machine, dom0, costs=costs, paravirtual=True)
+    nics = [machine.add_nic(num_queues=num_queues) for _ in range(n_nics)]
+    _apply_batch(nics, interrupt_batch)
+
+    twin = TwinDriverManager(
+        xen, dom0_kernel,
+        pool_size=max(256, 16 * n_nics * interrupt_batch),
+        num_queues=num_queues,
+    )
+    for nic in nics:
+        twin.attach_nic(nic)
+
+    guest_kernels: List[Kernel] = []
+    devices: List[ParavirtNetDevice] = []
+    for i in range(n_guests):
+        guest = xen.create_domain(f"guest{i}")
+        kernel = Kernel(machine, guest, costs=costs, paravirtual=True)
+        guest_kernels.append(kernel)
+        devices.append(ParavirtNetDevice(
+            twin, kernel, mac=SCALE_MAC_PREFIX + i.to_bytes(2, "big")))
+
+    # round-robin cursors so the facade operations cover every guest
+    # regardless of which NIC index they are called with
+    cursor = {"tx": 0, "rx": 0}
+
+    def tx_one(i: int, payload_len: int) -> bool:
+        dev = devices[cursor["tx"] % n_guests]
+        cursor["tx"] += 1
+        return dev.transmit(payload_len)
+
+    def rx_mac(i: int) -> bytes:
+        mac = devices[cursor["rx"] % n_guests].mac
+        cursor["rx"] += 1
+        return mac
+
+    return SystemUnderTest(
+        name="scale", machine=machine, costs=costs, nics=nics,
+        _tx_one=tx_one,
+        _rx_mac=rx_mac,
+        _rx_count=lambda: sum(d.rx_packets for d in devices),
+        dom0_kernel=dom0_kernel,
+        guest_kernel=guest_kernels[0],
+        xen=xen, twin=twin,
+        extras={"devices": devices, "guest_kernels": guest_kernels},
+    )
+
+
 BUILDERS = {
     "linux": build_native_linux,
     "dom0": build_dom0,
     "domU": build_domU_standard,
     "domU-twin": build_domU_twin,
+    "scale": build_scale,
 }
 
 

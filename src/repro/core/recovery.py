@@ -192,7 +192,7 @@ class RecoveryManager:
         twin.dom0_kernel.domain.enable_virq()
         # Drop queued-but-undelivered receives and reclaim every pool
         # sk_buff the instance was holding.
-        twin._rx_queue.clear()
+        twin.drop_rx_backlog()
         skbs = twin.hyp_support.pool.reclaim_outstanding()
         self._c["skbs_reclaimed"].value += skbs
         # No stale translation survives: stlb table, chains, hypervisor

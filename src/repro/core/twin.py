@@ -25,7 +25,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..drivers import DriverSpec, E1000_SPEC
-from ..machine.nic import E1000Device
+from ..machine.nic import E1000Device, flow_hash
 from ..machine.paging import AddressSpace
 from ..osmodel import layout as L
 from ..osmodel.kernel import Kernel
@@ -69,6 +69,29 @@ DEFAULT_RX_BATCH_BUDGET = 64
 DEFAULT_TX_BATCH_MAX = 32
 
 
+class TwinQueue:
+    """One shard of the twin's receive state (multiqueue RSS).
+
+    Each queue owns its rx backlog, its NAPI budget, a lock-ownership
+    word (which vCPU last flushed it — the contention model charges a
+    cache-line handoff when that changes), and an stlb partition warmth
+    tag (which guest's translations are hot in this queue's slice of the
+    stlb — flushing a different guest pays a partition refill). With
+    ``num_queues=1`` the single queue behaves exactly like the pre-SMP
+    global rx queue and none of the contention charges fire."""
+
+    def __init__(self, index: int, budget: int):
+        self.index = index
+        self.budget = budget
+        #: queued (guest device, skb address) pairs awaiting flush.
+        self.rx: List[Tuple["ParavirtNetDevice", int]] = []
+        #: id of the vCPU that last held this queue's flush lock.
+        self.lock_owner: Optional[int] = None
+        #: MAC of the guest whose translations are hot in this queue's
+        #: stlb partition (None = cold).
+        self.last_guest: Optional[bytes] = None
+
+
 class TwinDriverManager:
     """Orchestrates the whole twinning flow (paper §3/§5)."""
 
@@ -84,7 +107,8 @@ class TwinDriverManager:
                  recovery_policy: Optional[RecoveryPolicy] = None,
                  rx_batch_budget: int = DEFAULT_RX_BATCH_BUDGET,
                  tx_batch_max: int = DEFAULT_TX_BATCH_MAX,
-                 elide: bool = False):
+                 elide: bool = False,
+                 num_queues: int = 1):
         """``upcall_routines``: fast-path routine names to serve via
         upcalls instead of hypervisor implementations (figure 10).
         ``protect_stack`` enables the §4.5.1 extension (bounds checks on
@@ -106,7 +130,11 @@ class TwinDriverManager:
         page pair reload the anchor's stored translation instead of
         re-running the stlb check. Requires ``verify=True`` (the proofs
         come from the verification report); both instances load the same
-        transformed binary so ``code_offset`` stays a single constant."""
+        transformed binary so ``code_offset`` stays a single constant.
+        ``num_queues`` shards the receive path into N RSS queues, each
+        with its own backlog, budget, lock ownership and stlb partition;
+        1 (the default) reproduces the pre-SMP single-queue behaviour
+        bit-for-bit."""
         self.xen = xen
         self.machine = xen.machine
         self.dom0_kernel = dom0_kernel
@@ -219,7 +247,6 @@ class TwinDriverManager:
         self.netdevs: Dict[int, int] = {}        # irq -> dom0 netdev addr
         self.netdev_order: List[int] = []
         self.nics_by_irq: Dict[int, E1000Device] = {}
-        self._rx_queue: List[Tuple[ParavirtNetDevice, int]] = []
         self.rx_dropped_no_guest = 0
         #: parked NIC interrupts: (irq, cycle-clock at defer time), so the
         #: replay path can observe delivery latency into the SLO histogram
@@ -231,8 +258,25 @@ class TwinDriverManager:
             raise ValueError("rx_batch_budget must be >= 1")
         if tx_batch_max < 1:
             raise ValueError("tx_batch_max must be >= 1")
+        if num_queues < 1:
+            raise ValueError("num_queues must be >= 1")
         self.rx_batch_budget = rx_batch_budget
         self.tx_batch_max = tx_batch_max
+        # multiqueue sharding: per-queue rx backlogs, budgets, lock
+        # ownership and stlb partitions; guests are steered to a queue
+        # by the RSS hash of their MAC
+        self.num_queues = num_queues
+        self.queues = [TwinQueue(i, rx_batch_budget)
+                       for i in range(num_queues)]
+        self._guest_rx_queue: Dict[bytes, int] = {}
+        #: netdev addr -> id of the vCPU that last held its tx lock.
+        self._tx_lock_owner: Dict[int, int] = {}
+        #: batches addressed to a virq-masked guest, parked un-copied and
+        #: un-charged until the guest unmasks (the skbs stay allocated);
+        #: list of (guest device, [skb addrs]) in parking order.
+        self._parked_batches: List[Tuple[ParavirtNetDevice, List[int]]] = []
+        #: guest domids whose unmask hook is already installed.
+        self._hooked_guest_domids: Dict[int, bool] = {}
         registry = self.machine.obs.registry
         self._h_rx_batch = registry.histogram("twin.rx_batch_size")
         self._h_tx_batch = registry.histogram("twin.tx_batch_size")
@@ -279,11 +323,42 @@ class TwinDriverManager:
     def register_guest_device(self, dev: ParavirtNetDevice):
         self.guest_devices.append(dev)
         self.guests_by_mac[dev.mac] = dev
+        # RSS steering: this guest's flows land on one queue, keyed by
+        # the deterministic flow hash of its MAC
+        self._guest_rx_queue[dev.mac] = flow_hash(dev.mac) % self.num_queues
+        domain = dev.kernel.domain
+        if domain.domid not in self._hooked_guest_domids:
+            self._hooked_guest_domids[domain.domid] = True
+            domain.unmask_hooks.append(
+                lambda d=domain: self._on_guest_virq_unmask(d))
         if self.netdev_order:
             index = (len(self.guest_devices) - 1) % len(self.netdev_order)
             dev.netdev_addr = self.netdev_order[index]
         else:
             dev.netdev_addr = None
+
+    # -- rx queue facade -----------------------------------------------------
+
+    @property
+    def _rx_queue(self) -> List[Tuple[ParavirtNetDevice, int]]:
+        """Back-compat view of queue 0's backlog (THE rx queue before
+        multiqueue sharding; still everything when ``num_queues=1``)."""
+        return self.queues[0].rx
+
+    @property
+    def rx_backlog(self) -> int:
+        """Total packets queued-but-undelivered across all rx queues,
+        including batches parked for virq-masked guests."""
+        queued = sum(len(q.rx) for q in self.queues)
+        parked = sum(len(skbs) for _, skbs in self._parked_batches)
+        return queued + parked
+
+    def drop_rx_backlog(self):
+        """Discard every queued and parked receive (recovery teardown —
+        the skbs are reclaimed wholesale by the pool)."""
+        for q in self.queues:
+            q.rx.clear()
+        self._parked_batches.clear()
 
     def bind_device(self, dev: ParavirtNetDevice, netdev_addr: int):
         dev.netdev_addr = netdev_addr
@@ -519,6 +594,21 @@ class TwinDriverManager:
         if self.recovery is not None and self.recovery.degraded:
             return [self.recovery.degraded_transmit(dev, buf, frame_len)
                     for buf, frame_len in frames]
+        if self.num_queues > 1 and dev.netdev_addr is not None:
+            # tx-lock contention model (the driver's xmit lock, which the
+            # twin already takes): a burst from a vCPU that did not send
+            # the previous burst on this netdev pays the cache-line
+            # handoff; same-vCPU back-to-back bursts take it uncontended
+            owner = self.xen._cur_vcpu.id
+            last = self._tx_lock_owner.get(dev.netdev_addr)
+            costs = self.xen.costs
+            if last is None or last == owner:
+                self.xen.charge_xen(costs.lock_uncontended,
+                                    phase="twin:lock")
+            else:
+                self.xen.charge_xen(costs.lock_handoff,
+                                    phase="twin:lock_handoff")
+            self._tx_lock_owner[dev.netdev_addr] = owner
         entry = self._xmit_entry(dev)
         results: List[bool] = []
         for index, (buf, frame_len) in enumerate(frames):
@@ -568,21 +658,53 @@ class TwinDriverManager:
             return
         if len(targets) > 1:
             skb.refcnt = skb.refcnt + len(targets) - 1
+        multi = self.num_queues > 1
         for target in targets:
-            self._rx_queue.append((target, skb_addr))
+            if multi:
+                # RSS queue selection per packet (hash + steering table)
+                self.xen.charge_xen(costs.rss_demux, phase="twin:rss_demux")
+            qi = self._guest_rx_queue.get(target.mac, 0)
+            self.queues[qi].rx.append((target, skb_addr))
 
     def flush_rx(self):
         """'When the guest domain is scheduled next, the hypervisor copies
         the packets into guest domain buffers and raises a virtual
         interrupt' (§5.3).
 
-        Packets are delivered in per-guest batches: each guest gets at
-        most ``rx_batch_budget`` packets per pass (NAPI-style) under ONE
-        coalesced virtual interrupt; packets over budget are requeued and
-        a softirq continues the flush."""
+        Packets are delivered per queue shard, in per-guest batches: each
+        guest gets at most the queue's budget per pass (NAPI-style) under
+        ONE coalesced virtual interrupt; packets over budget are requeued
+        and a softirq continues the flush. Batches for a virq-masked
+        guest are parked un-copied and un-charged; the guest's unmask
+        hook replays them, so every packet is counted exactly once."""
+        need_continuation = False
+        for q in self.queues:
+            if q.rx:
+                need_continuation |= self._flush_queue(q)
+        if need_continuation:
+            # budget exhausted for at least one guest: requeue and let a
+            # softirq continue (keeps any one guest from starving others)
+            self.xen.raise_softirq(self.flush_rx)
+            if self.xen.driver_depth == 0:
+                self.xen.run_softirqs()
+
+    def _flush_queue(self, q: TwinQueue) -> bool:
+        """Flush one queue shard; returns True when leftovers remain."""
         costs = self.xen.costs
         tracer = self.machine.obs.tracer
-        queue, self._rx_queue = self._rx_queue, []
+        multi = self.num_queues > 1
+        if multi:
+            # flush-lock contention model: taking a queue lock last held
+            # by another vCPU bounces its cache line across the socket
+            owner = self.xen._cur_vcpu.id
+            if q.lock_owner is None or q.lock_owner == owner:
+                self.xen.charge_xen(costs.lock_uncontended,
+                                    phase="twin:lock")
+            else:
+                self.xen.charge_xen(costs.lock_handoff,
+                                    phase="twin:lock_handoff")
+            q.lock_owner = owner
+        queue, q.rx = q.rx, []
 
         # group into per-guest batches, preserving arrival order both
         # within a batch and across guests (first-seen order)
@@ -594,13 +716,25 @@ class TwinDriverManager:
             if batch is None:
                 batch = batches[guest] = []
                 order.append(guest)
-            if len(batch) < self.rx_batch_budget:
+            if len(batch) < q.budget:
                 batch.append(skb_addr)
             else:
                 leftovers.append((guest, skb_addr))
 
         for guest in order:
             batch = batches[guest]
+            if not guest.kernel.domain.virq_enabled:
+                # masked guest: park the whole batch for the unmask hook.
+                # Nothing is copied, charged or counted yet — the replay
+                # delivery is the single accounting event.
+                self._parked_batches.append((guest, batch))
+                continue
+            if multi and q.last_guest != guest.mac:
+                # this queue's stlb partition is warm for a different
+                # guest's buffers; switching guests refills it
+                self.xen.charge_xen(costs.stlb_partition_refill,
+                                    phase="twin:stlb_partition")
+                q.last_guest = guest.mac
             payloads: List[bytes] = []
             for skb_addr in batch:
                 skb = SkBuff(self.hyp_support.view, skb_addr)
@@ -629,9 +763,28 @@ class TwinDriverManager:
             guest.deliver_batch(payloads)
 
         if leftovers:
-            # budget exhausted for at least one guest: requeue and let a
-            # softirq continue (keeps any one guest from starving others)
-            self._rx_queue.extend(leftovers)
+            q.rx.extend(leftovers)
+            return True
+        return False
+
+    def _on_guest_virq_unmask(self, domain):
+        """Guest unmask hook: batches parked while the guest's virq was
+        masked go back on their queues and a softirq re-runs the flush
+        (which copies, charges and delivers them — their first and only
+        accounting)."""
+        if not self._parked_batches:
+            return
+        still_parked: List[Tuple[ParavirtNetDevice, List[int]]] = []
+        replayed = False
+        for guest, skbs in self._parked_batches:
+            if guest.kernel.domain is domain:
+                qi = self._guest_rx_queue.get(guest.mac, 0)
+                self.queues[qi].rx.extend((guest, s) for s in skbs)
+                replayed = True
+            else:
+                still_parked.append((guest, skbs))
+        self._parked_batches = still_parked
+        if replayed:
             self.xen.raise_softirq(self.flush_rx)
             if self.xen.driver_depth == 0:
                 self.xen.run_softirqs()

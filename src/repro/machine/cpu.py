@@ -323,6 +323,10 @@ class Cpu:
         self.hot_ranges: List[Tuple[int, int]] = []
         #: multiplies interpreter cycle charges (driver-speed calibration).
         self.cycle_scale = 1.0
+        #: bumped whenever the hypervisor rotates the active vCPU; JIT
+        #: superblock world guards compare it so a mid-trace vCPU change
+        #: (natives can run the scheduler) bails to the dispatcher.
+        self.world_token = 0
         #: trace ring (set by Machine); None for bare test CPUs.
         self.tracer = None
         #: cycle-attribution profiler (set by Machine); None for bare

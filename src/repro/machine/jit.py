@@ -284,7 +284,7 @@ class _Emitter:
         self.emit(
             f"if (cpu.eip != {next_addr} or cpu.code.epoch != ep0 "
             f"or L._igen != ig0 or cpu._category[-1] != cat "
-            f"or 'charge' in accd):", ind)
+            f"or cpu.world_token != wt0 or 'charge' in accd):", ind)
         self.emit("return", ind + 1)
         self.rehoist(ind)
         self.cur_eip = next_addr
@@ -986,6 +986,7 @@ class _Emitter:
                 "accd = cpu.account.__dict__",
                 "ep0 = cpu.code.epoch",
                 "ig0 = L._igen",
+                "wt0 = cpu.world_token",
             ]
         if self.has_backedge:
             body = ([f"it = {LOOP_CAP}", "while 1:"]

@@ -66,7 +66,7 @@ class Machine:
     # -- devices ----------------------------------------------------------------
 
     def add_nic(self, mac: Optional[bytes] = None,
-                model: str = "e1000") -> E1000Device:
+                model: str = "e1000", num_queues: int = 1) -> E1000Device:
         index = len(self.nics)
         mac = mac or bytes((0x00, 0x16, 0x3E, 0x00, 0x00, index + 1))
         device_cls = {"e1000": E1000Device, "rtl8139": Rtl8139Device}[model]
@@ -78,6 +78,8 @@ class Machine:
             mac=mac,
             name=f"eth{index}",
         )
+        if num_queues != 1:
+            nic.set_num_queues(num_queues)
         if self.iommu is not None:
             nic.iommu = self.iommu
         nic.tracer = self.obs.tracer

@@ -60,6 +60,38 @@ DESC_DD = 0x1
 DESC_EOP = 0x2
 
 
+#: FNV-1a offset basis / prime (32-bit).
+_FNV_OFFSET = 0x811C9DC5
+_FNV_PRIME = 0x01000193
+#: Bytes of the frame fed to the RSS hash: enough to cover the Ethernet
+#: header plus an IPv4 header's address/port words (dst 6 + src 6 +
+#: ethertype 2 + 20 IP == 34), like a Toeplitz hash over the 4-tuple.
+RSS_HASH_BYTES = 34
+
+
+def flow_hash(frame: bytes) -> int:
+    """Deterministic 32-bit RSS flow hash (FNV-1a over the headers).
+
+    Explicitly NOT Python's builtin ``hash``: that is randomized per
+    process (PYTHONHASHSEED), and queue selection must be bit-identical
+    across runs for the determinism gates."""
+    h = _FNV_OFFSET
+    for b in frame[:RSS_HASH_BYTES]:
+        h = ((h ^ b) * _FNV_PRIME) & 0xFFFFFFFF
+    return h
+
+
+@dataclass
+class NicQueueStats:
+    """Counters for one tx/rx queue pair of a multiqueue NIC."""
+
+    index: int
+    tx_packets: int = 0
+    tx_bytes: int = 0
+    rx_packets: int = 0
+    rx_bytes: int = 0
+
+
 @dataclass
 class NicStats:
     """Per-device counters (packets, bytes, drops, interrupts, faults)."""
@@ -113,6 +145,30 @@ class E1000Device:
         self.iommu: Optional[Iommu] = None
         #: trace ring (set by Machine.add_nic); None for bare devices.
         self.tracer = None
+        #: multiqueue (RSS): N tx/rx queue pairs demuxed by flow hash.
+        #: The descriptor rings stay shared (the driver binary programs
+        #: one ring); queues model the per-flow steering and carry the
+        #: per-queue counters the twin shards its state by.
+        self.num_queues = 1
+        self.queues: List[NicQueueStats] = [NicQueueStats(0)]
+        #: queue the most recent rx / tx frame was steered to.
+        self.last_rx_queue = 0
+        self.last_tx_queue = 0
+
+    def set_num_queues(self, n: int):
+        """Resize to ``n`` tx/rx queue pairs (resets per-queue stats)."""
+        if n < 1:
+            raise ValueError(f"need at least one queue, got {n}")
+        self.num_queues = n
+        self.queues = [NicQueueStats(i) for i in range(n)]
+        self.last_rx_queue = 0
+        self.last_tx_queue = 0
+
+    def rss_queue(self, frame: bytes) -> int:
+        """RSS steering: which queue this frame's flow hashes to."""
+        if self.num_queues == 1:
+            return 0
+        return flow_hash(frame) % self.num_queues
 
     def _trace(self, kind: str, **args):
         tracer = self.tracer
@@ -219,6 +275,11 @@ class E1000Device:
                 self._tx_fragments = []
                 self.stats.tx_packets += 1
                 self.stats.tx_bytes += len(packet)
+                q = self.rss_queue(packet)
+                self.last_tx_queue = q
+                qs = self.queues[q]
+                qs.tx_packets += 1
+                qs.tx_bytes += len(packet)
                 self._trace(NIC_TX, len=len(packet))
                 if self.on_transmit is not None:
                     self.on_transmit(self, packet)
@@ -242,6 +303,10 @@ class E1000Device:
     def receive(self, packet: bytes) -> bool:
         """Deliver a frame from the wire into the rx ring. Returns False
         (and counts a drop) when the ring has no free descriptors."""
+        # RSS steering happens in the MAC before ring availability is
+        # known — the steered queue is visible even for dropped frames
+        q = self.rss_queue(packet)
+        self.last_rx_queue = q
         if not self.regs[REG_RCTL] & RCTL_EN or self.rx_slots_free() == 0:
             self.stats.rx_dropped_no_desc += 1
             return False
@@ -261,6 +326,9 @@ class E1000Device:
         self.regs[REG_RDH] = (head + 1) % entries
         self.stats.rx_packets += 1
         self.stats.rx_bytes += len(packet)
+        qs = self.queues[q]
+        qs.rx_packets += 1
+        qs.rx_bytes += len(packet)
         self._trace(NIC_RX, len=len(packet))
         self.regs[REG_ICR] |= ICR_RXT0
         self._maybe_interrupt()

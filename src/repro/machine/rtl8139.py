@@ -30,7 +30,7 @@ from ..obs.events import NIC_DMA_FAULT, NIC_IRQ, NIC_RX, NIC_TX
 from .interrupts import InterruptController
 from .iommu import Iommu, IommuFault
 from .memory import PhysicalMemory
-from .nic import NicStats
+from .nic import NicQueueStats, NicStats, flow_hash
 
 R_TSD0 = 0x10
 R_TSAD0 = 0x20
@@ -91,6 +91,27 @@ class Rtl8139Device:
         self.iommu: Optional[Iommu] = None
         #: trace ring (set by Machine.add_nic); None for bare devices.
         self.tracer = None
+        #: multiqueue (RSS) — same facade as E1000Device so the Machine
+        #: and twin treat both models uniformly. The 8139 hardware never
+        #: had RSS; queues model the steering layer above the one ring.
+        self.num_queues = 1
+        self.queues = [NicQueueStats(0)]
+        self.last_rx_queue = 0
+        self.last_tx_queue = 0
+
+    def set_num_queues(self, n: int):
+        """Resize to ``n`` queue pairs (resets per-queue stats)."""
+        if n < 1:
+            raise ValueError(f"need at least one queue, got {n}")
+        self.num_queues = n
+        self.queues = [NicQueueStats(i) for i in range(n)]
+        self.last_rx_queue = 0
+        self.last_tx_queue = 0
+
+    def rss_queue(self, frame: bytes) -> int:
+        if self.num_queues == 1:
+            return 0
+        return flow_hash(frame) % self.num_queues
 
     def _trace(self, kind: str, **args):
         tracer = self.tracer
@@ -138,6 +159,10 @@ class Rtl8139Device:
             return
         self.stats.tx_packets += 1
         self.stats.tx_bytes += length
+        q = self.rss_queue(payload)
+        self.last_tx_queue = q
+        self.queues[q].tx_packets += 1
+        self.queues[q].tx_bytes += length
         self._trace(NIC_TX, len=length)
         if self.on_transmit is not None:
             self.on_transmit(self, payload)
@@ -157,6 +182,8 @@ class Rtl8139Device:
         return RX_WRAP_THRESHOLD - used
 
     def receive(self, packet: bytes) -> bool:
+        q = self.rss_queue(packet)
+        self.last_rx_queue = q
         if not self.regs[R_CR] & CR_RE or self.regs[R_RBSTART] == 0:
             self.stats.rx_dropped_no_desc += 1
             return False
@@ -185,6 +212,8 @@ class Rtl8139Device:
         self.regs[R_CBR] = cbr
         self.stats.rx_packets += 1
         self.stats.rx_bytes += len(packet)
+        self.queues[q].rx_packets += 1
+        self.queues[q].rx_bytes += len(packet)
         self.regs[R_ISR] |= ISR_ROK
         self._maybe_interrupt()
         return True

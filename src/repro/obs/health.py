@@ -74,15 +74,18 @@ class HealthMonitor:
 
     def _probe_stalled_rx(self, findings: List[Dict]):
         twin = self.twin
-        if twin is None or not twin._rx_queue:
+        if twin is None:
+            return
+        backlog = twin.rx_backlog      # sums every queue shard + parked
+        if not backlog:
             return
         if not (self._counter_moved("xen.virq_coalesced")
                 or self._counter_moved("xen.virq")):
             findings.append(_finding(
                 "stalled_rx", SEV_CRITICAL,
-                f"{len(twin._rx_queue)} rx packets queued and no virq "
+                f"{backlog} rx packets queued and no virq "
                 "delivered since the last probe",
-                queued=len(twin._rx_queue),
+                queued=backlog,
             ))
 
     def _probe_stalled_tx(self, findings: List[Dict]):

@@ -9,7 +9,14 @@ from .costs import (
     VIRT_APP_FACTOR,
 )
 from .domain import Domain
-from .granttable import GrantEntry, GrantError, GrantTable
+from .granttable import GrantDoubleUnmap, GrantEntry, GrantError, GrantTable
+from .sched import (
+    CREDIT_REFILL,
+    SOFTIRQ_DRAIN_LIMIT,
+    CreditScheduler,
+    SoftirqStorm,
+    VCpu,
+)
 from .hypervisor import (
     HYP_CODE_BASE,
     HYP_DATA_BASE,
@@ -21,8 +28,11 @@ from .hypervisor import (
 )
 
 __all__ = [
+    "CREDIT_REFILL",
     "CostModel",
+    "CreditScheduler",
     "Domain",
+    "GrantDoubleUnmap",
     "GrantEntry",
     "GrantError",
     "GrantTable",
@@ -36,6 +46,9 @@ __all__ = [
     "MULTI_NIC_EFFICIENCY",
     "OVERLOAD_EFFICIENCY",
     "REQRESP_PACKET_FACTOR",
+    "SOFTIRQ_DRAIN_LIMIT",
+    "SoftirqStorm",
     "SUPPORT_ROUTINE_COSTS",
+    "VCpu",
     "VIRT_APP_FACTOR",
 ]

@@ -57,6 +57,26 @@ INTERRUPT_VIRTUALIZATION = 600
 SOFTIRQ_SCHEDULE = 400
 
 # ---------------------------------------------------------------------------
+# SMP scheduler + multiqueue costs (credit scheduler, RSS demux, locks)
+# ---------------------------------------------------------------------------
+
+#: Credit-scheduler pick: scan the vCPU run queue, compare credits.
+SCHED_PICK = 150
+#: Credit accounting at the end of a quantum (debit + refill check).
+SCHED_CREDIT_TICK = 80
+#: Migrating a domain between vCPU run queues (work stealing): remote
+#: queue lock + cache-line transfer of the vcpu state.
+SCHED_STEAL = 420
+#: Taking an uncontended twin lock (cache-hot compare-and-swap).
+LOCK_UNCONTENDED = 25
+#: Lock handoff between vCPUs/queues: cache-line bounce + spin.
+LOCK_HANDOFF = 240
+#: RSS flow-hash computation + queue selection per packet.
+RSS_DEMUX = 110
+#: Refilling a per-queue stlb partition after another guest ran on it.
+STLB_PARTITION_REFILL = 160
+
+# ---------------------------------------------------------------------------
 # Grant table operations (standard Xen I/O path)
 # ---------------------------------------------------------------------------
 
@@ -268,6 +288,13 @@ class CostModel:
     virq_coalesced_per_packet: int = VIRQ_COALESCED_PER_PACKET
     interrupt_virtualization: int = INTERRUPT_VIRTUALIZATION
     softirq_schedule: int = SOFTIRQ_SCHEDULE
+    sched_pick: int = SCHED_PICK
+    sched_credit_tick: int = SCHED_CREDIT_TICK
+    sched_steal: int = SCHED_STEAL
+    lock_uncontended: int = LOCK_UNCONTENDED
+    lock_handoff: int = LOCK_HANDOFF
+    rss_demux: int = RSS_DEMUX
+    stlb_partition_refill: int = STLB_PARTITION_REFILL
     grant_issue: int = GRANT_ISSUE
     grant_map: int = GRANT_MAP
     grant_unmap: int = GRANT_UNMAP

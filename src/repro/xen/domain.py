@@ -38,6 +38,16 @@ class Domain:
         #: hypervisor driver learns that deferred NIC softirqs may run.
         self.unmask_hooks: List[Callable[[], None]] = []
         self._next_port = 1
+        #: the vCPU whose run queue holds this domain (set by the credit
+        #: scheduler; None on single-vCPU configs that never schedule).
+        self.vcpu = None
+        #: credit balance, debited by cycles consumed per quantum.
+        self.credits = 0
+        #: sequence number of this domain's last quantum (scheduler
+        #: round-robin tie-break; 0 = never scheduled).
+        self.sched_seq = 0
+        #: queued units of guest work, one consumed per quantum.
+        self.run_work: List[Callable[[], None]] = []
 
     # -- event channels -----------------------------------------------------
 

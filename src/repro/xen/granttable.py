@@ -20,6 +20,16 @@ class GrantError(Exception):
     pass
 
 
+class GrantDoubleUnmap(GrantError):
+    """A grant ref was unmapped while not mapped (double release).
+
+    Kept as its own type so callers that juggle per-queue grant usage can
+    distinguish a double-release bug (which would corrupt active-entry
+    accounting if silently tolerated) from a genuinely bad ref."""
+
+    pass
+
+
 @dataclass
 class GrantEntry:
     """One grant: a frame made accessible to one other domain."""
@@ -39,6 +49,9 @@ class GrantTable:
         self.entries: Dict[int, GrantEntry] = {}
         self._next_ref = 1
         self.ops = {"issue": 0, "map": 0, "unmap": 0, "copy": 0, "revoke": 0}
+        #: number of entries currently mapped; map/unmap must keep this
+        #: exact, which is what the double-unmap guard protects.
+        self.active_maps = 0
 
     def issue(self, frame: int, grantee: int, readonly: bool = False) -> int:
         ref = self._next_ref
@@ -63,14 +76,17 @@ class GrantTable:
         if entry.mapped:
             raise GrantError(f"grant {ref} already mapped")
         entry.mapped = True
+        self.active_maps += 1
         self.ops["map"] += 1
         return entry.frame
 
     def unmap(self, ref: int, grantee: int):
         entry = self.lookup(ref, grantee)
         if not entry.mapped:
-            raise GrantError(f"grant {ref} not mapped")
+            raise GrantDoubleUnmap(
+                f"grant {ref} unmapped twice by dom{grantee}")
         entry.mapped = False
+        self.active_maps -= 1
         self.ops["unmap"] += 1
 
     def copy_frame(self, ref: int, grantee: int) -> int:

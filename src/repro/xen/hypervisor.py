@@ -32,6 +32,7 @@ from ..obs.events import (
 from .costs import CostModel
 from .domain import Domain
 from .granttable import GrantTable
+from .sched import SOFTIRQ_DRAIN_LIMIT, CreditScheduler, SoftirqStorm, VCpu
 
 #: Hypervisor virtual-address layout (all inside the shared region).
 HYP_CODE_BASE = 0xF0100000
@@ -46,15 +47,22 @@ HYP_SVM_MAP_BASE = 0xF4000000
 class Hypervisor:
     """The Xen-like VMM: domains, switches, events, grants, softirqs."""
 
-    def __init__(self, machine: Machine, costs: Optional[CostModel] = None):
+    def __init__(self, machine: Machine, costs: Optional[CostModel] = None,
+                 vcpus: int = 1):
         self.machine = machine
         self.costs = costs or CostModel()
         self.domains: List[Domain] = []
-        self.current: Optional[Domain] = None
         self.dom0: Optional[Domain] = None
         self.grant_tables: Dict[int, GrantTable] = {}
-        self._softirqs: List[Callable[[], None]] = []
         self._irq_handlers: Dict[int, Callable[[int], None]] = {}
+        # SMP: all formerly-global per-CPU state (current domain, softirq
+        # queue, driver depth) lives on VCpu objects; the single-vCPU
+        # default is just "there is one VCpu and it never changes".
+        if vcpus < 1:
+            raise ValueError(f"need at least one vcpu, got {vcpus}")
+        self.vcpus: List[VCpu] = [VCpu(i, self) for i in range(vcpus)]
+        self._cur_vcpu: VCpu = self.vcpus[0]
+        self.scheduler = CreditScheduler(self, self.vcpus)
         # mechanism counters live in the machine-wide registry
         self._tracer = machine.obs.tracer
         self._profiler = machine.obs.profiler
@@ -65,13 +73,52 @@ class Hypervisor:
         self._c_virq_coalesced = machine.obs.registry.counter(
             "xen.virq_coalesced")
         self._c_softirq = machine.obs.registry.counter("xen.softirq")
-        #: >0 while a hypervisor-driver invocation is in flight; softirqs
-        #: are deferred until it drains (paper §4.4: the driver ISR runs
-        #: in a *schedulable* softirq context, never nested inside driver
-        #: execution).
-        self.driver_depth = 0
         machine.intc.set_dispatcher(self._dispatch_irq)
         machine.cpu.cycle_scale = self.costs.driver_cycle_scale
+
+    # -- per-vCPU state ----------------------------------------------------------
+    #
+    # `current`, `driver_depth`, and the softirq queue are per-CPU on real
+    # Xen; these properties delegate to the active vCPU so every existing
+    # single-vCPU call site keeps working unchanged.
+
+    @property
+    def current(self) -> Optional[Domain]:
+        """The domain whose address space the active vCPU runs."""
+        return self._cur_vcpu.current
+
+    @current.setter
+    def current(self, domain: Optional[Domain]):
+        self._cur_vcpu.current = domain
+
+    @property
+    def driver_depth(self) -> int:
+        """>0 while a hypervisor-driver invocation is in flight on the
+        active vCPU; softirqs are deferred until it drains (paper §4.4:
+        the driver ISR runs in a *schedulable* softirq context, never
+        nested inside driver execution)."""
+        return self._cur_vcpu.driver_depth
+
+    @driver_depth.setter
+    def driver_depth(self, depth: int):
+        self._cur_vcpu.driver_depth = depth
+
+    @property
+    def _softirqs(self) -> List[Callable[[], None]]:
+        return self._cur_vcpu.softirqs
+
+    def activate_vcpu(self, vcpu: VCpu):
+        """Make ``vcpu`` the one the simulated pCPU stands in for. Free
+        of cycle charges: the quantum's costs are charged by the
+        scheduler's pick/switch path, not by the standin rotation."""
+        if vcpu is self._cur_vcpu:
+            return
+        self._cur_vcpu = vcpu
+        # Superblocks compiled by the trace JIT cache per-world state;
+        # a vCPU change is a world change they must re-validate.
+        self.machine.cpu.world_token += 1
+        if vcpu.current is not None:
+            self.machine.cpu.address_space = vcpu.current.aspace
 
     # -- accounting helpers ------------------------------------------------------
 
@@ -114,6 +161,7 @@ class Hypervisor:
             if self.dom0 is not None:
                 raise ValueError("dom0 already exists")
             self.dom0 = domain
+        self.scheduler.assign(domain)
         if self.current is None:
             self.current = domain
             self.machine.cpu.address_space = aspace
@@ -127,6 +175,11 @@ class Hypervisor:
             return
         self.charge_xen(self.costs.domain_switch, phase="domain_switch")
         self._c_switch.value += 1
+        if len(self.vcpus) > 1:
+            # per-vCPU labels only exist on SMP configs so single-vCPU
+            # metric dumps stay byte-identical to the pre-SMP baselines
+            self.machine.obs.registry.counter(
+                f"xen.vcpu{self._cur_vcpu.id}.switch").value += 1
         if self._tracer.enabled:
             previous = self.current.name if self.current else None
             self._tracer.emit(DOMAIN_SWITCH, to=domain.name, frm=previous)
@@ -187,12 +240,20 @@ class Hypervisor:
             self._tracer.emit(VIRQ, domain=domain.name, port=port)
         self.run_in_domain(domain, lambda: handler(port))
 
-    def deliver_coalesced_virq(self, domain: Domain, npackets: int):
+    def deliver_coalesced_virq(self, domain: Domain, npackets: int) -> bool:
         """Charge and record ONE virtual interrupt covering ``npackets``
         queued packets (§5.3: the hypervisor copies the batch into guest
         buffers and raises a single virtual interrupt). A batch of one
         costs exactly ``virq_delivery``; each additional packet adds only
-        its ring-descriptor bookkeeping."""
+        its ring-descriptor bookkeeping.
+
+        Returns True iff the virq was actually delivered. A masked
+        domain gets NO charge and NO event count — the caller must park
+        the batch and replay it from an unmask hook, at which point the
+        replay delivery is the one (and only) charge. Charging here too
+        would double-count every masked batch."""
+        if not domain.virq_enabled:
+            return False
         self.charge_xen(
             self.costs.virq_coalesced
             + (npackets - 1) * self.costs.virq_coalesced_per_packet,
@@ -202,6 +263,7 @@ class Hypervisor:
         if self._tracer.enabled:
             self._tracer.emit(VIRQ_COALESCED, domain=domain.name,
                               packets=npackets)
+        return True
 
     def schedule_domain(self, domain: Domain):
         """Deliver a domain's pending events (models the domain being
@@ -244,9 +306,31 @@ class Hypervisor:
         self._softirqs.append(fn)
 
     def run_softirqs(self):
-        while self._softirqs:
-            fn = self._softirqs.pop(0)
-            fn()
+        """Drain the active vCPU's softirq queue to empty.
+
+        Softirqs raised *while a softirq runs* land on the same queue
+        and are picked up by the already-running drain — the re-entrancy
+        latch stops a nested ``run_softirqs`` (e.g. a continuation that
+        a handler schedules synchronously) from stealing them out from
+        under the outer loop, which previously reordered work. The drain
+        is bounded: a handler that re-raises itself forever raises
+        :class:`SoftirqStorm` instead of hanging the simulation."""
+        vcpu = self._cur_vcpu
+        if vcpu.in_softirq:
+            return
+        vcpu.in_softirq = True
+        drained = 0
+        try:
+            while vcpu.softirqs:
+                if drained >= SOFTIRQ_DRAIN_LIMIT:
+                    raise SoftirqStorm(
+                        f"vcpu{vcpu.id} drained {drained} softirqs without "
+                        f"reaching an empty queue")
+                fn = vcpu.softirqs.pop(0)
+                fn()
+                drained += 1
+        finally:
+            vcpu.in_softirq = False
 
     # -- grant operations (charged wrappers) ------------------------------------------------------------
 
@@ -255,8 +339,11 @@ class Hypervisor:
         return self.grant_tables[granter.domid].map(ref, grantee.domid)
 
     def grant_unmap(self, granter: Domain, ref: int, grantee: Domain):
-        self.charge_xen(self.costs.grant_unmap, phase="grant_unmap")
+        # validate-then-charge: a rejected double unmap must not burn
+        # cycles or skew the grant accounting (GrantDoubleUnmap and the
+        # other GrantError cases propagate before any charge lands)
         self.grant_tables[granter.domid].unmap(ref, grantee.domid)
+        self.charge_xen(self.costs.grant_unmap, phase="grant_unmap")
 
     def grant_copy_packet(self, granter: Domain, ref: int, grantee: Domain) -> int:
         self.charge_xen(self.costs.grant_copy_per_packet,

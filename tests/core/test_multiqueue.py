@@ -1,0 +1,182 @@
+"""Twin queue sharding: RSS demux, masked-guest parking, contention."""
+
+import pytest
+
+from repro.core import ParavirtNetDevice, TwinDriverManager
+from repro.machine import Machine
+from repro.machine.nic import flow_hash
+from repro.osmodel import Kernel
+from repro.xen import Hypervisor
+
+
+def make_env(n_guests=2, num_queues=4, vcpus=1):
+    m = Machine()
+    xen = Hypervisor(m, vcpus=vcpus)
+    dom0 = xen.create_domain("dom0", is_dom0=True)
+    k0 = Kernel(m, dom0, costs=xen.costs, paravirtual=True)
+    twin = TwinDriverManager(xen, k0, pool_size=512, num_queues=num_queues)
+    nic = m.add_nic(num_queues=num_queues)
+    twin.attach_nic(nic)
+    devices = []
+    for g in range(n_guests):
+        guest = xen.create_domain(f"guest{g}")
+        kg = Kernel(m, guest, costs=xen.costs, paravirtual=True)
+        devices.append(ParavirtNetDevice(
+            twin, kg, mac=b"\x00\x16\x3e\xaa\x01" + bytes([g + 1])))
+    xen.switch_to(devices[0].kernel.domain)
+    return m, xen, twin, devices, nic
+
+
+def inject(m, nic, dev, tag=0):
+    frame = (dev.mac + b"\x00\x22\x33\x44\x55\x66" + b"\x08\x00"
+             + bytes([tag]) * 100)
+    return m.wire.inject(nic, frame)
+
+
+class TestQueueSharding:
+    def test_num_queues_rejects_zero(self):
+        m = Machine()
+        xen = Hypervisor(m)
+        dom0 = xen.create_domain("dom0", is_dom0=True)
+        k0 = Kernel(m, dom0, costs=xen.costs, paravirtual=True)
+        with pytest.raises(ValueError):
+            TwinDriverManager(xen, k0, pool_size=64, num_queues=0)
+
+    def test_guests_pinned_to_flow_hash_queue(self):
+        m, xen, twin, devices, nic = make_env(n_guests=4)
+        for dev in devices:
+            assert (twin._guest_rx_queue[dev.mac]
+                    == flow_hash(dev.mac) % twin.num_queues)
+
+    def test_rx_lands_on_guest_queue_then_delivers(self):
+        m, xen, twin, devices, nic = make_env(n_guests=2)
+        for dev in devices:
+            assert inject(m, nic, dev)
+            assert dev.rx_packets == 1
+        assert all(not q.rx for q in twin.queues)
+
+    def test_single_queue_skips_rss_charge(self):
+        m, xen, twin, devices, nic = make_env(n_guests=1, num_queues=1)
+        reg = m.obs.registry
+        assert inject(m, nic, devices[0])
+        # the single-queue fast path must stay bit-identical to the
+        # pre-SMP model: no rss_demux charge ever lands
+        prof_counter = reg.counter("xen.virq_coalesced").value
+        assert prof_counter >= 1
+        assert twin.num_queues == 1
+
+    def test_multi_queue_charges_rss_demux(self):
+        single = make_env(n_guests=1, num_queues=1)
+        multi = make_env(n_guests=1, num_queues=4)
+        costs = single[1].costs
+        xen_single = self._rx_xen_cycles(*single)
+        xen_multi = self._rx_xen_cycles(*multi)
+        # same packet, same path — the multiqueue run adds exactly the
+        # rss demux, the queue lock, and one stlb partition refill
+        extra = xen_multi - xen_single
+        assert extra == (costs.rss_demux + costs.lock_uncontended
+                         + costs.stlb_partition_refill)
+
+    @staticmethod
+    def _rx_xen_cycles(m, xen, twin, devices, nic):
+        before = m.account.cycles["Xen"]
+        assert inject(m, nic, devices[0])
+        return m.account.cycles["Xen"] - before
+
+
+class TestMaskedGuestParking:
+    def test_masked_batch_parked_uncharged(self):
+        m, xen, twin, devices, nic = make_env(n_guests=1)
+        dev = devices[0]
+        dev.kernel.domain.disable_virq()
+        count = m.obs.registry.counter("xen.virq_coalesced").value
+        assert inject(m, nic, dev)
+        assert dev.rx_packets == 0
+        assert twin.rx_backlog == 1      # parked, not dropped
+        assert m.obs.registry.counter("xen.virq_coalesced").value == count
+
+    def test_unmask_replays_parked_batch_once(self):
+        m, xen, twin, devices, nic = make_env(n_guests=1)
+        dev = devices[0]
+        dev.kernel.domain.disable_virq()
+        for tag in range(3):
+            assert inject(m, nic, dev, tag=tag)
+        count = m.obs.registry.counter("xen.virq_coalesced").value
+        dev.kernel.domain.enable_virq()
+        assert dev.rx_packets == 3
+        assert twin.rx_backlog == 0
+        # ONE coalesced virq for the replayed batch — not one at park
+        # time plus one at replay (the double-count this PR fixes)
+        assert (m.obs.registry.counter("xen.virq_coalesced").value
+                == count + 1)
+
+    def test_mask_affects_only_that_guest(self):
+        m, xen, twin, devices, nic = make_env(n_guests=2)
+        masked, open_ = devices
+        masked.kernel.domain.disable_virq()
+        assert inject(m, nic, masked)
+        assert inject(m, nic, open_)
+        assert masked.rx_packets == 0
+        assert open_.rx_packets == 1
+        masked.kernel.domain.enable_virq()
+        assert masked.rx_packets == 1
+
+    def test_drop_rx_backlog_clears_parked(self):
+        m, xen, twin, devices, nic = make_env(n_guests=1)
+        dev = devices[0]
+        dev.kernel.domain.disable_virq()
+        assert inject(m, nic, dev)
+        assert twin.rx_backlog == 1
+        twin.drop_rx_backlog()
+        assert twin.rx_backlog == 0
+        dev.kernel.domain.enable_virq()
+        assert dev.rx_packets == 0
+
+
+class TestContentionModel:
+    def test_lock_handoff_charged_on_vcpu_change(self):
+        m, xen, twin, devices, nic = make_env(n_guests=1, num_queues=4,
+                                              vcpus=2)
+        dev = devices[0]
+        qi = twin._guest_rx_queue[dev.mac]
+        assert inject(m, nic, dev)
+        assert twin.queues[qi].lock_owner == xen._cur_vcpu.id
+        # same vCPU flushes again: uncontended
+        before = m.account.cycles["Xen"]
+        assert inject(m, nic, dev)
+        uncontended = m.account.cycles["Xen"] - before
+        # another vCPU takes the flush lock: the handoff premium
+        xen.activate_vcpu(xen.vcpus[1])
+        xen.switch_to(dev.kernel.domain)
+        before = m.account.cycles["Xen"]
+        assert inject(m, nic, dev)
+        handoff = m.account.cycles["Xen"] - before
+        assert (handoff - uncontended
+                == xen.costs.lock_handoff - xen.costs.lock_uncontended)
+        assert twin.queues[qi].lock_owner == 1
+
+    def test_stlb_partition_refill_on_guest_change(self):
+        m, xen, twin, devices, nic = make_env(n_guests=2, num_queues=1)
+        # single queue so both guests share one shard; force multi
+        # accounting off — refills only modeled when sharded
+        assert inject(m, nic, devices[0])
+        m2, xen2, twin2, devices2, nic2 = make_env(n_guests=2, num_queues=4)
+        a, b = devices2
+        qa = twin2._guest_rx_queue[a.mac]
+        qb = twin2._guest_rx_queue[b.mac]
+        assert inject(m2, nic2, a)
+        assert twin2.queues[qa].last_guest == a.mac
+        if qa == qb:
+            before = m2.account.cycles["Xen"]
+            assert inject(m2, nic2, b)
+            delta_switch = m2.account.cycles["Xen"] - before
+            before = m2.account.cycles["Xen"]
+            assert inject(m2, nic2, b)
+            delta_warm = m2.account.cycles["Xen"] - before
+            assert (delta_switch - delta_warm
+                    == xen2.costs.stlb_partition_refill)
+        else:
+            # distinct shards: each queue stays warm for its guest
+            assert inject(m2, nic2, b)
+            assert twin2.queues[qa].last_guest == a.mac
+            assert twin2.queues[qb].last_guest == b.mac

@@ -1,0 +1,140 @@
+"""Multiqueue NIC facade: RSS flow hash and per-queue statistics."""
+
+import pytest
+
+from repro.machine import Machine
+from repro.machine.nic import (
+    DESC_EOP,
+    DESC_SIZE,
+    RCTL_EN,
+    REG_RCTL,
+    REG_RDBAL,
+    REG_RDLEN,
+    REG_RDT,
+    REG_TCTL,
+    REG_TDBAL,
+    REG_TDLEN,
+    REG_TDT,
+    TCTL_EN,
+    RSS_HASH_BYTES,
+    flow_hash,
+)
+
+
+def frame_for(dst, src=b"\x00\x22\x33\x44\x55\x66", payload=b"x" * 60):
+    return dst + src + (0x0800).to_bytes(2, "big") + payload
+
+
+class TestFlowHash:
+    def test_deterministic_known_value(self):
+        # FNV-1a over b"abc" — a fixed reference so the hash can never
+        # silently change (queue placement is part of the determinism
+        # contract)
+        assert flow_hash(b"abc") == 0x1A47E90B
+
+    def test_same_headers_same_hash(self):
+        f1 = frame_for(b"\x00\x16\x3e\x00\x00\x01",
+                       payload=b"x" * 20 + b"a" * 40)
+        f2 = frame_for(b"\x00\x16\x3e\x00\x00\x01",
+                       payload=b"x" * 20 + b"b" * 480)
+        # only the first RSS_HASH_BYTES matter: same flow, same queue
+        assert f1[:RSS_HASH_BYTES] == f2[:RSS_HASH_BYTES]
+        assert flow_hash(f1) == flow_hash(f2)
+
+    def test_different_flows_spread(self):
+        hashes = {flow_hash(frame_for(bytes(5) + bytes([i])))
+                  for i in range(64)}
+        assert len(hashes) == 64
+        queues = {h % 4 for h in hashes}
+        assert queues == {0, 1, 2, 3}
+
+
+def write_desc(phys, base, index, addr, length, flags):
+    d = base + index * DESC_SIZE
+    phys.write_u32(d + 0, addr)
+    phys.write_u32(d + 8, length)
+    phys.write_u32(d + 12, flags)
+
+
+class TestE1000Queues:
+    def make_nic(self, num_queues=4):
+        m = Machine()
+        nic = m.add_nic(num_queues=num_queues)
+        return m, nic
+
+    def setup_rx(self, m, nic, entries=16, fill=8):
+        ring = m.phys.allocate_frame() << 12
+        nic.mmio_write(REG_RDBAL, 4, ring)
+        nic.mmio_write(REG_RDLEN, 4, entries * DESC_SIZE)
+        nic.mmio_write(REG_RCTL, 4, RCTL_EN)
+        for i in range(fill):
+            buf = m.phys.allocate_frame() << 12
+            write_desc(m.phys, ring, i, buf, 0, 0)
+        nic.mmio_write(REG_RDT, 4, fill)
+
+    def test_default_is_single_queue(self):
+        m, nic = self.make_nic(num_queues=1)
+        assert nic.num_queues == 1
+        assert len(nic.queues) == 1
+        assert nic.rss_queue(frame_for(b"\x00\x16\x3e\x00\x00\x07")) == 0
+
+    def test_set_num_queues_rejects_zero(self):
+        m, nic = self.make_nic(num_queues=1)
+        with pytest.raises(ValueError):
+            nic.set_num_queues(0)
+
+    def test_rx_attributed_to_rss_queue(self):
+        m, nic = self.make_nic()
+        self.setup_rx(m, nic)
+        frame = frame_for(nic.mac)
+        expect = flow_hash(frame) % 4
+        assert nic.receive(frame)
+        assert nic.last_rx_queue == expect
+        assert nic.queues[expect].rx_packets == 1
+        assert nic.queues[expect].rx_bytes == len(frame)
+        assert sum(q.rx_packets for q in nic.queues) == 1
+
+    def test_rx_queue_chosen_even_for_dropped_frame(self):
+        m, nic = self.make_nic()
+        self.setup_rx(m, nic, fill=0)  # no descriptors: frame drops
+        frame = frame_for(nic.mac)
+        assert not nic.receive(frame)
+        assert nic.last_rx_queue == flow_hash(frame) % 4
+        assert all(q.rx_packets == 0 for q in nic.queues)
+
+    def test_tx_attributed_to_rss_queue(self):
+        m, nic = self.make_nic()
+        ring = m.phys.allocate_frame() << 12
+        nic.mmio_write(REG_TDBAL, 4, ring)
+        nic.mmio_write(REG_TDLEN, 4, 8 * DESC_SIZE)
+        nic.mmio_write(REG_TCTL, 4, TCTL_EN)
+        frame = frame_for(b"\x00\x16\x3e\x00\x00\x09")
+        buf = m.phys.allocate_frame() << 12
+        m.phys.write_bytes(buf, frame)
+        write_desc(m.phys, ring, 0, buf, len(frame), DESC_EOP)
+        nic.mmio_write(REG_TDT, 4, 1)
+        expect = flow_hash(frame) % 4
+        assert nic.last_tx_queue == expect
+        assert nic.queues[expect].tx_packets == 1
+        assert nic.queues[expect].tx_bytes == len(frame)
+
+    def test_per_queue_sums_match_device_totals(self):
+        m, nic = self.make_nic()
+        self.setup_rx(m, nic)
+        for i in range(6):
+            assert nic.receive(frame_for(nic.mac,
+                                         src=bytes(5) + bytes([i])))
+        assert sum(q.rx_packets for q in nic.queues) == nic.stats.rx_packets
+        assert sum(q.rx_bytes for q in nic.queues) == nic.stats.rx_bytes
+
+
+class TestRtl8139Queues:
+    def test_same_facade(self):
+        m = Machine()
+        nic = m.add_nic(model="rtl8139", num_queues=4)
+        assert nic.num_queues == 4
+        assert len(nic.queues) == 4
+        frame = frame_for(nic.mac)
+        assert nic.rss_queue(frame) == flow_hash(frame) % 4
+        with pytest.raises(ValueError):
+            nic.set_num_queues(-1)

@@ -1,0 +1,162 @@
+"""Regression tests for the single-vCPU bugs the SMP port flushed out:
+
+* ``run_softirqs`` must drain to empty (a softirq raised from inside a
+  softirq runs in the same drain) with a bounded-iterations guard;
+* ``deliver_coalesced_virq`` must not charge cycles or count an event
+  when the target's virq is masked — the unmask-hook replay is the one
+  delivery that pays;
+* ``grant_unmap`` must reject a double unmap with a typed error and
+  charge nothing for the rejected call.
+"""
+
+import pytest
+
+from repro.machine import Machine
+from repro.xen import (
+    SOFTIRQ_DRAIN_LIMIT,
+    GrantDoubleUnmap,
+    GrantError,
+    Hypervisor,
+    SoftirqStorm,
+)
+
+
+def make_xen():
+    m = Machine()
+    xen = Hypervisor(m)
+    dom0 = xen.create_domain("dom0", is_dom0=True)
+    guest = xen.create_domain("guest")
+    return m, xen, dom0, guest
+
+
+class TestSoftirqDrain:
+    def test_softirq_raised_inside_softirq_runs_in_same_drain(self):
+        m, xen, dom0, guest = make_xen()
+        ran = []
+
+        def inner():
+            ran.append("inner")
+
+        def outer():
+            ran.append("outer")
+            xen.raise_softirq(inner)
+
+        xen.raise_softirq(outer)
+        xen.run_softirqs()
+        # one drain ran both, in raise order, and left the queue empty
+        assert ran == ["outer", "inner"]
+        assert not xen._softirqs
+
+    def test_nested_run_softirqs_does_not_steal_the_queue(self):
+        m, xen, dom0, guest = make_xen()
+        ran = []
+
+        def second():
+            ran.append("second")
+
+        def first():
+            ran.append("first")
+            xen.raise_softirq(second)
+            # a handler that synchronously re-enters the drain (the old
+            # continuation bug) must not run 'second' out of order here
+            xen.run_softirqs()
+            assert ran == ["first"]
+
+        xen.raise_softirq(first)
+        xen.run_softirqs()
+        assert ran == ["first", "second"]
+
+    def test_softirq_storm_raises_instead_of_hanging(self):
+        m, xen, dom0, guest = make_xen()
+        count = [0]
+
+        def storm():
+            count[0] += 1
+            xen.raise_softirq(storm)
+
+        xen.raise_softirq(storm)
+        with pytest.raises(SoftirqStorm):
+            xen.run_softirqs()
+        assert count[0] == SOFTIRQ_DRAIN_LIMIT
+        # the latch is released, so the hypervisor can drain again later
+        xen._softirqs.clear()
+        ran = []
+        xen.raise_softirq(lambda: ran.append("after"))
+        xen.run_softirqs()
+        assert ran == ["after"]
+
+
+class TestMaskedCoalescedVirq:
+    def test_masked_virq_not_charged_or_counted(self):
+        m, xen, dom0, guest = make_xen()
+        guest.disable_virq()
+        before = m.account.cycles["Xen"]
+        count = m.obs.registry.counter("xen.virq_coalesced").value
+        assert xen.deliver_coalesced_virq(guest, 8) is False
+        assert m.account.cycles["Xen"] == before
+        assert m.obs.registry.counter("xen.virq_coalesced").value == count
+
+    def test_unmasked_virq_charged_and_counted_once(self):
+        m, xen, dom0, guest = make_xen()
+        before = m.account.cycles["Xen"]
+        count = m.obs.registry.counter("xen.virq_coalesced").value
+        assert xen.deliver_coalesced_virq(guest, 8) is True
+        expected = (xen.costs.virq_coalesced
+                    + 7 * xen.costs.virq_coalesced_per_packet)
+        assert m.account.cycles["Xen"] - before == expected
+        assert m.obs.registry.counter("xen.virq_coalesced").value == count + 1
+
+    def test_mask_then_replay_counts_exactly_once(self):
+        m, xen, dom0, guest = make_xen()
+        count = m.obs.registry.counter("xen.virq_coalesced").value
+        guest.disable_virq()
+        assert xen.deliver_coalesced_virq(guest, 4) is False
+        # the replay a parked batch gets after unmask is the one charge
+        guest.enable_virq()
+        assert xen.deliver_coalesced_virq(guest, 4) is True
+        assert m.obs.registry.counter("xen.virq_coalesced").value == count + 1
+
+
+class TestGrantDoubleUnmap:
+    def grant(self, xen, dom0, guest):
+        table = xen.grant_tables[guest.domid]
+        ref = table.issue(frame=1234, grantee=dom0.domid)
+        xen.grant_map(guest, ref, dom0)
+        return table, ref
+
+    def test_double_unmap_raises_typed_error(self):
+        m, xen, dom0, guest = make_xen()
+        table, ref = self.grant(xen, dom0, guest)
+        xen.grant_unmap(guest, ref, dom0)
+        with pytest.raises(GrantDoubleUnmap):
+            xen.grant_unmap(guest, ref, dom0)
+
+    def test_double_unmap_is_a_grant_error(self):
+        # callers catching GrantError keep working
+        m, xen, dom0, guest = make_xen()
+        table, ref = self.grant(xen, dom0, guest)
+        xen.grant_unmap(guest, ref, dom0)
+        with pytest.raises(GrantError):
+            xen.grant_unmap(guest, ref, dom0)
+
+    def test_rejected_unmap_charges_nothing(self):
+        m, xen, dom0, guest = make_xen()
+        table, ref = self.grant(xen, dom0, guest)
+        xen.grant_unmap(guest, ref, dom0)
+        before = m.account.cycles["Xen"]
+        with pytest.raises(GrantDoubleUnmap):
+            xen.grant_unmap(guest, ref, dom0)
+        assert m.account.cycles["Xen"] == before
+
+    def test_active_maps_stays_exact(self):
+        m, xen, dom0, guest = make_xen()
+        table, ref = self.grant(xen, dom0, guest)
+        assert table.active_maps == 1
+        xen.grant_unmap(guest, ref, dom0)
+        assert table.active_maps == 0
+        with pytest.raises(GrantDoubleUnmap):
+            xen.grant_unmap(guest, ref, dom0)
+        assert table.active_maps == 0
+        # remap after a clean unmap still works
+        xen.grant_map(guest, ref, dom0)
+        assert table.active_maps == 1
