@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
+from .core.handover import HandoverManager
 from .core.paravirt import ParavirtNetDevice
 from .core.twin import (
     DEFAULT_RX_BATCH_BUDGET,
@@ -28,12 +29,19 @@ from .drivers.e1000 import build_e1000_program
 from .machine.machine import Machine
 from .machine.nic import E1000Device
 from .machine.paging import AddressSpace
+from .obs.health import HealthMonitor
 from .osmodel import layout as L
 from .osmodel.kernel import Kernel
 from .osmodel.xennet import XenNetBack, XenNetFront
 from .xen.costs import CostModel
 from .xen.domain import Domain
-from .xen.hypervisor import Hypervisor
+from .xen.hypervisor import (
+    HYP2_CODE_BASE,
+    HYP2_DATA_BASE,
+    HYP2_STACK_BASE,
+    HYP2_SVM_MAP_BASE,
+    Hypervisor,
+)
 
 #: MTU frame: 14-byte Ethernet header + 1486-byte payload = 1500 bytes.
 FRAME_PAYLOAD = L.MTU - L.ETH_HLEN
@@ -301,7 +309,8 @@ def build_domU_twin(n_nics: int = 5, interrupt_batch: int = 8,
                     elide: bool = False,
                     jit: bool = False,
                     vcpus: int = 1,
-                    num_queues: int = 1) -> SystemUnderTest:
+                    num_queues: int = 1,
+                    handover: bool = False) -> SystemUnderTest:
     """``n_upcalls``: how many fast-path routines are served by upcalls
     instead of hypervisor implementations (0 = the full TwinDrivers
     configuration; figure 10 sweeps 0..9). ``rx_batch_budget`` /
@@ -311,7 +320,11 @@ def build_domU_twin(n_nics: int = 5, interrupt_batch: int = 8,
     (host wall-time only; simulated cycles are bit-identical either
     way, off by default). ``vcpus`` / ``num_queues`` enable the SMP +
     multiqueue layer; the defaults of 1 reproduce every paper figure
-    bit-for-bit."""
+    bit-for-bit. ``handover`` wires a :class:`HealthMonitor` and a
+    :class:`HandoverManager` into ``extras["health"]`` /
+    ``extras["handover"]`` (planned live upgrade, DESIGN.md §14) — it
+    charges nothing until a handover is actually requested, so the
+    default path stays bit-identical."""
     if not 0 <= n_upcalls <= len(UPCALL_SWEEP_ORDER):
         raise ValueError("n_upcalls out of range")
     costs = costs or CostModel()
@@ -349,6 +362,12 @@ def build_domU_twin(n_nics: int = 5, interrupt_batch: int = 8,
     def tx_one(i: int, payload_len: int) -> bool:
         return devices[i].transmit(payload_len)
 
+    extras = {"devices": devices}
+    if handover:
+        health = HealthMonitor(machine, twin=twin)
+        extras["health"] = health
+        extras["handover"] = HandoverManager(twin, health=health)
+
     return SystemUnderTest(
         name="domU-twin", machine=machine, costs=costs, nics=nics,
         _tx_one=tx_one,
@@ -356,7 +375,7 @@ def build_domU_twin(n_nics: int = 5, interrupt_batch: int = 8,
         _rx_count=lambda: sum(d.rx_packets for d in devices),
         dom0_kernel=dom0_kernel, guest_kernel=guest_kernel, xen=xen,
         twin=twin,
-        extras={"devices": devices},
+        extras=extras,
     )
 
 
@@ -437,12 +456,105 @@ def build_scale(n_guests: int = 16, vcpus: int = 4, num_queues: int = 4,
     )
 
 
+# ---------------------------------------------------------------------------
+# handover pair: two live twin instances for queue re-homing
+# ---------------------------------------------------------------------------
+
+#: MAC prefix for handover-pair guests (1-byte index suffix).
+PAIR_MAC_PREFIX = b"\x00\x16\x3e\xac\x00"
+
+
+def build_handover_pair(n_guests: int = 2, vcpus: int = 1,
+                        num_queues: int = 1, n_nics: int = 1,
+                        interrupt_batch: int = 8,
+                        costs: Optional[CostModel] = None,
+                        jit: bool = False) -> SystemUnderTest:
+    """Two *live* twin instances side by side — the primary at the
+    historical hypervisor VA layout, the secondary ("hyp2") at the
+    ``HYP2_*`` bases — so a guest's queue state can be re-homed from one
+    to the other without a reload (DESIGN.md §14).
+
+    Each instance owns ``n_nics`` NICs; every guest starts on the
+    primary. The facade's rx path injects into the *primary's* NICs
+    (frames demux on the twin whose NIC received them), so after
+    ``extras["handover"].rehome_guest(dev, extras["secondary"])`` steer
+    that guest's frames at ``extras["secondary_nics"]`` instead — as
+    ``bench_handover.py`` does."""
+    if n_guests < 1:
+        raise ValueError("need at least one guest")
+    costs = costs or CostModel()
+    machine = Machine()
+    machine.cpu.jit_enabled = jit
+    xen = Hypervisor(machine, costs=costs, vcpus=vcpus)
+    dom0 = xen.create_domain("dom0", is_dom0=True)
+    dom0_kernel = Kernel(machine, dom0, costs=costs, paravirtual=True)
+    primary_nics = [machine.add_nic(num_queues=num_queues)
+                    for _ in range(n_nics)]
+    secondary_nics = [machine.add_nic(num_queues=num_queues)
+                      for _ in range(n_nics)]
+    _apply_batch(primary_nics + secondary_nics, interrupt_batch)
+
+    pool_size = max(256, 16 * n_nics * interrupt_batch)
+    twin = TwinDriverManager(
+        xen, dom0_kernel, pool_size=pool_size, num_queues=num_queues,
+    )
+    secondary = TwinDriverManager(
+        xen, dom0_kernel, pool_size=pool_size, num_queues=num_queues,
+        instance_name="hyp2",
+        code_base=HYP2_CODE_BASE, data_base=HYP2_DATA_BASE,
+        stack_base=HYP2_STACK_BASE, svm_map_base=HYP2_SVM_MAP_BASE,
+    )
+    for nic in primary_nics:
+        twin.attach_nic(nic)
+    for nic in secondary_nics:
+        secondary.attach_nic(nic)
+
+    guest_kernels: List[Kernel] = []
+    devices: List[ParavirtNetDevice] = []
+    for i in range(n_guests):
+        guest = xen.create_domain(f"guest{i}")
+        kernel = Kernel(machine, guest, costs=costs, paravirtual=True)
+        guest_kernels.append(kernel)
+        devices.append(ParavirtNetDevice(
+            twin, kernel, mac=PAIR_MAC_PREFIX + bytes([i + 1])))
+
+    health = HealthMonitor(machine, twin=twin)
+
+    cursor = {"tx": 0, "rx": 0}
+
+    def tx_one(i: int, payload_len: int) -> bool:
+        dev = devices[cursor["tx"] % n_guests]
+        cursor["tx"] += 1
+        return dev.transmit(payload_len)
+
+    def rx_mac(i: int) -> bytes:
+        mac = devices[cursor["rx"] % n_guests].mac
+        cursor["rx"] += 1
+        return mac
+
+    return SystemUnderTest(
+        name="handover-pair", machine=machine, costs=costs,
+        nics=primary_nics,
+        _tx_one=tx_one,
+        _rx_mac=rx_mac,
+        _rx_count=lambda: sum(d.rx_packets for d in devices),
+        dom0_kernel=dom0_kernel,
+        guest_kernel=guest_kernels[0],
+        xen=xen, twin=twin,
+        extras={"devices": devices, "guest_kernels": guest_kernels,
+                "secondary": secondary, "secondary_nics": secondary_nics,
+                "health": health,
+                "handover": HandoverManager(twin, health=health)},
+    )
+
+
 BUILDERS = {
     "linux": build_native_linux,
     "dom0": build_dom0,
     "domU": build_domU_standard,
     "domU-twin": build_domU_twin,
     "scale": build_scale,
+    "handover-pair": build_handover_pair,
 }
 
 

@@ -7,9 +7,16 @@
 * :mod:`~repro.core.loader` -- hypervisor module loader
 * :mod:`~repro.core.paravirt` -- guest paravirtual driver
 * :mod:`~repro.core.recovery` -- fault containment & driver recovery
+* :mod:`~repro.core.handover` -- planned live upgrade / re-homing
 * :mod:`~repro.core.twin` -- orchestration
 """
 
+from .handover import (
+    HandoverError,
+    HandoverManager,
+    HandoverReport,
+    HandoverVetoed,
+)
 from .hypsupport import HYPERVISOR_FAST_PATH, HypervisorSupport, SkbPool
 from .loader import (
     DriverAborted,
@@ -54,6 +61,10 @@ __all__ = [
     "EMPTY_TAG",
     "HEADER_COPY_BYTES",
     "HYPERVISOR_FAST_PATH",
+    "HandoverError",
+    "HandoverManager",
+    "HandoverReport",
+    "HandoverVetoed",
     "HypAllocator",
     "HypervisorDriver",
     "HypervisorLoader",

@@ -49,19 +49,44 @@ class SkbPool:
     def __init__(self, dom0_kernel: Kernel, size: int = 256):
         self.dom0_kernel = dom0_kernel
         self.free: List[int] = []
+        self._free_set: set = set()
         #: buffers currently held by the hypervisor driver (acquired but
         #: not yet released) — what recovery reclaims after a quarantine.
         self.outstanding: set = set()
+        #: every buffer address this pool has ever owned, used to route a
+        #: release to the right pool when several twin instances share the
+        #: dom0 kernel.
+        self.all_buffers: set = set()
         self.capacity = 0
         self.underflows = 0
-        dom0_kernel.pool_release = self.release
+        #: releases of a buffer already on the free list — the degraded
+        #: path and recovery reclaim can both free the same skb; the pool
+        #: absorbs the duplicate instead of corrupting its balance.
+        self.double_releases = 0
+        self._install_release_hook(dom0_kernel)
         self.grow(size)
+
+    def _install_release_hook(self, dom0_kernel: Kernel):
+        # Chain behind any pool already installed on this kernel: each
+        # pool claims its own buffers and forwards the rest, so a second
+        # twin instance doesn't capture the first pool's skbs.
+        prev = getattr(dom0_kernel, "pool_release", None)
+
+        def route(skb_addr: int, _pool=self, _prev=prev):
+            if _prev is not None and skb_addr not in _pool.all_buffers:
+                _prev(skb_addr)
+            else:
+                _pool.release(skb_addr)
+
+        dom0_kernel.pool_release = route
 
     def grow(self, n: int):
         for _ in range(n):
             skb = self.dom0_kernel.alloc_skb(L.SKB_BUFFER_SIZE - L.NET_SKB_PAD)
             skb.pool = 1
             self.free.append(skb.addr)
+            self._free_set.add(skb.addr)
+            self.all_buffers.add(skb.addr)
         self.capacity += n
 
     def acquire(self) -> Optional[int]:
@@ -69,25 +94,40 @@ class SkbPool:
             self.underflows += 1
             return None
         addr = self.free.pop()
+        self._free_set.discard(addr)
         self.outstanding.add(addr)
         return addr
 
     def release(self, skb_addr: int):
+        if skb_addr in self._free_set:
+            self.double_releases += 1
+            return
         self.outstanding.discard(skb_addr)
         self.free.append(skb_addr)
+        self._free_set.add(skb_addr)
 
     def reclaim_outstanding(self) -> int:
         """Return every driver-held buffer to the free list (the faulted
         instance will never release them itself). Returns the count."""
         count = len(self.outstanding)
         for addr in sorted(self.outstanding):
-            self.free.append(addr)
+            if addr not in self._free_set:
+                self.free.append(addr)
+                self._free_set.add(addr)
         self.outstanding.clear()
         return count
 
     @property
     def available(self) -> int:
         return len(self.free)
+
+    @property
+    def balanced(self) -> bool:
+        """Every buffer is on exactly one side of the ledger: free or
+        outstanding, no duplicates, nothing lost."""
+        return (len(self.free) == len(self._free_set)
+                and not (self._free_set & self.outstanding)
+                and len(self.free) + len(self.outstanding) == self.capacity)
 
 
 class HypervisorSupport:
@@ -99,13 +139,14 @@ class HypervisorSupport:
 
     def __init__(self, xen: Hypervisor, dom0_kernel: Kernel,
                  svm: SvmManager, twin: "TwinDriverManager",
-                 pool_size: int = 256):
+                 pool_size: int = 256, prefix: str = "hyp"):
         self.xen = xen
         self.machine = xen.machine
         self.dom0_kernel = dom0_kernel
         self.svm = svm
         self.view = SvmView(svm)
         self.twin = twin
+        self.prefix = prefix
         self.pool = SkbPool(dom0_kernel, size=pool_size)
         #: dom0 lock words the driver currently holds (spin_trylock
         #: succeeded, spin_unlock not yet seen) — force-released by
@@ -152,7 +193,7 @@ class HypervisorSupport:
             return _impl(*args)
 
         addr = self.machine.register_native(
-            f"hyp.{name}", native,
+            f"{self.prefix}.{name}", native,
             cost=self.xen.costs.support_cost(name),
             category="Xen",
         )

@@ -245,10 +245,12 @@ class HypervisorDriver:
 class HypervisorLoader:
     """Loads the rewritten driver into the hypervisor (paper §5.2)."""
 
-    def __init__(self, xen: Hypervisor, code_base: int, alloc: HypAllocator):
+    def __init__(self, xen: Hypervisor, code_base: int, alloc: HypAllocator,
+                 stack_base: int = HYP_STACK_BASE):
         self.xen = xen
         self.code_base = code_base
         self.alloc = alloc
+        self.stack_base = stack_base
 
     def load(self, rewritten, vm_module: DriverModule,
              runtime: SvmRuntime,
@@ -319,12 +321,12 @@ class HypervisorLoader:
         # Hypervisor driver stack with guard pages on both sides.
         table = machine.hypervisor_table
         for i in range(HYP_STACK_PAGES):
-            page = HYP_STACK_BASE + i * PAGE_SIZE
+            page = self.stack_base + i * PAGE_SIZE
             if table.lookup(page >> 12) is None:
                 table.map(page >> 12, machine.phys.allocate_frame())
-        stack_top = HYP_STACK_BASE + HYP_STACK_PAGES * PAGE_SIZE
-        machine.cpu.add_hot_range(HYP_STACK_BASE, stack_top)
-        runtime.set_stack_bounds(HYP_STACK_BASE, stack_top)
+        stack_top = self.stack_base + HYP_STACK_PAGES * PAGE_SIZE
+        machine.cpu.add_hot_range(self.stack_base, stack_top)
+        runtime.set_stack_bounds(self.stack_base, stack_top)
 
         driver = HypervisorDriver(self.xen, loaded, vm_module, runtime,
                                   stack_top)

@@ -104,7 +104,7 @@ class RecoveryManager:
                 "abort", "quarantine", "degraded_tx", "degraded_rx",
                 "reload_attempt", "reload_success", "reload_failure",
                 "breaker_open", "frames_unwound", "locks_released",
-                "skbs_reclaimed", "recovered",
+                "skbs_reclaimed", "recovered", "parked_carried",
             )
         }
 
@@ -190,6 +190,12 @@ class RecoveryManager:
         # degraded path when handle_abort unmasks the lines.
         twin._deferred_irqs.clear()
         twin.dom0_kernel.domain.enable_virq()
+        # Carry batches parked for virq-masked guests across the
+        # teardown: their skbs are about to be reclaimed, but the
+        # packets themselves must survive — they are delivered (and
+        # accounted, exactly once) when the guest unmasks.
+        carried = twin.preserve_parked_batches()
+        self._c["parked_carried"].value += carried
         # Drop queued-but-undelivered receives and reclaim every pool
         # sk_buff the instance was holding.
         twin.drop_rx_backlog()
@@ -245,10 +251,17 @@ class RecoveryManager:
             kernel = twin.dom0_kernel
             ndev = NetDevice(kernel.domain.aspace, dev.netdev_addr)
             skb = kernel.alloc_skb(frame_len)
-            skb.put(frame_len)
-            kernel.memory_view().write_bytes(skb.data, frame)
-            skb.dev = ndev.addr
-            return kernel.transmit_skb(skb, ndev)
+            try:
+                skb.put(frame_len)
+                kernel.memory_view().write_bytes(skb.data, frame)
+                skb.dev = ndev.addr
+                return kernel.transmit_skb(skb, ndev)
+            except Exception:
+                # don't leak the staged skb when the dom0 xmit path
+                # itself blows up mid-flight
+                skb.refcnt = 1
+                kernel.free_skb(skb.addr)
+                raise
 
         ok = self.xen.run_in_domain(twin.dom0_kernel.domain, run_in_dom0)
         self._maybe_recover()
@@ -279,6 +292,16 @@ class RecoveryManager:
         # eth_type_trans already pulled the header: MAC is at data - 14.
         dst_mac = mem.read_bytes(skb.data - L.ETH_HLEN, L.ETH_ALEN)
         costs = self.xen.costs
+        pool = twin.hyp_support.pool
+        is_pool = bool(skb.pool)
+        if is_pool and skb.refcnt > 1:
+            # A broadcast/multicast batch interrupted mid-drain leaves
+            # extra references from deliveries that will never happen
+            # (the faulted instance's queues were wiped). On the dom0
+            # fallback path each skb is delivered exactly once below, so
+            # a stale count would make every free a mere decrement and
+            # leak the buffer out of the pool forever.
+            skb.refcnt = 1
         if dst_mac[0] & 1:
             # broadcast/multicast: every guest gets a copy, and dom0's
             # own stack still sees the frame
@@ -289,6 +312,8 @@ class RecoveryManager:
                 guest.deliver(payload)
             handler = self._saved_rx_handler or kernel._rx_deliver_local
             handler(skb_addr)
+            if is_pool:
+                pool.release(skb_addr)     # idempotent backstop
             return
         guest = twin.guests_by_mac.get(dst_mac)
         if guest is None:
@@ -296,11 +321,18 @@ class RecoveryManager:
             # whichever guest happens to be first
             handler = self._saved_rx_handler or kernel._rx_deliver_local
             handler(skb_addr)
+            if is_pool:
+                pool.release(skb_addr)     # idempotent backstop
             return
         payload = mem.read_bytes(skb.data, skb.len)
         self.xen.charge_xen(costs.copy_cost(len(payload)))
         self.xen.charge_xen(costs.virq_delivery)
-        kernel.free_skb(skb_addr)
+        if is_pool:
+            # pool buffers go back to the pool, not through dom0's
+            # slab bookkeeping
+            pool.release(skb_addr)
+        else:
+            kernel.free_skb(skb_addr)
         guest.deliver(payload)
 
     # -- reload --------------------------------------------------------------

@@ -38,7 +38,13 @@ from ..obs.events import (
 from ..obs.health import VIRQ_DEFER_HISTOGRAM
 from ..osmodel.netdev import NetDevice
 from ..osmodel.skbuff import SkBuff
-from ..xen.hypervisor import HYP_CODE_BASE, HYP_SVM_MAP_BASE, Hypervisor
+from ..xen.hypervisor import (
+    HYP_CODE_BASE,
+    HYP_DATA_BASE,
+    HYP_STACK_BASE,
+    HYP_SVM_MAP_BASE,
+    Hypervisor,
+)
 from .hypsupport import HYPERVISOR_FAST_PATH, HypervisorSupport
 from .loader import (
     DriverAborted,
@@ -108,7 +114,12 @@ class TwinDriverManager:
                  rx_batch_budget: int = DEFAULT_RX_BATCH_BUDGET,
                  tx_batch_max: int = DEFAULT_TX_BATCH_MAX,
                  elide: bool = False,
-                 num_queues: int = 1):
+                 num_queues: int = 1,
+                 instance_name: str = "hyp",
+                 code_base: int = HYP_CODE_BASE,
+                 data_base: int = HYP_DATA_BASE,
+                 stack_base: int = HYP_STACK_BASE,
+                 svm_map_base: int = HYP_SVM_MAP_BASE):
         """``upcall_routines``: fast-path routine names to serve via
         upcalls instead of hypervisor implementations (figure 10).
         ``protect_stack`` enables the §4.5.1 extension (bounds checks on
@@ -134,11 +145,28 @@ class TwinDriverManager:
         ``num_queues`` shards the receive path into N RSS queues, each
         with its own backlog, budget, lock ownership and stlb partition;
         1 (the default) reproduces the pre-SMP single-queue behaviour
-        bit-for-bit."""
+        bit-for-bit.
+        ``instance_name``/``code_base``/``data_base``/``stack_base``/
+        ``svm_map_base`` place this twin at a distinct hypervisor VA
+        layout and metric namespace so a SECOND live instance can coexist
+        with the primary (queue re-homing, DESIGN.md §14); the defaults
+        reproduce the single-instance layout exactly."""
         self.xen = xen
         self.machine = xen.machine
         self.dom0_kernel = dom0_kernel
         self.protect_stack = protect_stack
+        self.instance_name = instance_name
+        self.code_base = code_base
+        self.data_base = data_base
+        self.stack_base = stack_base
+        self.svm_map_base = svm_map_base
+        # the primary instance keeps the historical "hyp"/"dom0" prefixes
+        # and "hyp-stlb"/"dom0-stlb" metric names bit-for-bit; secondary
+        # instances derive theirs from instance_name
+        primary = instance_name == "hyp"
+        self._dom0_prefix = "dom0" if primary else f"{instance_name}.dom0"
+        self._identity_svm_name = ("dom0-stlb" if primary
+                                   else f"{instance_name}-dom0-stlb")
         self.upcall_routines = frozenset(upcall_routines)
         unknown = self.upcall_routines - frozenset(HYPERVISOR_FAST_PATH)
         if unknown:
@@ -182,11 +210,12 @@ class TwinDriverManager:
             self._alloc_anchor_slots(dom0_syms, dom0_kernel.alloc_module_data)
         self.identity_svm = SvmManager(
             self.machine, dom0_syms[STLB_SYMBOL],
-            dom0_kernel.domain.aspace, identity=True, name="dom0-stlb",
+            dom0_kernel.domain.aspace, identity=True,
+            name=self._identity_svm_name,
             entries=stlb_entries,
         )
         self.dom0_runtime = SvmRuntime(
-            self.machine, "dom0", self.identity_svm, dom0_syms,
+            self.machine, self._dom0_prefix, self.identity_svm, dom0_syms,
             translate_code=self._identity_translate_code,
             data_space=dom0_kernel.domain.aspace,
         )
@@ -203,7 +232,7 @@ class TwinDriverManager:
                                   self.elision.elided_indices)
 
         # 3. hypervisor side
-        self.hyp_alloc = HypAllocator(self.machine)
+        self.hyp_alloc = HypAllocator(self.machine, base=self.data_base)
         hyp_syms = allocate_runtime_symbols(self.hyp_alloc.alloc)
         if self.elision is not None:
             # placed in hyp runtime symbols so the loader's runtime
@@ -212,29 +241,33 @@ class TwinDriverManager:
         self.svm = SvmManager(
             self.machine, hyp_syms[STLB_SYMBOL],
             dom0_kernel.domain.aspace, identity=False,
-            map_base=HYP_SVM_MAP_BASE, name="hyp-stlb",
+            map_base=self.svm_map_base, name=f"{instance_name}-stlb",
             entries=stlb_entries,
         )
         hyp_data_space = AddressSpace(
-            "hyp-data", self.machine.phys, self.machine.hypervisor_table
+            f"{instance_name}-data", self.machine.phys,
+            self.machine.hypervisor_table
         )
         self.hyp_runtime = SvmRuntime(
-            self.machine, "hyp", self.svm, hyp_syms,
+            self.machine, instance_name, self.svm, hyp_syms,
             translate_code=None,  # installed by the loader
             data_space=hyp_data_space,
         )
         self.upcalls = UpcallManager(xen, dom0_kernel)
         self.hyp_support = HypervisorSupport(
-            xen, dom0_kernel, self.svm, self, pool_size=pool_size
+            xen, dom0_kernel, self.svm, self, pool_size=pool_size,
+            prefix=instance_name,
         )
         support_bindings = {
             name: addr for name, addr in self.hyp_support.addresses.items()
             if name not in self.upcall_routines
         }
-        loader = HypervisorLoader(xen, HYP_CODE_BASE, self.hyp_alloc)
+        loader = HypervisorLoader(xen, self.code_base, self.hyp_alloc,
+                                  stack_base=self.stack_base)
         self.hyp_driver = loader.load(
             self.loadable, self.vm_module, self.hyp_runtime,
             support_bindings, upcall_factory=self.upcalls.make_stub,
+            name=f"{instance_name}:{self.driver_spec.name}",
             verify=verify, verify_report=self.verify_report,
             protect_stack=protect_stack,
             elided_indices=(self.elision.elided_indices
@@ -251,6 +284,15 @@ class TwinDriverManager:
         #: parked NIC interrupts: (irq, cycle-clock at defer time), so the
         #: replay path can observe delivery latency into the SLO histogram
         self._deferred_irqs: List[Tuple[int, int]] = []
+        #: planned-handover admission gate: while True the twin accepts
+        #: but defers all new work (tx frames parked, NIC irqs deferred)
+        #: so the handover can swap/rehome against a quiescent instance.
+        self.frozen = False
+        #: guest tx frames admitted while frozen: (dev, buf, frame bytes)
+        #: — the bytes are snapshotted at admission because the guest
+        #: reuses its staging buffer on the next transmit; replay writes
+        #: them back before invoking the (new) instance.
+        self._frozen_tx: List[Tuple[ParavirtNetDevice, int, bytes]] = []
 
         # fast-path batching knobs (§5.3: one copy pass + one virtual
         # interrupt per scheduled guest, not per packet)
@@ -275,8 +317,13 @@ class TwinDriverManager:
         #: un-charged until the guest unmasks (the skbs stay allocated);
         #: list of (guest device, [skb addrs]) in parking order.
         self._parked_batches: List[Tuple[ParavirtNetDevice, List[int]]] = []
-        #: guest domids whose unmask hook is already installed.
-        self._hooked_guest_domids: Dict[int, bool] = {}
+        #: parked batches converted to payload bytes — what survives a
+        #: quarantine (the skbs are reclaimed by the pool, the packets
+        #: are not lost): (guest device, [payload bytes]) in order.
+        self._parked_payloads: List[Tuple[ParavirtNetDevice, List[bytes]]] = []
+        #: guest domid -> the installed unmask-hook callable (kept so a
+        #: re-homed guest's hook can be removed from its Domain).
+        self._hooked_guest_domids: Dict[int, object] = {}
         registry = self.machine.obs.registry
         self._h_rx_batch = registry.histogram("twin.rx_batch_size")
         self._h_tx_batch = registry.histogram("twin.tx_batch_size")
@@ -328,9 +375,9 @@ class TwinDriverManager:
         self._guest_rx_queue[dev.mac] = flow_hash(dev.mac) % self.num_queues
         domain = dev.kernel.domain
         if domain.domid not in self._hooked_guest_domids:
-            self._hooked_guest_domids[domain.domid] = True
-            domain.unmask_hooks.append(
-                lambda d=domain: self._on_guest_virq_unmask(d))
+            hook = lambda d=domain: self._on_guest_virq_unmask(d)  # noqa: E731
+            self._hooked_guest_domids[domain.domid] = hook
+            domain.unmask_hooks.append(hook)
         if self.netdev_order:
             index = (len(self.guest_devices) - 1) % len(self.netdev_order)
             dev.netdev_addr = self.netdev_order[index]
@@ -348,17 +395,69 @@ class TwinDriverManager:
     @property
     def rx_backlog(self) -> int:
         """Total packets queued-but-undelivered across all rx queues,
-        including batches parked for virq-masked guests."""
+        including batches parked for virq-masked guests (in skb form or
+        carried across a quarantine in payload form)."""
         queued = sum(len(q.rx) for q in self.queues)
         parked = sum(len(skbs) for _, skbs in self._parked_batches)
-        return queued + parked
+        carried = sum(len(p) for _, p in self._parked_payloads)
+        return queued + parked + carried
 
     def drop_rx_backlog(self):
         """Discard every queued and parked receive (recovery teardown —
-        the skbs are reclaimed wholesale by the pool)."""
+        the skbs are reclaimed wholesale by the pool). Payload-form
+        batches already carried across a quarantine are NOT dropped:
+        they no longer reference instance state and stay deliverable."""
         for q in self.queues:
             q.rx.clear()
         self._parked_batches.clear()
+
+    def preserve_parked_batches(self) -> int:
+        """Carry parked masked-virq batches across a quarantine or
+        planned teardown: convert each skb to payload bytes (read via
+        dom0's own address space — the stlb may already be gone) and
+        release the skb to the pool exactly once, even when a broadcast
+        skb appears in several guests' batches. The packets move to
+        ``_parked_payloads`` and are delivered — charged and counted
+        once, as the parking contract promises — by the guest's unmask
+        hook. Returns the number of packets carried."""
+        if not self._parked_batches:
+            return 0
+        mem = self.dom0_kernel.memory_view()
+        pool = self.hyp_support.pool
+        carried = 0
+        released: set = set()
+        for guest, skbs in self._parked_batches:
+            payloads: List[bytes] = []
+            for skb_addr in skbs:
+                skb = SkBuff(mem, skb_addr)
+                payloads.append(mem.read_bytes(skb.data, skb.len))
+                if skb_addr not in released:
+                    released.add(skb_addr)
+                    if skb.pool:
+                        pool.release(skb_addr)
+                    else:
+                        skb.refcnt = 1
+                        self.dom0_kernel.free_skb(skb_addr)
+            self._parked_payloads.append((guest, payloads))
+            carried += len(payloads)
+        self._parked_batches.clear()
+        return carried
+
+    def _deliver_parked_payloads(self, guest: ParavirtNetDevice,
+                                 payloads: List[bytes]):
+        """Deliver a payload-form parked batch: the single accounting
+        event for packets whose skbs were reclaimed at quarantine. Each
+        packet is charged one copy (into the guest's buffers) and the
+        batch one coalesced virq — the same shape as a normal flush,
+        minus the dom0 bookkeeping share (dom0's skbs are already gone)."""
+        costs = self.xen.costs
+        for payload in payloads:
+            self.xen.charge_xen(costs.copy_cost(len(payload))
+                                + costs.twin_rx_copy_extra,
+                                phase="twin:rx_copy")
+        self._h_rx_batch.observe(len(payloads))
+        self.xen.deliver_coalesced_virq(guest.kernel.domain, len(payloads))
+        guest.deliver_batch(payloads)
 
     def bind_device(self, dev: ParavirtNetDevice, netdev_addr: int):
         dev.netdev_addr = netdev_addr
@@ -405,16 +504,34 @@ class TwinDriverManager:
             name: addr for name, addr in self.hyp_support.addresses.items()
             if name not in self.upcall_routines
         }
-        loader = HypervisorLoader(self.xen, HYP_CODE_BASE, self.hyp_alloc)
+        loader = HypervisorLoader(self.xen, self.code_base, self.hyp_alloc,
+                                  stack_base=self.stack_base)
         self.hyp_driver = loader.load(
             self.loadable, self.vm_module, self.hyp_runtime,
             support_bindings, upcall_factory=self.upcalls.make_stub,
+            name=f"{self.instance_name}:{self.driver_spec.name}",
             verify_report=verify_report,
             annotations=self.rewrite_stats.annotations,
             protect_stack=self.protect_stack,
             elided_indices=(self.elision.elided_indices
                             if self.elision is not None else ()),
         )
+
+    def reset_anchor_slots(self) -> int:
+        """Zero this instance's ``__svm_anchorK`` slots (hypervisor side).
+        A planned swap must not let a translation stored by the OLD
+        program be the first thing the NEW program's elided sites reload;
+        every anchor site re-stores before its elided reads, so zeroing
+        is free on the fast path. Returns the number of slots cleared."""
+        if self.elision is None:
+            return 0
+        space = self.hyp_runtime._data_space
+        symbols = self.hyp_runtime.symbols
+        cleared = 0
+        for name, _size in self.elision.anchor_symbols:
+            space.write_u32(symbols[name], 0)
+            cleared += 1
+        return cleared
 
     def _identity_translate_code(self, addr: int) -> int:
         vm = self.vm_module.loaded
@@ -437,6 +554,11 @@ class TwinDriverManager:
             self.xen.run_softirqs()
 
     def _run_interrupt(self, irq: int):
+        if self.frozen:
+            # planned handover in progress: defer like a masked dom0 —
+            # the handover's replay phase re-runs these in arrival order
+            self._deferred_irqs.append((irq, self.machine.account.total))
+            return
         if self.recovery is not None and self.recovery.degraded:
             self.recovery.degraded_interrupt(irq)
             return
@@ -482,6 +604,97 @@ class TwinDriverManager:
         if self.xen.driver_depth == 0:
             self.xen.run_softirqs()
 
+    def replay_frozen_tx(self) -> List[bool]:
+        """Replay tx frames admitted during a handover freeze, in order.
+        Each frame's bytes are restored into the guest's staging buffer
+        (pure state restoration — the guest-side staging was charged at
+        admission) and sent through whichever twin owns the device NOW,
+        so frames from a re-homed guest go through the target instance."""
+        if self.frozen:
+            raise RuntimeError("cannot replay frozen tx while still frozen")
+        pending, self._frozen_tx = self._frozen_tx, []
+        results: List[bool] = []
+        for dev, buf, frame in pending:
+            dev.kernel.domain.aspace.write_bytes(buf, frame)
+            results.append(dev.twin.guest_transmit(dev, buf, len(frame)))
+        return results
+
+    # --------------------------------------------------------------- re-homing
+
+    def detach_guest_device(self, dev: ParavirtNetDevice):
+        """Remove ``dev`` from this twin for re-homing to another live
+        instance. Queued skbs and parked batches addressed to it are
+        converted to payload bytes (released to THIS twin's pool) and
+        returned as the list of pending (payload-form) batches the
+        adopting twin must deliver. The guest's unmask hook is unhooked
+        when no other device of that domain stays behind."""
+        if dev not in self.guest_devices:
+            raise ValueError(f"device {dev.mac.hex()} not on this twin")
+        mem = self.dom0_kernel.memory_view()
+        pool = self.hyp_support.pool
+        pending: List[List[bytes]] = []
+
+        def _to_payload(skb_addr: int) -> bytes:
+            skb = SkBuff(mem, skb_addr)
+            payload = mem.read_bytes(skb.data, skb.len)
+            refs = skb.refcnt
+            if refs > 1:
+                # broadcast skb shared with batches staying behind:
+                # this detach drops only its own reference
+                skb.refcnt = refs - 1
+            elif skb.pool:
+                pool.release(skb_addr)
+            else:
+                self.dom0_kernel.free_skb(skb_addr)
+            return payload
+
+        for q in self.queues:
+            mine = [s for g, s in q.rx if g is dev]
+            if mine:
+                q.rx = [(g, s) for g, s in q.rx if g is not dev]
+                pending.append([_to_payload(s) for s in mine])
+        still_parked: List[Tuple[ParavirtNetDevice, List[int]]] = []
+        for guest, skbs in self._parked_batches:
+            if guest is dev:
+                pending.append([_to_payload(s) for s in skbs])
+            else:
+                still_parked.append((guest, skbs))
+        self._parked_batches = still_parked
+        still_carried: List[Tuple[ParavirtNetDevice, List[bytes]]] = []
+        for guest, payloads in self._parked_payloads:
+            if guest is dev:
+                pending.append(payloads)
+            else:
+                still_carried.append((guest, payloads))
+        self._parked_payloads = still_carried
+
+        self.guest_devices.remove(dev)
+        del self.guests_by_mac[dev.mac]
+        self._guest_rx_queue.pop(dev.mac, None)
+        domain = dev.kernel.domain
+        if not any(d.kernel.domain is domain for d in self.guest_devices):
+            hook = self._hooked_guest_domids.pop(domain.domid, None)
+            if hook is not None and hook in domain.unmask_hooks:
+                domain.unmask_hooks.remove(hook)
+        dev.netdev_addr = None
+        return pending
+
+    def adopt_guest_device(self, dev: ParavirtNetDevice,
+                           pending: Optional[List[List[bytes]]] = None):
+        """Adopt a device detached from another twin: register it here
+        (RSS steering, unmask hook, netdev binding) and deliver — or
+        park, if the guest's virq is masked — the payload batches that
+        were in flight on the source instance."""
+        dev.twin = self
+        self.register_guest_device(dev)
+        for payloads in pending or []:
+            if not payloads:
+                continue
+            if dev.kernel.domain.virq_enabled and not self.frozen:
+                self._deliver_parked_payloads(dev, payloads)
+            else:
+                self._parked_payloads.append((dev, payloads))
+
     # ----------------------------------------------------------------- transmit
 
     def guest_transmit(self, dev: ParavirtNetDevice, buf: int,
@@ -503,6 +716,13 @@ class TwinDriverManager:
         """The containment boundary for the transmit path: while degraded
         route to dom0; on a fault, quarantine and serve the packet on the
         degraded path so the guest never sees the abort."""
+        if self.frozen:
+            # handover admission gate: accept the frame but park it; the
+            # replay phase sends it through whichever twin owns the
+            # device after the swap/rehome
+            frame = dev.kernel.domain.aspace.read_bytes(buf, frame_len)
+            self._frozen_tx.append((dev, buf, frame))
+            return True
         if self.recovery is not None and self.recovery.degraded:
             return self.recovery.degraded_transmit(dev, buf, frame_len)
         try:
@@ -591,6 +811,11 @@ class TwinDriverManager:
 
     def _guest_transmit_burst(self, dev: ParavirtNetDevice,
                               frames: List[Tuple[int, int]]) -> List[bool]:
+        if self.frozen:
+            aspace = dev.kernel.domain.aspace
+            self._frozen_tx.extend(
+                (dev, buf, aspace.read_bytes(buf, n)) for buf, n in frames)
+            return [True] * len(frames)
         if self.recovery is not None and self.recovery.degraded:
             return [self.recovery.degraded_transmit(dev, buf, frame_len)
                     for buf, frame_len in frames]
@@ -771,8 +996,13 @@ class TwinDriverManager:
         """Guest unmask hook: batches parked while the guest's virq was
         masked go back on their queues and a softirq re-runs the flush
         (which copies, charges and delivers them — their first and only
-        accounting)."""
-        if not self._parked_batches:
+        accounting). Payload-form batches carried across a quarantine
+        are delivered directly. While frozen for a planned handover
+        everything stays parked; the handover's replay phase re-fires
+        this hook after the swap."""
+        if self.frozen:
+            return
+        if not self._parked_batches and not self._parked_payloads:
             return
         still_parked: List[Tuple[ParavirtNetDevice, List[int]]] = []
         replayed = False
@@ -784,6 +1014,13 @@ class TwinDriverManager:
             else:
                 still_parked.append((guest, skbs))
         self._parked_batches = still_parked
+        still_carried: List[Tuple[ParavirtNetDevice, List[bytes]]] = []
+        for guest, payloads in self._parked_payloads:
+            if guest.kernel.domain is domain:
+                self._deliver_parked_payloads(guest, payloads)
+            else:
+                still_carried.append((guest, payloads))
+        self._parked_payloads = still_carried
         if replayed:
             self.xen.raise_softirq(self.flush_rx)
             if self.xen.driver_depth == 0:

@@ -65,6 +65,41 @@ class HealthMonitor:
         self.snapshots: List[Dict] = []
         self._last_counters: Dict[str, int] = {}
         self._last_spans_dropped = 0
+        #: maintenance window (planned handover): None, or a dict with
+        #: the owner's name and a callable returning the packet backlog
+        #: the owner deliberately froze. While open, backlog the owner
+        #: accounts for is not a stall, replay-latency blips are
+        #: expected (the handover bench gates them instead), and a
+        #: critical finding is recorded but does NOT arm recovery —
+        #: arming mid-handover would dismantle the instance being
+        #: swapped. A stall the owner does NOT account for still fires.
+        self._maintenance: Optional[Dict] = None
+
+    # -- maintenance window (planned handover, DESIGN.md §14) ----------------
+
+    @property
+    def in_maintenance(self) -> bool:
+        return self._maintenance is not None
+
+    def enter_maintenance(self, owner: str, held_backlog=None):
+        """Open a maintenance window. ``held_backlog`` is a callable
+        returning how many backlogged packets the owner is deliberately
+        holding (frozen queues, parked batches); only backlog BEYOND
+        that count can raise a stall finding while the window is open."""
+        if self._maintenance is not None:
+            raise RuntimeError(
+                f"maintenance window already held by "
+                f"{self._maintenance['owner']!r}")
+        self._maintenance = {"owner": owner,
+                             "held": held_backlog or (lambda: 0)}
+
+    def exit_maintenance(self) -> str:
+        """Close the window; returns the owner that held it."""
+        if self._maintenance is None:
+            raise RuntimeError("no maintenance window is open")
+        owner = self._maintenance["owner"]
+        self._maintenance = None
+        return owner
 
     # -- probes --------------------------------------------------------------
 
@@ -77,20 +112,30 @@ class HealthMonitor:
         if twin is None:
             return
         backlog = twin.rx_backlog      # sums every queue shard + parked
-        if not backlog:
+        held = 0
+        if self._maintenance is not None:
+            # planned drain: the handover accounts for this many frozen
+            # packets — only a RESIDUAL backlog is a real stall.
+            held = self._maintenance["held"]()
+        residual = backlog - held
+        if residual <= 0:
             return
         if not (self._counter_moved("xen.virq_coalesced")
                 or self._counter_moved("xen.virq")):
             findings.append(_finding(
                 "stalled_rx", SEV_CRITICAL,
-                f"{backlog} rx packets queued and no virq "
+                f"{residual} rx packets queued and no virq "
                 "delivered since the last probe",
-                queued=backlog,
+                queued=residual, held=held,
             ))
 
     def _probe_stalled_tx(self, findings: List[Dict]):
         twin = self.twin
         if twin is None or not twin._deferred_irqs:
+            return
+        if self._maintenance is not None:
+            # a planned freeze defers NIC interrupts on purpose; they
+            # are replayed before the window closes.
             return
         if not self._counter_moved("xen.softirq"):
             findings.append(_finding(
@@ -101,6 +146,10 @@ class HealthMonitor:
             ))
 
     def _probe_virq_latency(self, findings: List[Dict]):
+        if self._maintenance is not None:
+            # the handover window observes its own replay latencies into
+            # this histogram; the bench gates the blip, not the watchdog.
+            return
         hist = self.registry.histogram(VIRQ_DEFER_HISTOGRAM)
         if hist.count == 0:
             return
@@ -186,6 +235,7 @@ class HealthMonitor:
                 {"kind": "health.snapshot", **snap}
             ])
         if (recovery is not None and self.arm_recovery and not snap["ok"]
+                and self._maintenance is None
                 and not recovery.degraded and not recovery.broken):
             reasons = "; ".join(f["detail"] for f in snap["findings"]
                                 if f["severity"] == SEV_CRITICAL)

@@ -43,6 +43,15 @@ HYP_DATA_BASE = 0xF0300000
 #: SVM-created mappings of dom0 pages are allocated upward from here.
 HYP_SVM_MAP_BASE = 0xF4000000
 
+#: Layout for a SECOND live twin instance (queue re-homing / live
+#: upgrade, DESIGN.md §14). Disjoint from the primary instance so both
+#: can be mapped at once: code/stack/data sit above the primary's data
+#: region and the SVM map window starts 32 MiB past the primary's.
+HYP2_CODE_BASE = 0xF0800000
+HYP2_STACK_BASE = 0xF0900000
+HYP2_DATA_BASE = 0xF0A00000
+HYP2_SVM_MAP_BASE = 0xF6000000
+
 
 class Hypervisor:
     """The Xen-like VMM: domains, switches, events, grants, softirqs."""
@@ -331,6 +340,26 @@ class Hypervisor:
                 drained += 1
         finally:
             vcpu.in_softirq = False
+
+    def drain_all_softirqs(self, max_rounds: int = 8):
+        """Drain every vCPU's softirq queue to empty (planned-handover
+        quiesce). Softirq handlers can raise follow-on softirqs on other
+        vCPUs, so iterate to a fixpoint; the active vCPU is restored."""
+        original = self._cur_vcpu
+        try:
+            for _ in range(max_rounds):
+                if not any(v.softirqs for v in self.vcpus):
+                    return
+                for vcpu in self.vcpus:
+                    if vcpu.softirqs:
+                        self.activate_vcpu(vcpu)
+                        self.run_softirqs()
+            if any(v.softirqs for v in self.vcpus):
+                raise SoftirqStorm(
+                    f"softirq queues not quiescent after {max_rounds} "
+                    f"drain rounds")
+        finally:
+            self.activate_vcpu(original)
 
     # -- grant operations (charged wrappers) ------------------------------------------------------------
 

@@ -192,6 +192,17 @@ class CreditScheduler:
         self._maybe_refill()
         return True
 
+    def idle(self) -> bool:
+        """True when no vCPU has runnable work, queued softirqs, or an
+        in-flight driver invocation — the quiescence predicate a planned
+        handover checks before freezing the instance."""
+        for vcpu in self.vcpus:
+            if vcpu.softirqs or vcpu.driver_depth:
+                return False
+            if any(self.runnable(d) for d in vcpu.runq):
+                return False
+        return True
+
     def _maybe_refill(self):
         runnable = [d for v in self.vcpus for d in v.runq
                     if self.runnable(d)]

@@ -211,3 +211,88 @@ class TestFlightRecorderAndArming:
         monitor = HealthMonitor(m)
         snap = monitor.probe()
         assert snap["ok"] and snap["findings"] == []
+
+
+class TestMaintenanceWindow:
+    """Planned-handover suppression: a drain the handover accounts for
+    is not a stall and must not arm recovery mid-swap — but a stall the
+    handover does NOT account for still fires (DESIGN.md §14)."""
+
+    def test_held_backlog_is_not_a_stall(self):
+        m, xen, twin, dev, nic = make_twin()
+        monitor = HealthMonitor(m, twin=twin)
+        monitor.probe()
+        # a planned drain holds 3 packets; the probe subtracts them
+        twin._rx_queue.extend([(dev, 0)] * 3)
+        monitor.enter_maintenance("handover:test", held_backlog=lambda: 3)
+        snap = monitor.probe()
+        assert snap["ok"]
+        assert all(f["probe"] != "stalled_rx" for f in snap["findings"])
+        assert monitor.exit_maintenance() == "handover:test"
+        # window closed: the same backlog is a stall again
+        snap = monitor.probe()
+        assert not snap["ok"]
+        assert [f["probe"] for f in snap["findings"]] == ["stalled_rx"]
+
+    def test_real_stall_still_fires_inside_the_window(self):
+        m, xen, twin, dev, nic = make_twin()
+        monitor = HealthMonitor(m, twin=twin)
+        monitor.probe()
+        # the handover accounts for 2 packets; 5 are actually wedged
+        twin._rx_queue.extend([(dev, 0)] * 5)
+        monitor.enter_maintenance("handover:test", held_backlog=lambda: 2)
+        snap = monitor.probe()
+        assert not snap["ok"]
+        stalls = [f for f in snap["findings"] if f["probe"] == "stalled_rx"]
+        assert stalls and stalls[0]["severity"] == SEV_CRITICAL
+        assert stalls[0]["data"]["queued"] == 3   # only the residual
+        assert stalls[0]["data"]["held"] == 2
+
+    def test_deferred_irqs_and_latency_blip_are_expected_in_window(self):
+        m, xen, twin, dev, nic = make_twin()
+        monitor = HealthMonitor(m, twin=twin, virq_defer_slo=1)
+        monitor.probe()
+        twin._deferred_irqs.append((nic.irq, m.account.total))
+        m.obs.registry.histogram(VIRQ_DEFER_HISTOGRAM).observe(10_000)
+        monitor.enter_maintenance("handover:test")
+        snap = monitor.probe()
+        assert snap["findings"] == []          # both probes suppressed
+        monitor.exit_maintenance()
+        snap = monitor.probe()
+        probes = {f["probe"] for f in snap["findings"]}
+        assert "stalled_tx" in probes and "virq_latency" in probes
+
+    def test_window_records_but_does_not_arm_recovery(self):
+        m, xen, twin, dev, nic = make_twin()
+        monitor = HealthMonitor(m, twin=twin, arm_recovery=True)
+        monitor.probe()
+        # a genuinely critical finding inside the window: recorded in
+        # the flight recorder but recovery is NOT armed (arming would
+        # dismantle the instance mid-swap)
+        twin._rx_queue.extend([(dev, 0)] * 4)
+        monitor.enter_maintenance("handover:test")
+        snap = monitor.probe()
+        assert not snap["ok"]
+        assert twin.recovery.state == "active"
+        assert twin.recovery.flight_records     # still observable
+        monitor.exit_maintenance()
+        monitor.probe()
+        assert twin.recovery.state == "degraded"   # armed again outside
+
+    def test_window_is_exclusive_and_must_be_open_to_close(self):
+        m, xen, twin, dev, nic = make_twin()
+        monitor = HealthMonitor(m, twin=twin)
+        assert not monitor.in_maintenance
+        monitor.enter_maintenance("a")
+        assert monitor.in_maintenance
+        try:
+            monitor.enter_maintenance("b")
+            raise AssertionError("double enter must raise")
+        except RuntimeError:
+            pass
+        monitor.exit_maintenance()
+        try:
+            monitor.exit_maintenance()
+            raise AssertionError("double exit must raise")
+        except RuntimeError:
+            pass
